@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each figure bench runs its experiment once (``benchmark.pedantic`` with a
+single round — these are minutes-scale simulations, not microbenchmarks),
+prints the same series the paper plots, asserts the paper's qualitative
+shape, and archives the text under ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def archive(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result block and save it under results/<name>.txt."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

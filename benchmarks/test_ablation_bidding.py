@@ -1,0 +1,37 @@
+"""Ablation A3 — Gauss-Seidel vs vectorized Jacobi bidding (runtime).
+
+Both modes provably reach the same welfare; this measures the speed gap
+that justifies the Jacobi path for paper-scale slots (a true
+microbenchmark: multiple rounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionSolver
+from repro.core.problem import random_problem
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(2)
+    return random_problem(
+        rng, n_requests=800, n_uploaders=40, max_candidates=8, capacity_range=(2, 8)
+    )
+
+
+@pytest.mark.parametrize("mode", ["gauss-seidel", "jacobi"])
+def test_bidding_mode_runtime(benchmark, instance, mode):
+    solver = AuctionSolver(epsilon=0.01, mode=mode)
+    result = benchmark(solver.solve, instance)
+    result.check_feasible(instance)
+    assert result.stats.converged
+
+
+def test_modes_equal_welfare(instance):
+    gs = AuctionSolver(epsilon=0.01, mode="gauss-seidel").solve(instance)
+    jac = AuctionSolver(epsilon=0.01, mode="jacobi").solve(instance)
+    bound = 2 * instance.n_requests * 0.01
+    assert abs(gs.welfare(instance) - jac.welfare(instance)) <= bound

@@ -1,0 +1,43 @@
+"""Microbenchmark — auction runtime scaling with instance size.
+
+Measures the vectorized Jacobi solver on growing instances (the paper's
+full scale is ~50 000 requests per slot).  pytest-benchmark reports the
+distribution across rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionSolver
+from repro.core.problem import random_problem
+
+SIZES = [200, 1000, 5000]
+
+
+@pytest.mark.parametrize("n_requests", SIZES)
+def test_jacobi_scaling(benchmark, n_requests):
+    rng = np.random.default_rng(n_requests)
+    problem = random_problem(
+        rng,
+        n_requests=n_requests,
+        n_uploaders=max(10, n_requests // 20),
+        max_candidates=8,
+        capacity_range=(2, 8),
+    )
+    solver = AuctionSolver(epsilon=0.01, mode="jacobi")
+    result = benchmark(solver.solve, problem)
+    assert result.stats.converged
+
+
+def test_hungarian_scaling_reference(benchmark):
+    """Oracle runtime at the largest size, for the runtime comparison."""
+    from repro.core.exact import solve_hungarian
+
+    rng = np.random.default_rng(7)
+    problem = random_problem(
+        rng, n_requests=1000, n_uploaders=50, max_candidates=8, capacity_range=(2, 8)
+    )
+    result = benchmark(solve_hungarian, problem)
+    assert result.n_served() > 0

@@ -1,0 +1,32 @@
+"""Fig. 6(a–c) — welfare, inter-ISP traffic and miss rate under churn.
+
+Paper: with Poisson arrivals and early departures (probability 0.6) the
+auction still beats the locality protocol on all three metrics.
+"""
+
+from __future__ import annotations
+
+from conftest import archive
+
+from repro.experiments.figures import fig6_peer_dynamics
+
+
+def test_fig6_peer_dynamics(benchmark, results_dir):
+    result = benchmark.pedantic(
+        fig6_peer_dynamics,
+        kwargs={"scale": "bench", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    archive(results_dir, "fig6", result.text)
+    assert result.shape_holds, result.shape
+
+    auction = result.series["auction"]
+    locality = result.series["locality"]
+    # (a) welfare: auction positive and ahead.
+    assert auction["welfare"].tail_mean() > 0
+    assert auction["welfare"].mean() > locality["welfare"].mean()
+    # (b) inter-ISP share: auction lower.
+    assert auction["inter_isp"].mean() < locality["inter_isp"].mean()
+    # (c) miss rate: auction no worse.
+    assert auction["miss_rate"].mean() <= locality["miss_rate"].mean() + 1e-9

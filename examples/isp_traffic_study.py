@@ -1,0 +1,62 @@
+"""ISP traffic study: how the inter-ISP cost level steers the auction.
+
+The auction crosses an ISP boundary only when a chunk's valuation
+justifies the cost (the paper's central mechanism).  This study sweeps
+the mean inter-ISP cost and shows the auction's inter-ISP share falling
+as crossing gets dearer, while the ISP-oblivious baseline barely reacts
+— quantifying exactly how "ISP-aware" the mechanism is.
+
+Run:  python examples/isp_traffic_study.py
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import render_table
+from repro.p2p import P2PSystem, SystemConfig
+
+INTER_COST_MEANS = [2.0, 4.0, 6.0, 8.0]
+SCHEDULERS = ("auction", "agnostic")
+
+
+def run(scheduler: str, inter_mean: float) -> dict:
+    config = SystemConfig.bench(
+        seed=5,
+        scheduler=scheduler,
+        inter_cost_mean=inter_mean,
+        inter_cost_low=max(0.5, inter_mean - 4.0),
+        inter_cost_high=inter_mean + 5.0,
+    )
+    system = P2PSystem(config)
+    system.populate_static(150, stagger=False)
+    collector = system.run(60.0)
+    return collector.totals()
+
+
+def main() -> None:
+    print("Sweep: mean inter-ISP link cost (intra fixed at the paper's TN(1,1,[0,2]))\n")
+    rows = []
+    for inter_mean in INTER_COST_MEANS:
+        row = [inter_mean]
+        for scheduler in SCHEDULERS:
+            totals = run(scheduler, inter_mean)
+            row.extend(
+                [totals["inter_isp_fraction"], totals["welfare_mean_per_slot"]]
+            )
+        rows.append(row)
+
+    print(render_table(
+        ["inter cost μ",
+         "auction inter%", "auction welfare",
+         "agnostic inter%", "agnostic welfare"],
+        rows,
+    ))
+
+    auction_shares = [row[1] for row in rows]
+    print("\nThe auction's inter-ISP share falls as crossing gets dearer: "
+          f"{' -> '.join(f'{s:.3f}' for s in auction_shares)}")
+    print("The oblivious baseline keeps shipping across ISPs regardless, "
+          "paying ever larger welfare penalties.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to the legacy ``setup.py develop``
+editable path when no PEP 517 ``build-system`` table is declared).  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,162 @@
+"""Command-line interface: reproduce figures and run ablations.
+
+Usage::
+
+    python -m repro figures              # all figures, bench scale
+    python -m repro figures --figure fig4 --scale bench --seed 3
+    python -m repro sweep-epsilon
+    python -m repro solvers
+    python -m repro shootout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .experiments.configs import FIGURES
+from .experiments.figures import run_figure
+from .experiments.sweep import (
+    epsilon_sweep,
+    render_epsilon_sweep,
+    render_solver_comparison,
+    scheduler_shootout,
+    solver_comparison,
+)
+from .metrics.report import render_table
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    figures = [args.figure] if args.figure else sorted(FIGURES)
+    failures = 0
+    for figure in figures:
+        result = run_figure(figure, scale=args.scale, seed=args.seed)
+        print(f"=== {figure}: {FIGURES[figure]} ===")
+        print(result.text)
+        status = "OK" if result.shape_holds else "SHAPE MISMATCH"
+        print(f"shape checks: {result.shape} -> {status}")
+        print()
+        if not result.shape_holds:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_sweep_epsilon(args: argparse.Namespace) -> int:
+    rows = epsilon_sweep(
+        epsilons=[10.0, 1.0, 0.1, 0.01, 0.001],
+        rng=np.random.default_rng(args.seed),
+    )
+    print(render_epsilon_sweep(rows))
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    rows = solver_comparison(rng=np.random.default_rng(args.seed))
+    print(render_solver_comparison(rows))
+    return 0
+
+
+def _cmd_strategic(args: argparse.Namespace) -> int:
+    from .core.problem import random_problem
+    from .core.strategic import manipulation_study
+
+    rng = np.random.default_rng(args.seed)
+    problem = random_problem(
+        rng, n_requests=30, n_uploaders=3, max_candidates=3, capacity_range=(1, 2)
+    )
+    # Pick a peer at the competitive margin: unserved truthfully, but with
+    # positive-value edges it could steal by overbidding.
+    from .core.exact import solve_hungarian
+
+    base = solve_hungarian(problem)
+    cheater = problem.request(0).peer
+    for r in range(problem.n_requests):
+        values = problem.edge_values_of(r)
+        if base.assignment[r] is None and len(values) and values.max() > 0:
+            cheater = problem.request(r).peer
+            break
+    rows = manipulation_study(problem, cheater, [0.5, 1.0, 2.0, 4.0, 8.0])
+    print(f"strategic peer {cheater} on {problem.describe()}")
+    print(render_table(
+        ["factor", "chunks won", "auction true utility", "true welfare", "VCG net utility"],
+        [
+            [r.factor, r.chunks_won, r.auction_true_utility,
+             r.auction_welfare, r.vcg_net_utility]
+            for r in rows
+        ],
+    ))
+    return 0
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    results = scheduler_shootout(seed=args.seed)
+    headers = [
+        "scheduler", "welfare/slot", "inter-ISP", "miss rate", "served",
+        "fairness", "localization",
+    ]
+    rows = [
+        [
+            name,
+            totals["welfare_mean_per_slot"],
+            totals["inter_isp_fraction"],
+            totals["miss_rate"],
+            int(totals["served_total"]),
+            totals["download_fairness"],
+            totals["traffic_localization"],
+        ]
+        for name, totals in results.items()
+    ]
+    print(render_table(headers, rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-p2p",
+        description="Reproduce 'Socially-optimal ISP-aware P2P Content "
+        "Distribution via a Primal-Dual Approach' (Zhao & Wu, 2014)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce the paper's figures")
+    figures.add_argument(
+        "--figure", choices=sorted(FIGURES), default=None, help="one figure only"
+    )
+    figures.add_argument(
+        "--scale",
+        choices=("tiny", "bench", "paper"),
+        default="bench",
+        help="workload scale (paper = full Section V setting, slow)",
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    sweep = sub.add_parser("sweep-epsilon", help="ablation: ε work/optimality trade-off")
+    sweep.set_defaults(func=_cmd_sweep_epsilon)
+
+    solvers = sub.add_parser("solvers", help="ablation: auction vs exact oracles")
+    solvers.set_defaults(func=_cmd_solvers)
+
+    shootout = sub.add_parser("shootout", help="ablation: all schedulers on one workload")
+    shootout.set_defaults(func=_cmd_shootout)
+
+    strategic = sub.add_parser(
+        "strategic", help="manipulation study + VCG fix (paper's future work)"
+    )
+    strategic.set_defaults(func=_cmd_strategic)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

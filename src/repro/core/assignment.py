@@ -1,0 +1,102 @@
+"""Transportation → classical assignment conversion (Section IV-A, Fig. 1).
+
+The slot problem is a transportation problem: requests are sources (α=1)
+and uploaders are sinks with β = B(u).  Following Bertsekas & Castañón,
+it converts to a classical assignment problem by replacing each uploader
+with ``B(u)`` identical unit-bandwidth *slots* (one object per unit), and
+copying the original edge weight onto each slot edge.
+
+We additionally materialize the *outside option* as one dummy slot per
+request with weight 0, so the classical matcher is free to leave a
+request unserved — that makes a complete maximum-weight matching on the
+expanded matrix exactly equivalent to the original ILP (which never
+benefits from serving a negative-utility edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .problem import SchedulingProblem
+from .result import ScheduleResult, SolverStats
+
+__all__ = ["AssignmentExpansion", "expand_to_assignment"]
+
+#: Weight on forbidden (absent) edges — finite so scipy accepts the matrix.
+FORBIDDEN = -1e15
+
+
+@dataclass
+class AssignmentExpansion:
+    """The expanded weight matrix plus the bookkeeping to map back.
+
+    Attributes
+    ----------
+    weights:
+        ``(R, S + R)`` matrix; column ``j < S`` is a bandwidth slot owned
+        by ``slot_owner[j]``, columns ``S..`` are per-request dummy slots
+        of weight 0 (any request may take any dummy).
+    slot_owner:
+        Uploader peer id owning each real slot column.
+    """
+
+    problem: SchedulingProblem
+    weights: np.ndarray
+    slot_owner: np.ndarray
+
+    @property
+    def n_real_slots(self) -> int:
+        return len(self.slot_owner)
+
+    def to_result(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> ScheduleResult:
+        """Convert a matching (row, col) back to a :class:`ScheduleResult`."""
+        assignment: Dict[int, Optional[int]] = {
+            r: None for r in range(self.problem.n_requests)
+        }
+        for r, c in zip(rows, cols):
+            if c < self.n_real_slots and self.weights[r, c] > FORBIDDEN / 2:
+                assignment[int(r)] = int(self.slot_owner[c])
+        return ScheduleResult(
+            assignment=assignment,
+            stats=SolverStats(converged=True),
+        )
+
+
+def expand_to_assignment(problem: SchedulingProblem) -> AssignmentExpansion:
+    """Build the Fig. 1(b) expansion of ``problem``.
+
+    Negative-utility edges are kept (with their true weights): the dummy
+    columns dominate them, so the matcher's optimum still equals the ILP
+    optimum, and tests can verify that no negative edge is ever picked.
+    """
+    uploaders = problem.uploaders()
+    slot_owner: List[int] = []
+    slot_start: Dict[int, int] = {}
+    for u in uploaders:
+        slot_start[u] = len(slot_owner)
+        slot_owner.extend([u] * problem.capacity_of(u))
+
+    n_requests = problem.n_requests
+    n_slots = len(slot_owner)
+    weights = np.full((n_requests, n_slots + n_requests), FORBIDDEN, dtype=float)
+
+    for r in range(n_requests):
+        candidates = problem.candidates_of(r)
+        values = problem.edge_values_of(r)
+        for u, value in zip(candidates, values):
+            u = int(u)
+            start = slot_start[u]
+            cap = problem.capacity_of(u)
+            weights[r, start : start + cap] = value
+        weights[r, n_slots + r] = 0.0  # the outside option
+
+    return AssignmentExpansion(
+        problem=problem,
+        weights=weights,
+        slot_owner=np.array(slot_owner, dtype=np.int64),
+    )

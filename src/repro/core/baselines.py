@@ -1,0 +1,289 @@
+"""Baseline schedulers the auction is compared against.
+
+The paper's comparator (Section V): "each downstream peer requests
+chunks from upstream neighbors with the lowest network costs in between
+as much as possible; for bandwidth allocation at an upstream peer, it
+always prioritizes to transmit chunks with more urgent deadlines."
+That is :class:`SimpleLocalityScheduler`.
+
+We add two more for context: :class:`NetworkAgnosticScheduler` (random
+neighbor choice — the ISP-oblivious protocols of the paper's
+introduction) and :class:`UtilityGreedyScheduler` (a centralized greedy
+on ``v − w``, a strong non-optimal heuristic).  All baselines are
+welfare-oblivious in the way the paper describes: the locality and
+agnostic protocols never check the sign of ``v − w``, which is why their
+social welfare can go negative (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .problem import SchedulingProblem
+from .result import ScheduleResult, SolverStats
+
+__all__ = [
+    "LocalityRetryScheduler",
+    "NetworkAgnosticScheduler",
+    "RandomScheduler",
+    "SimpleLocalityScheduler",
+    "UtilityGreedyScheduler",
+]
+
+
+class _UrgencyQueue:
+    """An uploader's accepted set, prioritized by requester urgency (valuation).
+
+    Keeps the ``capacity`` most urgent requests; less urgent ones are
+    evicted when displaced.
+    """
+
+    __slots__ = ("capacity", "members", "_heap", "_seq")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.members: Dict[int, float] = {}
+        self._heap: List[tuple] = []  # (valuation, seq, request)
+        self._seq = itertools.count()
+
+    def offer(self, request: int, valuation: float) -> Optional[int]:
+        """Try to accept ``request``.
+
+        Returns ``request`` itself when turned away, the evicted request
+        when it displaced someone, or ``None`` when accepted without
+        eviction.
+        """
+        if self.capacity == 0:
+            return request
+        if len(self.members) < self.capacity:
+            self._push(request, valuation)
+            return None
+        self._settle()
+        lowest_val, _, lowest_req = self._heap[0]
+        if valuation <= lowest_val:
+            return request
+        heapq.heappop(self._heap)
+        del self.members[lowest_req]
+        self._push(request, valuation)
+        return lowest_req
+
+    def _push(self, request: int, valuation: float) -> None:
+        self.members[request] = valuation
+        heapq.heappush(self._heap, (valuation, next(self._seq), request))
+
+    def _settle(self) -> None:
+        while self._heap:
+            valuation, _, request = self._heap[0]
+            if self.members.get(request) == valuation:
+                return
+            heapq.heappop(self._heap)
+
+
+def _preference_rounds(
+    problem: SchedulingProblem,
+    preference_order: Callable[[int], Sequence[int]],
+    max_attempts: Optional[int] = None,
+) -> ScheduleResult:
+    """Run the proposal protocol shared by the baselines.
+
+    Each unassigned request proposes to its next-preferred candidate;
+    uploaders keep the most urgent proposals up to capacity.
+    ``max_attempts`` bounds how many candidates a request may try:
+
+    * ``1`` — single-shot, the paper's strawman protocols: a request
+      rejected (or later displaced) at its chosen neighbor is simply
+      dropped for the slot.  No re-bidding machinery — that is exactly
+      what the auction adds.
+    * ``None`` — unlimited retries (deferred acceptance), a much
+      stronger variant used as an ablation.
+
+    Terminates because preference cursors only advance (at most one
+    proposal per edge).
+    """
+    n = problem.n_requests
+    stats = SolverStats()
+    queues: Dict[int, _UrgencyQueue] = {
+        u: _UrgencyQueue(problem.capacity_of(u)) for u in problem.uploaders()
+    }
+    prefs: List[Sequence[int]] = [preference_order(r) for r in range(n)]
+    cursor = [0] * n
+    assigned: List[Optional[int]] = [None] * n
+    pending = list(range(n))
+    while pending:
+        r = pending.pop()
+        if assigned[r] is not None:
+            continue
+        order = prefs[r]
+        if max_attempts is not None and cursor[r] >= max_attempts:
+            continue  # out of attempts: dropped for this slot
+        if cursor[r] >= len(order):
+            continue  # exhausted all candidates: stays unserved
+        target = order[cursor[r]]
+        cursor[r] += 1
+        stats.bids_submitted += 1
+        outcome = queues[target].offer(r, problem.request(r).valuation)
+        if outcome is None:
+            assigned[r] = target
+        elif outcome == r:
+            stats.bids_rejected += 1
+            pending.append(r)  # re-queued; dropped if out of attempts
+        else:
+            assigned[r] = target
+            assigned[outcome] = None
+            stats.evictions += 1
+            pending.append(outcome)
+    stats.rounds = stats.bids_submitted
+    return ScheduleResult(
+        assignment={r: assigned[r] for r in range(n)},
+        stats=stats,
+    )
+
+
+def _cost_order(problem: SchedulingProblem, r: int) -> Sequence[int]:
+    candidates = problem.candidates_of(r)
+    costs = problem.costs_of(r)
+    order = np.argsort(costs, kind="stable")
+    return [int(candidates[i]) for i in order]
+
+
+class SimpleLocalityScheduler:
+    """The paper's locality-aware comparator.
+
+    "Each downstream peer requests chunks from upstream neighbors with
+    the lowest network costs in between as much as possible; for
+    bandwidth allocation at an upstream peer, it always prioritizes to
+    transmit chunks with more urgent deadlines."  Single-shot: a request
+    turned away at its cheapest neighbor is dropped for the slot (the
+    protocol has no re-bidding — that is the auction's contribution).
+    """
+
+    name = "locality"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        return _preference_rounds(
+            problem, lambda r: _cost_order(problem, r), max_attempts=1
+        )
+
+
+class LocalityRetryScheduler:
+    """Deferred-acceptance variant of the locality protocol (ablation).
+
+    Requests walk their candidates in cost order until accepted —
+    strictly stronger than the paper's strawman; useful to separate how
+    much of the auction's edge comes from re-bidding versus from
+    welfare-aware prices.
+    """
+
+    name = "locality-retry"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        return _preference_rounds(problem, lambda r: _cost_order(problem, r))
+
+
+class NetworkAgnosticScheduler:
+    """ISP-oblivious baseline: random candidate choice, urgency allocation.
+
+    Models the "network agnostic" protocols of the introduction, where a
+    peer downloads from whoever caches the chunk regardless of ISP.
+    Single-shot like the locality strawman; ``retries=True`` upgrades it
+    to deferred acceptance.
+    """
+
+    name = "agnostic"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        retries: bool = False,
+    ) -> None:
+        self.rng = rng or np.random.default_rng(0)
+        self.retries = retries
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        def shuffled(r: int) -> Sequence[int]:
+            candidates = [int(u) for u in problem.candidates_of(r)]
+            self.rng.shuffle(candidates)
+            return candidates
+
+        return _preference_rounds(
+            problem, shuffled, max_attempts=None if self.retries else 1
+        )
+
+
+class UtilityGreedyScheduler:
+    """Centralized greedy on edge utility ``v − w`` (positive edges only).
+
+    A strong heuristic upper-mid baseline: it sees all edges at once
+    (unlike the distributed protocols) but commits greedily, so it can
+    be beaten by the auction on instances where early greedy picks block
+    better global matchings.
+    """
+
+    name = "greedy"
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        edges = []
+        for r in range(problem.n_requests):
+            for u, value in zip(problem.candidates_of(r), problem.edge_values_of(r)):
+                if value > 0:
+                    edges.append((float(value), r, int(u)))
+        edges.sort(key=lambda e: (-e[0], e[1], e[2]))
+        remaining = {u: problem.capacity_of(u) for u in problem.uploaders()}
+        assignment: Dict[int, Optional[int]] = {
+            r: None for r in range(problem.n_requests)
+        }
+        stats = SolverStats()
+        for value, r, u in edges:
+            if assignment[r] is not None or remaining[u] == 0:
+                continue
+            assignment[r] = u
+            remaining[u] -= 1
+            stats.bids_submitted += 1
+        stats.rounds = 1
+        return ScheduleResult(assignment=assignment, stats=stats)
+
+
+class RandomScheduler:
+    """Uniform random feasible assignment — the floor any protocol must beat.
+
+    ``positive_only`` restricts to positive-utility edges; with it off the
+    scheduler mimics fully oblivious chunk exchange.
+    """
+
+    name = "random"
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        positive_only: bool = False,
+    ) -> None:
+        self.rng = rng or np.random.default_rng(0)
+        self.positive_only = positive_only
+
+    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+        order = list(range(problem.n_requests))
+        self.rng.shuffle(order)
+        remaining = {u: problem.capacity_of(u) for u in problem.uploaders()}
+        assignment: Dict[int, Optional[int]] = {
+            r: None for r in range(problem.n_requests)
+        }
+        stats = SolverStats(rounds=1)
+        for r in order:
+            candidates = problem.candidates_of(r)
+            values = problem.edge_values_of(r)
+            viable = [
+                int(u)
+                for u, value in zip(candidates, values)
+                if remaining[int(u)] > 0 and (value > 0 or not self.positive_only)
+            ]
+            if not viable:
+                continue
+            pick = viable[int(self.rng.integers(len(viable)))]
+            assignment[r] = pick
+            remaining[pick] -= 1
+            stats.bids_submitted += 1
+        return ScheduleResult(assignment=assignment, stats=stats)

@@ -1,0 +1,498 @@
+"""The auction as a distributed message-passing protocol (Section IV-B/C).
+
+This module runs one slot's auction the way the paper's emulator does:
+bidder peers and auctioneer peers exchange ``Bid`` / ``Accept`` /
+``Reject`` / ``Evict`` / ``PriceUpdate`` messages over a
+:class:`~repro.sim.network.SimNetwork` with real (simulated) latencies.
+Peers act on *locally known* prices, which may be stale — exactly the
+interleaving the paper's protocol tolerates — and the auction converges
+when no message remains in flight and no bidder wants to re-bid.
+
+The price trajectory ``λ_u(t)`` recorded here is what Fig. 2 plots.
+
+Peer departures mid-auction (Section IV-C) are injected with
+:meth:`DistributedAuction.depart_peer`: the departed peer's auction set
+is voided and its displaced bidders re-bid, converging to the optimum of
+the reduced problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..sim.engine import Simulator
+from ..sim.messages import (
+    AcceptMessage,
+    BidMessage,
+    EvictMessage,
+    Message,
+    PriceUpdateMessage,
+    RejectMessage,
+)
+from ..sim.network import SimNetwork
+from .auction import DEFAULT_EPSILON, _AssignmentSet
+from .problem import SchedulingProblem
+from .result import ScheduleResult, SolverStats
+
+__all__ = ["DistributedAuction", "PriceEvent"]
+
+
+@dataclass(frozen=True)
+class PriceEvent:
+    """One observed price change: (simulated time, uploader, new λ)."""
+
+    time: float
+    uploader: int
+    price: float
+
+
+# Request lifecycle states at the bidder.
+_UNASSIGNED = 0
+_PENDING = 1  # bid in flight
+_ASSIGNED = 2
+_DORMANT = 3  # optimal bid equals known price (ε = 0 ties)
+_RETIRED = 4  # outside option dominates at known prices
+
+
+@dataclass
+class _RequestState:
+    index: int
+    chunk: Hashable
+    valuation: float
+    candidates: np.ndarray  # uploader ids
+    values: np.ndarray  # v − w per candidate
+    state: int = _UNASSIGNED
+    assigned_to: Optional[int] = None
+    pending_target: Optional[int] = None
+    bid_seq: int = 0  # distinguishes stale timeout events
+    timeouts: Dict[int, int] = field(default_factory=dict)  # per-target count
+
+
+class _Bidder:
+    """Bidding module of one downstream peer (Alg. 1, bidder side)."""
+
+    def __init__(self, auction: "DistributedAuction", peer: int) -> None:
+        self.auction = auction
+        self.peer = peer
+        self.requests: List[_RequestState] = []
+        self.known_prices: Dict[int, float] = {}
+
+    def add_request(self, request: _RequestState) -> None:
+        self.requests.append(request)
+        for u in request.candidates:
+            self.known_prices.setdefault(int(u), 0.0)
+
+    # -- price knowledge ------------------------------------------------
+    def observe_price(self, uploader: int, price: float) -> None:
+        if price > self.known_prices.get(uploader, 0.0):
+            self.known_prices[uploader] = price
+
+    # -- bidding --------------------------------------------------------
+    def evaluate_all(self) -> None:
+        for request in self.requests:
+            if request.state in (_UNASSIGNED, _DORMANT):
+                self.evaluate(request)
+
+    def evaluate(self, request: _RequestState) -> None:
+        """Recompute the optimal bid for one request and send it if viable."""
+        if request.state in (_ASSIGNED, _PENDING, _RETIRED):
+            return
+        if len(request.candidates) == 0:
+            request.state = _RETIRED
+            return
+        prices = np.fromiter(
+            (self.known_prices[int(u)] for u in request.candidates),
+            dtype=float,
+            count=len(request.candidates),
+        )
+        phi = request.values - prices
+        j_star = int(np.argmax(phi))
+        phi1 = float(phi[j_star])
+        if phi1 <= 0.0:
+            # At *known* prices the outside option wins; prices are
+            # monotone so this can only get worse — retire.
+            request.state = _RETIRED
+            return
+        phi2 = float(np.partition(phi, -2)[-2]) if len(phi) > 1 else -np.inf
+        outside = max(phi2, 0.0)
+        u_star = int(request.candidates[j_star])
+        bid = self.known_prices[u_star] + phi1 - outside + self.auction.epsilon
+        if bid <= self.known_prices[u_star]:
+            request.state = _DORMANT  # paper: wait for a price change
+            return
+        request.state = _PENDING
+        request.pending_target = u_star
+        request.bid_seq += 1
+        seq = request.bid_seq
+        self.auction.stats.bids_submitted += 1
+        self.auction.network.send(
+            BidMessage(src=self.peer, dst=u_star, chunk=request.chunk, bid=bid)
+        )
+        # Bids (or their replies) can be lost; a timeout retries and,
+        # after repeated silence, writes the target off locally.
+        self.auction.sim.schedule(
+            self.auction.bid_timeout,
+            lambda: self._on_bid_timeout(request, u_star, seq),
+        )
+
+    def _on_bid_timeout(self, request: _RequestState, target: int, seq: int) -> None:
+        if (
+            request.state != _PENDING
+            or request.pending_target != target
+            or request.bid_seq != seq
+        ):
+            return  # the bid was answered (or superseded) in time
+        count = request.timeouts.get(target, 0) + 1
+        request.timeouts[target] = count
+        if count >= self.auction.max_bid_retries:
+            request.candidates, request.values = _drop_candidate(request, target)
+        request.state = _UNASSIGNED
+        request.pending_target = None
+        self.evaluate(request)
+
+    # -- protocol events -------------------------------------------------
+    def on_accept(self, msg: AcceptMessage) -> None:
+        request = self._pending_for(msg.src, msg.chunk)
+        if request is None:
+            return
+        request.state = _ASSIGNED
+        request.assigned_to = msg.src
+        request.pending_target = None
+
+    def on_reject(self, msg: RejectMessage) -> None:
+        self.observe_price(msg.src, msg.price)
+        request = self._pending_for(msg.src, msg.chunk)
+        if request is None:
+            return
+        self.auction.stats.bids_rejected += 1
+        request.state = _UNASSIGNED
+        request.pending_target = None
+        self.evaluate(request)
+
+    def on_evict(self, msg: EvictMessage) -> None:
+        self.observe_price(msg.src, msg.price)
+        request = self._assigned_for(msg.src, msg.chunk)
+        if request is None:
+            return
+        request.state = _UNASSIGNED
+        request.assigned_to = None
+        self.evaluate(request)
+
+    def on_price_update(self, msg: PriceUpdateMessage) -> None:
+        self.observe_price(msg.src, msg.price)
+        # A higher price elsewhere can wake a dormant tie; an unassigned
+        # request simply recomputes its best target.
+        self.evaluate_all()
+
+    def _pending_for(self, uploader: int, chunk: Hashable) -> Optional[_RequestState]:
+        for request in self.requests:
+            if (
+                request.state == _PENDING
+                and request.pending_target == uploader
+                and request.chunk == chunk
+            ):
+                return request
+        return None
+
+    def _assigned_for(self, uploader: int, chunk: Hashable) -> Optional[_RequestState]:
+        for request in self.requests:
+            if (
+                request.state == _ASSIGNED
+                and request.assigned_to == uploader
+                and request.chunk == chunk
+            ):
+                return request
+        return None
+
+
+class _Auctioneer:
+    """Allocator module of one upstream peer (Alg. 1, auctioneer side)."""
+
+    def __init__(self, auction: "DistributedAuction", peer: int, capacity: int) -> None:
+        self.auction = auction
+        self.peer = peer
+        self.price = 0.0
+        self.aset = _AssignmentSet(capacity)
+        self.watchers: Set[int] = set()  # bidder peers holding an edge to us
+
+    def on_bid(self, msg: BidMessage) -> None:
+        request_key = (msg.src, msg.chunk)
+        if request_key in self.aset.bids:
+            # A retry raced with a slow Accept: the request already holds
+            # a unit here.  Keep the higher of the two bids and re-affirm.
+            if msg.bid > self.aset.bids[request_key]:
+                self.aset.remove(request_key)
+            else:
+                self.auction.network.send(
+                    AcceptMessage(src=self.peer, dst=msg.src, chunk=msg.chunk)
+                )
+                return
+        if msg.bid <= self.price or self.aset.capacity == 0:
+            self.auction.network.send(
+                RejectMessage(
+                    src=self.peer, dst=msg.src, chunk=msg.chunk, price=self.price
+                )
+            )
+            return
+        if self.aset.full:
+            if msg.bid <= self.aset.min_bid():
+                self.auction.network.send(
+                    RejectMessage(
+                        src=self.peer, dst=msg.src, chunk=msg.chunk, price=self.price
+                    )
+                )
+                return
+            evicted_key, _ = self.aset.evict_min()
+            self.auction.stats.evictions += 1
+            self.auction.network.send(
+                EvictMessage(
+                    src=self.peer,
+                    dst=evicted_key[0],
+                    chunk=evicted_key[1],
+                    price=self.price,
+                )
+            )
+        self.aset.add(request_key, msg.bid)
+        self.auction.network.send(
+            AcceptMessage(src=self.peer, dst=msg.src, chunk=msg.chunk)
+        )
+        if self.aset.full:
+            new_price = self.aset.min_bid()
+            if new_price > self.price:
+                self.price = new_price
+                self.auction.stats.price_updates += 1
+                self.auction.record_price(self.peer, new_price)
+                for watcher in self.watchers:
+                    if watcher != self.peer:
+                        self.auction.network.send(
+                            PriceUpdateMessage(
+                                src=self.peer, dst=watcher, price=new_price
+                            )
+                        )
+
+
+class DistributedAuction:
+    """One slot's auction executed as interleaved message exchanges.
+
+    Parameters
+    ----------
+    sim, network:
+        The event engine and message network (latency model inside).
+    problem:
+        The slot's scheduling problem.
+    epsilon:
+        Bidding increment (0 = the paper's exact rule).
+
+    Usage::
+
+        auction = DistributedAuction(sim, network, problem)
+        auction.start()
+        result = auction.run_to_convergence()
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        problem: SchedulingProblem,
+        epsilon: float = DEFAULT_EPSILON,
+        bid_timeout: float = 1.0,
+        max_bid_retries: int = 3,
+    ) -> None:
+        if bid_timeout <= 0:
+            raise ValueError(f"bid_timeout must be positive, got {bid_timeout!r}")
+        if max_bid_retries < 1:
+            raise ValueError(f"max_bid_retries must be >= 1, got {max_bid_retries!r}")
+        self.sim = sim
+        self.network = network
+        self.problem = problem
+        self.epsilon = float(epsilon)
+        self.bid_timeout = float(bid_timeout)
+        self.max_bid_retries = int(max_bid_retries)
+        self.stats = SolverStats()
+        self.price_events: List[PriceEvent] = []
+        self._started = False
+        self._departed: Set[int] = set()
+
+        self.bidders: Dict[int, _Bidder] = {}
+        self.auctioneers: Dict[int, _Auctioneer] = {}
+        for u in problem.uploaders():
+            self.auctioneers[u] = _Auctioneer(self, u, problem.capacity_of(u))
+        self._request_of_key: Dict[Tuple[int, Hashable], int] = {}
+        for r in range(problem.n_requests):
+            request = problem.request(r)
+            bidder = self.bidders.get(request.peer)
+            if bidder is None:
+                bidder = _Bidder(self, request.peer)
+                self.bidders[request.peer] = bidder
+            candidates = problem.candidates_of(r)
+            usable = np.array(
+                [problem.capacity_of(int(u)) > 0 for u in candidates], dtype=bool
+            )
+            state = _RequestState(
+                index=r,
+                chunk=request.chunk,
+                valuation=request.valuation,
+                candidates=candidates[usable],
+                values=problem.edge_values_of(r)[usable],
+            )
+            bidder.add_request(state)
+            self._request_of_key[(request.peer, request.chunk)] = r
+            for u in candidates[usable]:
+                self.auctioneers[int(u)].watchers.add(request.peer)
+
+        for node in set(self.bidders) | set(self.auctioneers):
+            self.network.register(node, self._dispatch)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Kick off bidding: every bidder evaluates its requests now."""
+        if self._started:
+            raise RuntimeError("auction already started")
+        self._started = True
+        for bidder in self.bidders.values():
+            self.sim.call_soon(bidder.evaluate_all)
+
+    def run_to_convergence(self, time_limit: Optional[float] = None) -> ScheduleResult:
+        """Drain the event queue (= protocol quiescence) and collect the result.
+
+        Raises ``RuntimeError`` when a ``time_limit`` is given and the
+        protocol is still chattering past it.
+        """
+        if not self._started:
+            self.start()
+        until = None if time_limit is None else self.sim.now + time_limit
+        self.sim.run(until=until)
+        if until is not None and self.sim.peek_next_time() is not None:
+            raise RuntimeError(
+                f"auction not quiescent after {time_limit}s "
+                f"({self.network.sent.total()} messages sent)"
+            )
+        return self.result()
+
+    def result(self) -> ScheduleResult:
+        """Assemble the schedule from the auctioneers' assignment sets."""
+        assignment: Dict[int, Optional[int]] = {
+            r: None for r in range(self.problem.n_requests)
+        }
+        for u, auctioneer in self.auctioneers.items():
+            for request_key in auctioneer.aset.bids:
+                index = self._request_of_key[request_key]
+                assignment[index] = u
+        prices = {u: a.price for u, a in self.auctioneers.items()}
+        self.stats.rounds = self.stats.bids_submitted
+        etas = self._etas(prices)
+        return ScheduleResult(
+            assignment=assignment, prices=prices, etas=etas, stats=self.stats
+        )
+
+    # ------------------------------------------------------------------
+    # Section IV-C: dynamics
+    # ------------------------------------------------------------------
+    def depart_peer(self, peer: int) -> None:
+        """Remove a peer mid-auction (its uploads and downloads are voided)."""
+        self._departed.add(peer)
+        self.network.unregister(peer)
+        # Void allocations the departed peer held at other auctioneers; its
+        # in-flight bids are dropped on arrival (see _dispatch).
+        for auctioneer in self.auctioneers.values():
+            stale = [key for key in auctioneer.aset.bids if key[0] == peer]
+            for key in stale:
+                auctioneer.aset.remove(key)
+        auctioneer = self.auctioneers.pop(peer, None)
+        if auctioneer is not None:
+            # Displaced bidders re-bid at the remaining auctioneers.
+            for bidder_peer, chunk in list(auctioneer.aset.bids):
+                bidder = self.bidders.get(bidder_peer)
+                if bidder is None:
+                    continue
+                request = bidder._assigned_for(peer, chunk)
+                if request is not None:
+                    request.state = _UNASSIGNED
+                    request.assigned_to = None
+                    request.candidates, request.values = _drop_candidate(
+                        request, peer
+                    )
+                    self.sim.call_soon(
+                        (lambda b, q: (lambda: b.evaluate(q)))(bidder, request)
+                    )
+        bidder = self.bidders.pop(peer, None)
+        if bidder is not None:
+            for request in bidder.requests:
+                request.state = _RETIRED
+        # Remaining bidders must not target the departed uploader again.
+        for other in self.bidders.values():
+            for request in other.requests:
+                if peer in request.candidates:
+                    request.candidates, request.values = _drop_candidate(request, peer)
+                    if request.state == _DORMANT:
+                        request.state = _UNASSIGNED
+                        self.sim.call_soon(
+                            (lambda b, q: (lambda: b.evaluate(q)))(other, request)
+                        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def record_price(self, uploader: int, price: float) -> None:
+        self.price_events.append(PriceEvent(self.sim.now, uploader, price))
+
+    def _dispatch(self, msg: Message) -> None:
+        if isinstance(msg, BidMessage):
+            if msg.src in self._departed:
+                return  # in-flight bid from a peer that has left
+            auctioneer = self.auctioneers.get(msg.dst)
+            if auctioneer is not None:
+                auctioneer.on_bid(msg)
+            return
+        bidder = self.bidders.get(msg.dst)
+        if bidder is None:
+            return
+        if isinstance(msg, AcceptMessage):
+            bidder.on_accept(msg)
+        elif isinstance(msg, RejectMessage):
+            bidder.on_reject(msg)
+        elif isinstance(msg, EvictMessage):
+            bidder.on_evict(msg)
+        elif isinstance(msg, PriceUpdateMessage):
+            bidder.on_price_update(msg)
+
+    def _etas(self, prices: Dict[int, float]) -> Dict[int, float]:
+        # Zero-capacity (or departed) uploaders are excluded: their dual
+        # price is free, so their edges do not constrain η.
+        etas: Dict[int, float] = {}
+        for r in range(self.problem.n_requests):
+            candidates = self.problem.candidates_of(r)
+            values = self.problem.edge_values_of(r)
+            best = 0.0
+            for u, value in zip(candidates, values):
+                u = int(u)
+                if u not in self.auctioneers or self.problem.capacity_of(u) == 0:
+                    continue
+                best = max(best, float(value) - prices.get(u, 0.0))
+            etas[r] = best
+        return etas
+
+    def price_series(self, uploader: int) -> Tuple[List[float], List[float]]:
+        """(times, prices) of one uploader's λ over the auction."""
+        times = [e.time for e in self.price_events if e.uploader == uploader]
+        prices = [e.price for e in self.price_events if e.uploader == uploader]
+        return times, prices
+
+    def convergence_time(self) -> float:
+        """Time of the last price change (0 when no price ever moved)."""
+        if not self.price_events:
+            return 0.0
+        return max(e.time for e in self.price_events)
+
+
+def _drop_candidate(
+    request: _RequestState, uploader: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    keep = request.candidates != uploader
+    return request.candidates[keep], request.values[keep]

@@ -1,0 +1,176 @@
+"""Dual problem, complementary slackness, and optimality certificates.
+
+The dual of the slot ILP (paper eq. (5)) is
+
+    min  Σ_u λ_u B(u) + Σ_{d,c} η_d^{(c)}
+    s.t. λ_u + η_d^{(c)} ≥ v^{(c)}(d) − w_{u→d}   on every edge
+         λ, η ≥ 0
+
+Theorem 1 says the auction's final assignment and prices satisfy the
+three complementary-slackness (CS) conditions of the primal/dual pair,
+certifying optimality.  This module re-checks those conditions on any
+:class:`~repro.core.result.ScheduleResult` and computes the duality gap;
+with bidding increment ε the certificates hold within ``ε`` per request
+(gap ≤ served·ε), which the checkers account for via their tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .problem import SchedulingProblem
+from .result import ScheduleResult
+
+__all__ = [
+    "CertificateReport",
+    "check_complementary_slackness",
+    "dual_objective",
+    "duality_gap",
+    "verify_theorem1",
+]
+
+
+@dataclass
+class CertificateReport:
+    """Outcome of the optimality-certificate checks."""
+
+    dual_feasible: bool
+    cs_capacity: bool  # λ_u > 0 → uploader saturated
+    cs_assignment: bool  # assigned edge → λ + η = v − w
+    cs_request: bool  # η > 0 → request served
+    gap: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def optimal(self) -> bool:
+        """All certificates hold (within the tolerance used to build this report)."""
+        return (
+            self.dual_feasible
+            and self.cs_capacity
+            and self.cs_assignment
+            and self.cs_request
+        )
+
+
+def dual_objective(
+    problem: SchedulingProblem,
+    prices: Dict[int, float],
+    etas: Dict[int, float],
+) -> float:
+    """Dual value Σ λ_u B(u) + Σ η_d."""
+    lam_term = sum(
+        prices.get(u, 0.0) * problem.capacity_of(u) for u in problem.uploaders()
+    )
+    eta_term = sum(etas.get(r, 0.0) for r in range(problem.n_requests))
+    return lam_term + eta_term
+
+
+def duality_gap(problem: SchedulingProblem, result: ScheduleResult) -> float:
+    """Dual minus primal objective; ≥ 0 for feasible pairs, ≤ served·ε at optimum."""
+    return dual_objective(problem, result.prices, result.etas) - result.welfare(problem)
+
+
+def check_complementary_slackness(
+    problem: SchedulingProblem,
+    result: ScheduleResult,
+    tol: float = 1e-7,
+) -> CertificateReport:
+    """Verify dual feasibility and the three CS conditions from Appendix A.
+
+    ``tol`` must dominate the solver's ε (use ``n·ε`` to be safe for the
+    aggregate gap; per-condition slack is ``ε``).
+    """
+    violations: List[str] = []
+    prices = result.prices
+    etas = result.etas
+    loads = result.uploader_loads()
+
+    # Dual feasibility: λ_u + η_r ≥ v − w on every edge.  Edges to
+    # zero-capacity uploaders are skipped: λ_u·B(u) = 0 there, so the
+    # dual can raise λ_u for free and the constraint never binds.
+    dual_feasible = True
+    for r in range(problem.n_requests):
+        candidates = problem.candidates_of(r)
+        if len(candidates) == 0:
+            continue
+        values = problem.edge_values_of(r)
+        usable = np.array(
+            [problem.capacity_of(int(u)) > 0 for u in candidates], dtype=bool
+        )
+        if not usable.any():
+            continue
+        lam = np.array([prices.get(int(u), 0.0) for u in candidates[usable]])
+        slack = lam + etas.get(r, 0.0) - values[usable]
+        worst = float(slack.min())
+        if worst < -tol:
+            dual_feasible = False
+            violations.append(
+                f"dual infeasible at request {r}: min slack {worst:.3e}"
+            )
+
+    # CS 1: λ_u > 0 → uploader fully loaded.
+    cs_capacity = True
+    for u in problem.uploaders():
+        lam_u = prices.get(u, 0.0)
+        if lam_u > tol and loads.get(u, 0) != problem.capacity_of(u):
+            cs_capacity = False
+            violations.append(
+                f"uploader {u}: λ={lam_u:.3e} but load "
+                f"{loads.get(u, 0)}/{problem.capacity_of(u)}"
+            )
+
+    # CS 2: assigned edge → λ_u + η_r = v − w.
+    cs_assignment = True
+    for r, uploader in result.assignment.items():
+        if uploader is None:
+            continue
+        value = problem.edge_value(r, uploader)
+        resid = prices.get(uploader, 0.0) + etas.get(r, 0.0) - value
+        if abs(resid) > tol:
+            cs_assignment = False
+            violations.append(
+                f"request {r}→{uploader}: λ+η−(v−w) = {resid:.3e}"
+            )
+
+    # CS 3: η_r > 0 → request served.
+    cs_request = True
+    for r in range(problem.n_requests):
+        if etas.get(r, 0.0) > tol and result.assignment.get(r) is None:
+            cs_request = False
+            violations.append(
+                f"request {r}: η={etas.get(r, 0.0):.3e} but unserved"
+            )
+
+    return CertificateReport(
+        dual_feasible=dual_feasible,
+        cs_capacity=cs_capacity,
+        cs_assignment=cs_assignment,
+        cs_request=cs_request,
+        gap=duality_gap(problem, result),
+        violations=violations,
+    )
+
+
+def verify_theorem1(
+    problem: SchedulingProblem,
+    result: ScheduleResult,
+    epsilon: float,
+    tol: float = 1e-9,
+) -> CertificateReport:
+    """Check Theorem 1's conclusion for an auction run with increment ``epsilon``.
+
+    Uses a tolerance of ``epsilon + tol`` per condition and additionally
+    asserts the duality gap lies in ``[-tol, served·ε + tol]``.
+    """
+    result.check_feasible(problem)
+    report = check_complementary_slackness(problem, result, tol=epsilon + tol)
+    served = result.n_served()
+    if not (-tol <= report.gap <= served * epsilon + tol):
+        report.violations.append(
+            f"duality gap {report.gap:.3e} outside [0, served·ε = {served * epsilon:.3e}]"
+        )
+        report.cs_assignment = False
+    return report

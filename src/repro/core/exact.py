@@ -1,0 +1,165 @@
+"""Exact reference solvers used to verify Theorem 1 numerically.
+
+The paper proves the auction optimal; we *check* that claim against
+three independent oracles:
+
+* :func:`solve_hungarian` — scipy's Jonker-Volgenant solver on the
+  Fig. 1(b) assignment expansion (exact for any weights);
+* :func:`solve_lp_relaxation` — the LP relaxation via HiGHS; the
+  constraint matrix is totally unimodular, so the LP optimum equals the
+  ILP optimum and a vertex solution is integral;
+* :func:`solve_min_cost_flow` — networkx network simplex on a flow
+  formulation with integerized costs (exact on integer-weight
+  instances).
+
+These are centralized and polynomial — fine as oracles, useless as P2P
+protocols, which is the paper's point in designing the auction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+from scipy import optimize, sparse
+
+from .assignment import expand_to_assignment
+from .problem import SchedulingProblem
+from .result import ScheduleResult, SolverStats
+
+__all__ = [
+    "LPSolution",
+    "solve_hungarian",
+    "solve_lp_relaxation",
+    "solve_min_cost_flow",
+]
+
+
+def solve_hungarian(problem: SchedulingProblem) -> ScheduleResult:
+    """Exact optimum via linear_sum_assignment on the slot expansion."""
+    expansion = expand_to_assignment(problem)
+    if expansion.weights.size == 0:
+        return ScheduleResult(
+            assignment={r: None for r in range(problem.n_requests)},
+            stats=SolverStats(converged=True),
+        )
+    rows, cols = optimize.linear_sum_assignment(expansion.weights, maximize=True)
+    return expansion.to_result(rows, cols)
+
+
+@dataclass
+class LPSolution:
+    """LP relaxation outcome: optimum value, solution and integrality."""
+
+    value: float
+    x: np.ndarray  # flat edge variables, ordered by (request, candidate)
+    integral: bool
+    result: ScheduleResult
+
+    @property
+    def max_fractionality(self) -> float:
+        """Distance of the most fractional variable from {0, 1}."""
+        if self.x.size == 0:
+            return 0.0
+        return float(np.minimum(self.x, 1.0 - self.x).max())
+
+
+def solve_lp_relaxation(
+    problem: SchedulingProblem, integrality_tol: float = 1e-6
+) -> LPSolution:
+    """Solve the LP relaxation (paper eq. (1) without integrality) with HiGHS.
+
+    Variables are the edges ``a_{u→d}^{(c)} ∈ [0, 1]``; the two
+    constraint families are uploader capacity and one-source-per-request.
+    """
+    edges = []  # (request index, uploader id, value)
+    for r in range(problem.n_requests):
+        for u, value in zip(problem.candidates_of(r), problem.edge_values_of(r)):
+            edges.append((r, int(u), float(value)))
+    n_edges = len(edges)
+    n_requests = problem.n_requests
+    uploaders = problem.uploaders()
+    uploader_row = {u: i for i, u in enumerate(uploaders)}
+
+    if n_edges == 0:
+        empty = ScheduleResult(
+            assignment={r: None for r in range(n_requests)},
+            stats=SolverStats(converged=True),
+        )
+        return LPSolution(value=0.0, x=np.zeros(0), integral=True, result=empty)
+
+    c = -np.array([value for _, __, value in edges])  # linprog minimizes
+    data, row_idx, col_idx = [], [], []
+    for j, (r, u, _) in enumerate(edges):
+        row_idx.append(uploader_row[u])
+        col_idx.append(j)
+        data.append(1.0)
+        row_idx.append(len(uploaders) + r)
+        col_idx.append(j)
+        data.append(1.0)
+    a_ub = sparse.csr_matrix(
+        (data, (row_idx, col_idx)),
+        shape=(len(uploaders) + n_requests, n_edges),
+    )
+    b_ub = np.concatenate(
+        [
+            np.array([problem.capacity_of(u) for u in uploaders], dtype=float),
+            np.ones(n_requests),
+        ]
+    )
+    lp = optimize.linprog(
+        c, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs"
+    )
+    if not lp.success:
+        raise RuntimeError(f"LP relaxation failed: {lp.message}")
+    x = lp.x
+    integral = bool(np.all(np.minimum(x, 1.0 - x) <= integrality_tol))
+
+    assignment: Dict[int, Optional[int]] = {r: None for r in range(n_requests)}
+    for j, (r, u, _) in enumerate(edges):
+        if x[j] > 0.5:
+            assignment[r] = u
+    result = ScheduleResult(assignment=assignment, stats=SolverStats(converged=True))
+    return LPSolution(value=float(-lp.fun), x=x, integral=integral, result=result)
+
+
+def solve_min_cost_flow(
+    problem: SchedulingProblem, scale: float = 10**6
+) -> ScheduleResult:
+    """Exact optimum via network simplex on integerized costs.
+
+    Each request pushes one flow unit either through a candidate edge
+    (cost ``−round(value·scale)``) or through a zero-cost bypass (the
+    outside option).  Edges with non-positive value are pruned: the ILP
+    never gains from them.  Exact when ``value·scale`` is integral;
+    otherwise accurate to ``1/scale`` per edge.
+    """
+    graph = nx.DiGraph()
+    n_requests = problem.n_requests
+    source, sink = "S", "T"
+    graph.add_node(source, demand=-n_requests)
+    graph.add_node(sink, demand=n_requests)
+    for r in range(n_requests):
+        rnode = ("r", r)
+        graph.add_edge(source, rnode, capacity=1, weight=0)
+        graph.add_edge(rnode, sink, capacity=1, weight=0)  # bypass: stay unserved
+        for u, value in zip(problem.candidates_of(r), problem.edge_values_of(r)):
+            if value <= 0:
+                continue
+            graph.add_edge(
+                rnode, ("u", int(u)), capacity=1, weight=-int(round(value * scale))
+            )
+    for u in problem.uploaders():
+        unode = ("u", u)
+        if unode in graph:
+            graph.add_edge(unode, sink, capacity=problem.capacity_of(u), weight=0)
+
+    _, flow = nx.network_simplex(graph)
+    assignment: Dict[int, Optional[int]] = {r: None for r in range(n_requests)}
+    for r in range(n_requests):
+        for dst, units in flow.get(("r", r), {}).items():
+            if units > 0 and isinstance(dst, tuple) and dst[0] == "u":
+                assignment[r] = dst[1]
+    return ScheduleResult(assignment=assignment, stats=SolverStats(converged=True))

@@ -1,0 +1,347 @@
+"""The per-slot chunk scheduling problem (Section III).
+
+A :class:`SchedulingProblem` is one time slot's social-welfare ILP:
+
+* a set of *requests* ``(I_d, c)`` — peer ``d`` wants chunk ``c`` and
+  values it ``v^{(c)}(d)``;
+* for each request, the *candidate* upstream peers that cache ``c``
+  (``∪_n N_n^{(c)}(d)``) with the network cost ``w_{u→d}`` on each edge;
+* per-uploader capacities ``B(u)`` (chunks per slot).
+
+The edge weight is the net utility ``v^{(c)}(d) − w_{u→d}``.  Solvers
+(:mod:`repro.core.auction`, :mod:`repro.core.exact`,
+:mod:`repro.core.baselines`) consume this object; they may not modify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ChunkRequest", "DenseView", "SchedulingProblem"]
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """One download request ``(I_d, c)`` with the requester's valuation."""
+
+    peer: int
+    chunk: Hashable
+    valuation: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.valuation):
+            raise ValueError(f"valuation must be finite, got {self.valuation!r}")
+
+    @property
+    def key(self) -> Tuple[int, Hashable]:
+        """The request identity (I_d, c)."""
+        return (self.peer, self.chunk)
+
+
+@dataclass(frozen=True)
+class DenseView:
+    """Padded numpy view of a problem for vectorized solvers.
+
+    Attributes
+    ----------
+    values:
+        ``(R, K)`` array of edge net utilities ``v − w``; ``-inf`` padding.
+    uploader_index:
+        ``(R, K)`` array of uploader *indices* (into :attr:`uploaders`);
+        ``-1`` padding.
+    uploaders:
+        Uploader peer ids, position = index used above.
+    capacity:
+        ``(U,)`` int array of ``B(u)`` aligned with :attr:`uploaders`.
+    """
+
+    values: np.ndarray
+    uploader_index: np.ndarray
+    uploaders: np.ndarray
+    capacity: np.ndarray
+
+    @property
+    def n_requests(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def max_candidates(self) -> int:
+        return self.values.shape[1]
+
+
+class SchedulingProblem:
+    """Immutable-after-build description of one slot's assignment problem.
+
+    Build with :meth:`add_request` / :meth:`set_capacity`, then hand to a
+    scheduler.  Request order is preserved and indexes results.
+
+    Example
+    -------
+    >>> p = SchedulingProblem()
+    >>> p.set_capacity(10, 1)
+    >>> _ = p.add_request(peer=1, chunk="c0", valuation=5.0, candidates={10: 1.0})
+    >>> p.n_requests, p.total_capacity()
+    (1, 1)
+    """
+
+    def __init__(self) -> None:
+        self._requests: List[ChunkRequest] = []
+        self._request_keys: set = set()
+        self._candidates: List[np.ndarray] = []  # uploader peer ids per request
+        self._costs: List[np.ndarray] = []  # w_{u→d} aligned with candidates
+        self._capacity: Dict[int, int] = {}
+        self._dense: Optional[DenseView] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def set_capacity(self, peer: int, capacity: int) -> None:
+        """Declare upload capacity ``B(peer)`` in chunks per slot."""
+        if capacity < 0 or int(capacity) != capacity:
+            raise ValueError(f"capacity must be a non-negative int, got {capacity!r}")
+        self._capacity[peer] = int(capacity)
+        self._dense = None
+
+    def add_request(
+        self,
+        peer: int,
+        chunk: Hashable,
+        valuation: float,
+        candidates: Dict[int, float],
+    ) -> int:
+        """Add request ``(peer, chunk)``; returns its index.
+
+        ``candidates`` maps uploader peer id → network cost ``w_{u→d}``.
+        Uploaders must have had capacity declared; the requester itself
+        cannot be a candidate.  A request with no candidates is legal (it
+        simply can never be served).
+        """
+        request = ChunkRequest(peer=peer, chunk=chunk, valuation=float(valuation))
+        if request.key in self._request_keys:
+            raise ValueError(f"duplicate request {request.key!r}")
+        for uploader, cost in candidates.items():
+            if uploader == peer:
+                raise ValueError(f"peer {peer!r} cannot upload to itself")
+            if uploader not in self._capacity:
+                raise ValueError(
+                    f"candidate uploader {uploader!r} has no declared capacity"
+                )
+            if not np.isfinite(cost) or cost < 0:
+                raise ValueError(f"cost must be finite and >= 0, got {cost!r}")
+        self._request_keys.add(request.key)
+        self._requests.append(request)
+        uploaders = np.fromiter(candidates.keys(), dtype=np.int64, count=len(candidates))
+        costs = np.fromiter(candidates.values(), dtype=float, count=len(candidates))
+        self._candidates.append(uploaders)
+        self._costs.append(costs)
+        self._dense = None
+        return len(self._requests) - 1
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self._requests)
+
+    @property
+    def requests(self) -> Sequence[ChunkRequest]:
+        return tuple(self._requests)
+
+    def request(self, index: int) -> ChunkRequest:
+        return self._requests[index]
+
+    def candidates_of(self, index: int) -> np.ndarray:
+        """Uploader peer ids that can serve request ``index``."""
+        return self._candidates[index]
+
+    def costs_of(self, index: int) -> np.ndarray:
+        """Edge costs ``w_{u→d}`` aligned with :meth:`candidates_of`."""
+        return self._costs[index]
+
+    def edge_values_of(self, index: int) -> np.ndarray:
+        """Net utilities ``v − w`` aligned with :meth:`candidates_of`."""
+        return self._requests[index].valuation - self._costs[index]
+
+    def capacity_of(self, peer: int) -> int:
+        """``B(peer)``; raises ``KeyError`` for unknown uploaders."""
+        return self._capacity[peer]
+
+    def uploaders(self) -> List[int]:
+        """All peers with declared capacity, in declaration order."""
+        return list(self._capacity)
+
+    def total_capacity(self) -> int:
+        """Σ_u B(u)."""
+        return sum(self._capacity.values())
+
+    def n_edges(self) -> int:
+        """Total number of candidate edges."""
+        return sum(len(c) for c in self._candidates)
+
+    def cost_of_edge(self, index: int, uploader: int) -> float:
+        """Cost ``w_{u→d}`` of a specific edge; raises if absent."""
+        cands = self._candidates[index]
+        pos = np.nonzero(cands == uploader)[0]
+        if len(pos) == 0:
+            raise KeyError(
+                f"uploader {uploader!r} is not a candidate of request {index!r}"
+            )
+        return float(self._costs[index][pos[0]])
+
+    def edge_value(self, index: int, uploader: int) -> float:
+        """Net utility ``v − w`` of a specific edge."""
+        return self._requests[index].valuation - self.cost_of_edge(index, uploader)
+
+    # ------------------------------------------------------------------
+    # Dense view for vectorized solvers
+    # ------------------------------------------------------------------
+    def dense(self) -> DenseView:
+        """Padded arrays over a stable uploader index; cached."""
+        if self._dense is not None:
+            return self._dense
+        uploaders = np.fromiter(self._capacity.keys(), dtype=np.int64)
+        index_of = {int(u): i for i, u in enumerate(uploaders)}
+        capacity = np.fromiter(self._capacity.values(), dtype=np.int64)
+        n = len(self._requests)
+        k = max((len(c) for c in self._candidates), default=0)
+        values = np.full((n, max(k, 1)), -np.inf, dtype=float)
+        uploader_index = np.full((n, max(k, 1)), -1, dtype=np.int64)
+        for r, (cands, costs) in enumerate(zip(self._candidates, self._costs)):
+            m = len(cands)
+            if m == 0:
+                continue
+            values[r, :m] = self._requests[r].valuation - costs
+            uploader_index[r, :m] = [index_of[int(u)] for u in cands]
+        self._dense = DenseView(
+            values=values,
+            uploader_index=uploader_index,
+            uploaders=uploaders,
+            capacity=capacity,
+        )
+        return self._dense
+
+    # ------------------------------------------------------------------
+    # Welfare
+    # ------------------------------------------------------------------
+    def welfare(self, assignment: Dict[int, Optional[int]]) -> float:
+        """Social welfare Σ (v − w) of an assignment {request index → uploader}."""
+        total = 0.0
+        for index, uploader in assignment.items():
+            if uploader is None:
+                continue
+            total += self.edge_value(index, uploader)
+        return total
+
+    def max_edge_value(self) -> float:
+        """Largest ``v − w`` over all edges (0 if there are no edges)."""
+        best = 0.0
+        for index in range(self.n_requests):
+            vals = self.edge_values_of(index)
+            if len(vals):
+                best = max(best, float(vals.max()))
+        return best
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"SchedulingProblem(requests={self.n_requests}, "
+            f"uploaders={len(self._capacity)}, edges={self.n_edges()}, "
+            f"capacity={self.total_capacity()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived problems
+    # ------------------------------------------------------------------
+    def restricted(
+        self, keep: "Callable[[int], bool]"
+    ) -> Tuple["SchedulingProblem", Dict[int, int]]:
+        """Copy containing only the requests with ``keep(index)`` true.
+
+        Capacities are copied unchanged.  Returns the sub-problem and a
+        map new-index → original-index.  Used by the VCG extension
+        (welfare without one peer's requests) and by scenario tooling.
+        """
+        sub = SchedulingProblem()
+        for uploader, capacity in self._capacity.items():
+            sub.set_capacity(uploader, capacity)
+        index_map: Dict[int, int] = {}
+        for index in range(self.n_requests):
+            if not keep(index):
+                continue
+            request = self._requests[index]
+            candidates = {
+                int(u): float(c)
+                for u, c in zip(self._candidates[index], self._costs[index])
+            }
+            new_index = sub.add_request(
+                request.peer, request.chunk, request.valuation, candidates
+            )
+            index_map[new_index] = index
+        return sub, index_map
+
+    def without_peer(self, peer: int) -> Tuple["SchedulingProblem", Dict[int, int]]:
+        """Copy with every request of ``peer`` removed (capacities intact)."""
+        return self.restricted(lambda r: self._requests[r].peer != peer)
+
+    def reweighted(
+        self, valuation_of: "Callable[[int], float]"
+    ) -> "SchedulingProblem":
+        """Copy with per-request valuations replaced (same edges/capacities).
+
+        ``valuation_of(index)`` returns the (possibly misreported)
+        valuation for the request at ``index`` — the strategic-bidding
+        tooling uses this to model manipulation.
+        """
+        sub = SchedulingProblem()
+        for uploader, capacity in self._capacity.items():
+            sub.set_capacity(uploader, capacity)
+        for index in range(self.n_requests):
+            request = self._requests[index]
+            candidates = {
+                int(u): float(c)
+                for u, c in zip(self._candidates[index], self._costs[index])
+            }
+            sub.add_request(
+                request.peer, request.chunk, float(valuation_of(index)), candidates
+            )
+        return sub
+
+
+def random_problem(
+    rng: np.random.Generator,
+    n_requests: int = 50,
+    n_uploaders: int = 10,
+    max_candidates: int = 5,
+    capacity_range: Tuple[int, int] = (1, 4),
+    valuation_range: Tuple[float, float] = (0.8, 8.0),
+    cost_range: Tuple[float, float] = (0.0, 10.0),
+    integer_weights: bool = False,
+) -> SchedulingProblem:
+    """Generate a random problem instance (testing/benchmark helper).
+
+    ``integer_weights`` draws integer valuations/costs, which makes the
+    auction with ε < 1/n exactly optimal — handy for theorem tests.
+    """
+    if n_uploaders < 1:
+        raise ValueError("need at least one uploader")
+    problem = SchedulingProblem()
+    uploader_ids = [10_000 + i for i in range(n_uploaders)]
+    for u in uploader_ids:
+        problem.set_capacity(u, int(rng.integers(capacity_range[0], capacity_range[1] + 1)))
+    for r in range(n_requests):
+        peer = r  # requester ids disjoint from uploader ids
+        k = int(rng.integers(1, max_candidates + 1))
+        chosen = rng.choice(n_uploaders, size=min(k, n_uploaders), replace=False)
+        if integer_weights:
+            valuation = float(rng.integers(int(valuation_range[0]), int(valuation_range[1]) + 1))
+            costs = rng.integers(int(cost_range[0]), int(cost_range[1]) + 1, size=len(chosen))
+        else:
+            valuation = float(rng.uniform(*valuation_range))
+            costs = rng.uniform(*cost_range, size=len(chosen))
+        candidates = {uploader_ids[int(j)]: float(c) for j, c in zip(chosen, costs)}
+        problem.add_request(peer=peer, chunk=f"chunk-{r}", valuation=valuation, candidates=candidates)
+    return problem

@@ -1,0 +1,131 @@
+"""Schedule results: assignments, prices, and feasibility checks.
+
+Every scheduler returns a :class:`ScheduleResult`.  For the auction it
+also carries the dual solution (bandwidth prices ``λ_u`` and request
+utilities ``η_d^{(c)}``) so Theorem 1's optimality certificates can be
+checked (:mod:`repro.core.duality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from .problem import SchedulingProblem
+
+__all__ = ["ScheduleResult", "SolverStats"]
+
+
+@dataclass
+class SolverStats:
+    """Work counters a solver reports for benchmarking and diagnostics."""
+
+    rounds: int = 0
+    bids_submitted: int = 0
+    bids_rejected: int = 0
+    evictions: int = 0
+    price_updates: int = 0
+    converged: bool = True
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Combine counters from a sub-run (e.g., ε-scaling phases)."""
+        return SolverStats(
+            rounds=self.rounds + other.rounds,
+            bids_submitted=self.bids_submitted + other.bids_submitted,
+            bids_rejected=self.bids_rejected + other.bids_rejected,
+            evictions=self.evictions + other.evictions,
+            price_updates=self.price_updates + other.price_updates,
+            converged=self.converged and other.converged,
+        )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one slot.
+
+    Attributes
+    ----------
+    assignment:
+        request index → uploader peer id (or ``None`` when unserved).
+    prices:
+        Dual variables ``λ_u`` per uploader (zero for non-auction solvers).
+    etas:
+        Dual variables ``η_d^{(c)}`` per request index (auction only).
+    stats:
+        Work counters.
+    """
+
+    assignment: Dict[int, Optional[int]]
+    prices: Dict[int, float] = field(default_factory=dict)
+    etas: Dict[int, float] = field(default_factory=dict)
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def welfare(self, problem: SchedulingProblem) -> float:
+        """Social welfare Σ (v − w) over served requests."""
+        return problem.welfare(self.assignment)
+
+    def n_served(self) -> int:
+        """Number of requests that received bandwidth."""
+        return sum(1 for u in self.assignment.values() if u is not None)
+
+    def n_unserved(self) -> int:
+        return len(self.assignment) - self.n_served()
+
+    def served_edges(
+        self, problem: SchedulingProblem
+    ) -> Iterator[Tuple[int, int, Hashable, int, float]]:
+        """Yield ``(request_index, downstream, chunk, uploader, net_utility)``."""
+        for index, uploader in self.assignment.items():
+            if uploader is None:
+                continue
+            request = problem.request(index)
+            yield (
+                index,
+                request.peer,
+                request.chunk,
+                uploader,
+                problem.edge_value(index, uploader),
+            )
+
+    def uploader_loads(self) -> Dict[int, int]:
+        """Chunks assigned per uploader."""
+        loads: Dict[int, int] = {}
+        for uploader in self.assignment.values():
+            if uploader is not None:
+                loads[uploader] = loads.get(uploader, 0) + 1
+        return loads
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_feasible(self, problem: SchedulingProblem) -> None:
+        """Raise ``AssertionError`` if the assignment violates the ILP constraints."""
+        if set(self.assignment) != set(range(problem.n_requests)):
+            raise AssertionError(
+                "assignment must cover every request index exactly once"
+            )
+        for index, uploader in self.assignment.items():
+            if uploader is None:
+                continue
+            candidates = problem.candidates_of(index)
+            if uploader not in candidates:
+                raise AssertionError(
+                    f"request {index} assigned to non-candidate {uploader}"
+                )
+        for uploader, load in self.uploader_loads().items():
+            cap = problem.capacity_of(uploader)
+            if load > cap:
+                raise AssertionError(
+                    f"uploader {uploader} over capacity: {load} > {cap}"
+                )
+
+    def summary(self, problem: SchedulingProblem) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"welfare={self.welfare(problem):.3f} served={self.n_served()}"
+            f"/{len(self.assignment)} rounds={self.stats.rounds}"
+            f" converged={self.stats.converged}"
+        )

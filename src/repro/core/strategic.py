@@ -1,0 +1,101 @@
+"""Strategic bidding study: what a selfish peer gains by misreporting.
+
+The paper's auction takes reported valuations at face value and charges
+no money: a winner's utility is simply ``v − w``.  A selfish peer can
+therefore inflate its reports to grab bandwidth it values less than the
+displaced peers do — the manipulation the paper's conclusion flags as
+open work.  :func:`manipulation_study` quantifies it:
+
+* under the **auction** mechanism (no payments), the cheater's true
+  utility is non-decreasing in its misreport factor while social welfare
+  falls;
+* under the **VCG** layer (:mod:`repro.core.vcg`), the cheater pays its
+  externality, and misreporting never beats truth-telling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .exact import solve_hungarian
+from .problem import SchedulingProblem
+from .result import ScheduleResult
+from .vcg import vcg_payments
+
+__all__ = ["ManipulationRow", "manipulation_study", "true_utility_of_peer"]
+
+
+def true_utility_of_peer(
+    problem: SchedulingProblem, result: ScheduleResult, peer: int
+) -> float:
+    """Σ (true v − w) over the chunks ``peer`` actually receives.
+
+    ``problem`` must carry the *true* valuations; ``result`` may come
+    from a run on misreported ones (same request order — guaranteed by
+    :meth:`SchedulingProblem.reweighted`).
+    """
+    total = 0.0
+    for index, uploader in result.assignment.items():
+        if uploader is None:
+            continue
+        request = problem.request(index)
+        if request.peer == peer:
+            total += problem.edge_value(index, uploader)
+    return total
+
+
+@dataclass(frozen=True)
+class ManipulationRow:
+    """Outcome of one misreport factor for the strategic peer."""
+
+    factor: float
+    auction_true_utility: float  # cheater's true utility, no payments
+    auction_welfare: float  # true social welfare under the manipulated run
+    vcg_net_utility: float  # cheater's quasilinear utility under VCG
+    chunks_won: int
+
+
+def manipulation_study(
+    problem: SchedulingProblem,
+    peer: int,
+    factors: List[float],
+    solver: Optional[Callable[[SchedulingProblem], ScheduleResult]] = None,
+) -> List[ManipulationRow]:
+    """Sweep misreport factors for ``peer`` and measure both mechanisms.
+
+    ``factors`` scale the peer's reported valuations (1.0 = truthful).
+    The solver (default: exact Hungarian, the welfare maximizer both
+    mechanisms assume) runs on the *reported* problem; utilities and
+    welfare are then evaluated with the *true* valuations.
+    """
+    solve = solver or solve_hungarian
+    rows: List[ManipulationRow] = []
+    for factor in factors:
+        reported = problem.reweighted(
+            lambda index: problem.request(index).valuation
+            * (factor if problem.request(index).peer == peer else 1.0)
+        )
+        result = solve(reported)
+
+        cheater_utility = true_utility_of_peer(problem, result, peer)
+        true_welfare = problem.welfare(result.assignment)
+        chunks = sum(
+            1
+            for index, uploader in result.assignment.items()
+            if uploader is not None and problem.request(index).peer == peer
+        )
+
+        vcg = vcg_payments(reported, solver=solve, base_result=result)
+        vcg_net = cheater_utility - vcg.payment_of(peer)
+
+        rows.append(
+            ManipulationRow(
+                factor=factor,
+                auction_true_utility=cheater_utility,
+                auction_welfare=true_welfare,
+                vcg_net_utility=vcg_net,
+                chunks_won=chunks,
+            )
+        )
+    return rows

@@ -1,0 +1,45 @@
+"""Experiment harness reproducing every figure of the paper's evaluation."""
+
+from .configs import FIGURES, FigureConfig, figure_config
+from .figures import (
+    FigureResult,
+    fig2_price_convergence,
+    fig3_social_welfare,
+    fig4_inter_isp_traffic,
+    fig5_miss_rate,
+    fig6_peer_dynamics,
+    run_figure,
+)
+from .runner import PriceTraceResult, run_comparison, run_price_trace
+from .sweep import (
+    EpsilonSweepRow,
+    SolverRow,
+    epsilon_sweep,
+    render_epsilon_sweep,
+    render_solver_comparison,
+    scheduler_shootout,
+    solver_comparison,
+)
+
+__all__ = [
+    "FIGURES",
+    "EpsilonSweepRow",
+    "FigureConfig",
+    "FigureResult",
+    "PriceTraceResult",
+    "SolverRow",
+    "epsilon_sweep",
+    "fig2_price_convergence",
+    "fig3_social_welfare",
+    "fig4_inter_isp_traffic",
+    "fig5_miss_rate",
+    "fig6_peer_dynamics",
+    "figure_config",
+    "render_epsilon_sweep",
+    "render_solver_comparison",
+    "run_comparison",
+    "run_figure",
+    "run_price_trace",
+    "scheduler_shootout",
+    "solver_comparison",
+]

@@ -1,0 +1,160 @@
+"""Experiment configurations for every figure in the paper.
+
+Each figure gets a :class:`FigureConfig` naming the workload, scale,
+duration and the schedulers compared.  ``scale="bench"`` (default) is
+the laptop-sized configuration documented in DESIGN.md §3; pass
+``scale="paper"`` for the full Section V setting (500 peers, 100 videos,
+100-chunk windows — minutes per figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..p2p.config import SystemConfig
+
+__all__ = ["FigureConfig", "figure_config", "FIGURES"]
+
+
+@dataclass(frozen=True)
+class FigureConfig:
+    """One reproducible experiment matching one paper figure."""
+
+    figure: str
+    description: str
+    system: SystemConfig
+    schedulers: Tuple[str, ...]
+    n_static_peers: int  # 0 ⇒ the network starts empty (churn builds it)
+    duration_seconds: float
+    churn: bool
+    warmup_seconds: float = 0.0  # discarded from reported series
+    stagger: bool = True  # False = synchronized audience (see populate_static)
+
+
+def _base_system(scale: str, seed: int, **overrides) -> SystemConfig:
+    if scale == "paper":
+        return SystemConfig.paper(seed=seed, **{"bid_rounds_per_slot": 4, **overrides})
+    if scale == "bench":
+        return SystemConfig.bench(seed=seed, **overrides)
+    if scale == "tiny":
+        return SystemConfig.tiny(seed=seed, **{"bid_rounds_per_slot": 2, **overrides})
+    raise ValueError(f"unknown scale {scale!r} (use 'paper', 'bench' or 'tiny')")
+
+
+def figure_config(figure: str, scale: str = "bench", seed: int = 0) -> FigureConfig:
+    """Build the configuration for ``figure`` ∈ {fig2..fig6} at ``scale``."""
+    big = scale == "paper"
+    static_peers = 500 if big else (300 if scale == "bench" else 30)
+    duration = 250.0 if big else (150.0 if scale == "bench" else 60.0)
+
+    if figure == "fig2":
+        # Price evolution of a representative peer: static network,
+        # message-level distributed auction; the paper plots the 150 s –
+        # 250 s window of a 500-peer run.  Prices only move where demand
+        # exceeds supply at some auctioneers (the paper's λ reaches ~20,
+        # so its market was heavily contended); the fig2 workload
+        # therefore concentrates demand on few videos and tightens
+        # upload capacity.
+        return FigureConfig(
+            figure="fig2",
+            description="Evolution of the bandwidth price λ_u at a representative peer",
+            system=_base_system(
+                scale,
+                seed,
+                bid_rounds_per_slot=1,
+                n_videos=4 if not big else 20,
+                peer_upload_min_multiple=0.5,
+                peer_upload_max_multiple=1.5,
+                seed_upload_multiple=2.0,
+            ),
+            schedulers=("auction",),
+            n_static_peers=250 if scale == "bench" else (500 if big else 20),
+            duration_seconds=50.0 if not big else 100.0,
+            churn=False,
+            warmup_seconds=20.0 if not big else 150.0,
+        )
+    if figure == "fig3":
+        # Social welfare per slot under dynamic arrivals (no early exit).
+        return FigureConfig(
+            figure="fig3",
+            description="Social welfare per slot, dynamic arrivals (Poisson), stay-to-end",
+            system=_base_system(
+                scale, seed, arrival_rate_per_s=1.0 if big else 2.0
+            ),
+            schedulers=("auction", "locality"),
+            n_static_peers=0,
+            duration_seconds=duration,
+            churn=True,
+        )
+    # Static figures use a synchronized audience so the network does not
+    # drain mid-run (paper videos outlast the 250 s horizon; bench videos
+    # are 100 s, so staggered peers would finish and the per-slot series
+    # would collapse into noise).
+    static_duration = 240.0 if big else (80.0 if scale == "bench" else 30.0)
+    if figure == "fig4":
+        return FigureConfig(
+            figure="fig4",
+            description="% inter-ISP traffic per slot, static network",
+            system=_base_system(scale, seed),
+            schedulers=("auction", "locality"),
+            n_static_peers=static_peers,
+            duration_seconds=static_duration,
+            churn=False,
+            warmup_seconds=10.0,
+            stagger=False,
+        )
+    if figure == "fig5":
+        # Misses need genuine bandwidth contention (with slack supply
+        # neither protocol ever drops a chunk and the figure is a flat
+        # zero).  Moderately tightened upload multiples land both curves
+        # at the paper's magnitudes: auction ≈ 1–5 %, locality ≈ 2× that.
+        return FigureConfig(
+            figure="fig5",
+            description="Average chunk miss rate per slot, static network",
+            system=_base_system(
+                scale,
+                seed,
+                peer_upload_min_multiple=0.8,
+                peer_upload_max_multiple=2.0,
+                seed_upload_multiple=3.0,
+            ),
+            schedulers=("auction", "locality"),
+            n_static_peers=static_peers,
+            duration_seconds=static_duration,
+            churn=False,
+            warmup_seconds=10.0,
+            stagger=False,
+        )
+    if figure == "fig6":
+        # All three metrics under churn with early departures (p = 0.6).
+        # The same mildly tightened supply as fig5 keeps the miss panel
+        # non-degenerate.
+        return FigureConfig(
+            figure="fig6",
+            description="Welfare, inter-ISP traffic and miss rate under peer dynamics",
+            system=_base_system(
+                scale,
+                seed,
+                arrival_rate_per_s=1.0 if big else 2.0,
+                early_departure_prob=0.6,
+                peer_upload_min_multiple=0.8,
+                peer_upload_max_multiple=2.0,
+                seed_upload_multiple=3.0,
+            ),
+            schedulers=("auction", "locality"),
+            n_static_peers=0,
+            duration_seconds=duration,
+            churn=True,
+        )
+    raise ValueError(f"unknown figure {figure!r}")
+
+
+#: All reproducible figures with their paper captions.
+FIGURES: Dict[str, str] = {
+    "fig2": "The evolution of a peer's price λ_u",
+    "fig3": "Comparison of social welfare",
+    "fig4": "Comparison of inter-ISP traffic",
+    "fig5": "Comparison of the chunk miss rate",
+    "fig6": "Comparison under peer dynamics (welfare, inter-ISP traffic, miss rate)",
+}

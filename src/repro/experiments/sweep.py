@@ -1,0 +1,178 @@
+"""Parameter sweeps and ablations beyond the paper's figures.
+
+These quantify the design choices DESIGN.md calls out:
+
+* ε sensitivity of the auction (A1): optimality gap and work vs ε;
+* solver shoot-out (A2): auction vs Hungarian vs LP vs min-cost flow;
+* bidding mode (A3): Gauss-Seidel vs vectorized Jacobi;
+* scheduler shoot-out on the full system (A4), including the retry
+  variant of the locality baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.auction import AuctionSolver
+from ..core.epsilon_scaling import ScaledAuctionSolver
+from ..core.exact import solve_hungarian, solve_lp_relaxation, solve_min_cost_flow
+from ..core.problem import SchedulingProblem, random_problem
+from ..metrics.report import render_table
+from ..p2p.config import SystemConfig
+from ..p2p.system import P2PSystem
+
+__all__ = [
+    "EpsilonSweepRow",
+    "SolverRow",
+    "epsilon_sweep",
+    "scheduler_shootout",
+    "solver_comparison",
+]
+
+
+@dataclass(frozen=True)
+class EpsilonSweepRow:
+    """One ε setting's outcome on a fixed instance."""
+
+    epsilon: float
+    welfare: float
+    optimality: float  # welfare / hungarian optimum
+    bids: int
+    rounds: int
+    seconds: float
+
+
+def epsilon_sweep(
+    epsilons: List[float],
+    rng: Optional[np.random.Generator] = None,
+    n_requests: int = 400,
+    n_uploaders: int = 40,
+    max_candidates: int = 8,
+    mode: str = "jacobi",
+) -> List[EpsilonSweepRow]:
+    """Ablation A1: the work/optimality trade-off of the bidding increment."""
+    rng = rng or np.random.default_rng(0)
+    problem = random_problem(
+        rng,
+        n_requests=n_requests,
+        n_uploaders=n_uploaders,
+        max_candidates=max_candidates,
+    )
+    optimum = solve_hungarian(problem).welfare(problem)
+    rows = []
+    for epsilon in epsilons:
+        start = time.perf_counter()
+        result = AuctionSolver(epsilon=epsilon, mode=mode).solve(problem)
+        elapsed = time.perf_counter() - start
+        welfare = result.welfare(problem)
+        rows.append(
+            EpsilonSweepRow(
+                epsilon=epsilon,
+                welfare=welfare,
+                optimality=welfare / optimum if optimum else 1.0,
+                bids=result.stats.bids_submitted,
+                rounds=result.stats.rounds,
+                seconds=elapsed,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SolverRow:
+    """One solver's outcome on a fixed instance."""
+
+    solver: str
+    welfare: float
+    served: int
+    seconds: float
+
+
+def solver_comparison(
+    rng: Optional[np.random.Generator] = None,
+    n_requests: int = 400,
+    n_uploaders: int = 40,
+    max_candidates: int = 8,
+    epsilon: float = 0.01,
+) -> List[SolverRow]:
+    """Ablation A2: auction and scaled auction vs the exact oracles."""
+    rng = rng or np.random.default_rng(1)
+    problem = random_problem(
+        rng,
+        n_requests=n_requests,
+        n_uploaders=n_uploaders,
+        max_candidates=max_candidates,
+    )
+
+    def timed(name: str, solve: Callable[[], object]) -> SolverRow:
+        start = time.perf_counter()
+        result = solve()
+        elapsed = time.perf_counter() - start
+        return SolverRow(
+            solver=name,
+            welfare=result.welfare(problem),
+            served=result.n_served(),
+            seconds=elapsed,
+        )
+
+    return [
+        timed("auction-gs", lambda: AuctionSolver(epsilon, mode="gauss-seidel").solve(problem)),
+        timed("auction-jacobi", lambda: AuctionSolver(epsilon, mode="jacobi").solve(problem)),
+        timed("auction-scaled", lambda: ScaledAuctionSolver(epsilon_final=epsilon).solve(problem)),
+        timed("hungarian", lambda: solve_hungarian(problem)),
+        timed("lp", lambda: solve_lp_relaxation(problem).result),
+        timed("min-cost-flow", lambda: solve_min_cost_flow(problem)),
+    ]
+
+
+def scheduler_shootout(
+    schedulers: tuple = ("auction", "locality", "locality-retry", "agnostic", "greedy", "random"),
+    seed: int = 0,
+    n_peers: int = 150,
+    duration_seconds: float = 100.0,
+) -> Dict[str, Dict[str, float]]:
+    """Ablation A4: whole-system metrics per scheduler on one workload.
+
+    Besides the collector totals, each row carries ``download_fairness``
+    (Jain's index over non-seed peers' downloaded-chunk counts) and
+    ``traffic_localization`` (diagonal share of the ISP traffic matrix).
+    """
+    from ..metrics.fairness import jain_index
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name in schedulers:
+        config = SystemConfig.bench(seed=seed, scheduler=name)
+        system = P2PSystem(config)
+        system.populate_static(n_peers)
+        collector = system.run(duration_seconds)
+        totals = collector.totals()
+        downloads = [
+            p.chunks_downloaded for p in system.peers.values() if not p.is_seed
+        ]
+        totals["download_fairness"] = jain_index(downloads)
+        totals["traffic_localization"] = system.traffic_matrix.localization_index()
+        out[name] = totals
+    return out
+
+
+def render_epsilon_sweep(rows: List[EpsilonSweepRow]) -> str:
+    """Text table for the ε ablation."""
+    return render_table(
+        ["epsilon", "welfare", "optimality", "bids", "rounds", "seconds"],
+        [
+            [r.epsilon, r.welfare, r.optimality, r.bids, r.rounds, r.seconds]
+            for r in rows
+        ],
+    )
+
+
+def render_solver_comparison(rows: List[SolverRow]) -> str:
+    """Text table for the solver ablation."""
+    return render_table(
+        ["solver", "welfare", "served", "seconds"],
+        [[r.solver, r.welfare, r.served, r.seconds] for r in rows],
+    )

@@ -1,0 +1,21 @@
+"""Metric collectors, time series and text reporting."""
+
+from .collectors import MetricsCollector, SlotMetrics
+from .fairness import jain_index, per_isp_welfare, per_peer_utilities
+from .report import comparison_table, render_table, series_block, sparkline
+from .timeseries import TimeSeries
+from .traffic_matrix import TrafficMatrix
+
+__all__ = [
+    "MetricsCollector",
+    "SlotMetrics",
+    "TimeSeries",
+    "TrafficMatrix",
+    "comparison_table",
+    "jain_index",
+    "per_isp_welfare",
+    "per_peer_utilities",
+    "render_table",
+    "series_block",
+    "sparkline",
+]

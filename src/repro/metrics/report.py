@@ -1,0 +1,96 @@
+"""Text rendering of experiment results: tables and ASCII sparkline plots.
+
+The benchmark harness prints the same series the paper's figures plot;
+these helpers keep that output compact and diff-friendly so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .timeseries import TimeSeries
+
+__all__ = ["comparison_table", "render_table", "sparkline", "series_block"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Compress ``values`` into a fixed-width unicode sparkline."""
+    values = list(values)
+    if not values:
+        return ""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else arr[min(a, len(arr) - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * len(arr)
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def series_block(series: TimeSeries, label: Optional[str] = None) -> str:
+    """One labelled line: sparkline + mean/min/max summary."""
+    values = series.values
+    name = label or series.name
+    if len(values) == 0:
+        return f"{name:<28s} (empty)"
+    return (
+        f"{name:<28s} {sparkline(values)}  "
+        f"mean={values.mean():.4g} min={values.min():.4g} max={values.max():.4g}"
+    )
+
+
+def comparison_table(
+    series_by_scheduler: Dict[str, TimeSeries],
+    value_name: str,
+    tail_fraction: float = 0.5,
+) -> str:
+    """Side-by-side comparison of one metric across schedulers.
+
+    Mirrors how the paper's figures overlay "Auction Algorithm" and
+    "Simple Locality" curves; the steady-state column averages the
+    trailing half of each run.
+    """
+    rows: List[List[object]] = []
+    for name, series in series_by_scheduler.items():
+        values = series.values
+        rows.append(
+            [
+                name,
+                float(values.mean()) if len(values) else float("nan"),
+                series.tail_mean(tail_fraction),
+                float(values.min()) if len(values) else float("nan"),
+                float(values.max()) if len(values) else float("nan"),
+                sparkline(values, width=24),
+            ]
+        )
+    return render_table(
+        [value_name, "mean", f"tail{int(tail_fraction*100)}%", "min", "max", "trend"],
+        rows,
+    )

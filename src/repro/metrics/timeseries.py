@@ -1,0 +1,89 @@
+"""Simple time-series container for per-slot metrics."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers.
+
+    Example
+    -------
+    >>> s = TimeSeries("welfare")
+    >>> s.append(0.0, 1.0); s.append(10.0, 3.0)
+    >>> s.mean()
+    2.0
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time!r} < {self._times[-1]!r}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.array(self._values, dtype=float)
+
+    def pairs(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the values (nan for an empty series)."""
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def last(self) -> float:
+        if not self._values:
+            raise IndexError(f"series {self.name!r} is empty")
+        return self._values[-1]
+
+    def tail_mean(self, fraction: float = 0.5) -> float:
+        """Mean over the trailing ``fraction`` of the series (steady state)."""
+        if not self._values:
+            return float("nan")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        start = int(len(self._values) * (1.0 - fraction))
+        return float(np.mean(self._values[start:]))
+
+    def smoothed(self, window: int = 3) -> "TimeSeries":
+        """Centered moving average (edges use shorter windows)."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        out = TimeSeries(f"{self.name}(smoothed)")
+        half = window // 2
+        values = self._values
+        for i, t in enumerate(self._times):
+            lo = max(0, i - half)
+            hi = min(len(values), i + half + 1)
+            out.append(t, float(np.mean(values[lo:hi])))
+        return out
+
+    def slope(self) -> float:
+        """Least-squares slope of value over time (trend direction)."""
+        if len(self._times) < 2:
+            return 0.0
+        return float(np.polyfit(self._times, self._values, 1)[0])

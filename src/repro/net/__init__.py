@@ -1,0 +1,16 @@
+"""Network substrate: ISP membership, pairwise costs, overlay topology."""
+
+from .costs import PAPER_INTER_ISP_COST, PAPER_INTRA_ISP_COST, CostModel
+from .isp import ISPTopology
+from .topology import OverlayGraph, rank_candidates
+from .trunc_normal import TruncatedNormal
+
+__all__ = [
+    "CostModel",
+    "ISPTopology",
+    "OverlayGraph",
+    "PAPER_INTER_ISP_COST",
+    "PAPER_INTRA_ISP_COST",
+    "TruncatedNormal",
+    "rank_candidates",
+]

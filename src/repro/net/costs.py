@@ -1,0 +1,126 @@
+"""Pairwise network-cost model ``w_{u→d}``.
+
+The paper uses network latency as the cost and samples it from truncated
+normals: inter-ISP ~ TN(μ=5, σ=1, [1, 10]) and intra-ISP
+~ TN(μ=1, σ=1, [0, 2]).  Costs are per peer pair; we sample lazily on
+first query (peers churn, so a static matrix would not do) and cache so
+the same pair always sees the same cost within a run.
+
+``symmetric=True`` (the default) gives ``w_{u→d} = w_{d→u}``, consistent
+with interpreting the cost as the latency of the link between the two
+peers.  Asymmetric mode samples each direction independently — useful
+for stress-testing the auction, which never assumes symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Tuple
+
+import numpy as np
+
+from .isp import ISPTopology
+from .trunc_normal import TruncatedNormal
+
+__all__ = ["CostModel", "PAPER_INTER_ISP_COST", "PAPER_INTRA_ISP_COST"]
+
+#: Paper defaults (Section V).
+PAPER_INTER_ISP_COST = TruncatedNormal(mean=5.0, std=1.0, low=1.0, high=10.0)
+PAPER_INTRA_ISP_COST = TruncatedNormal(mean=1.0, std=1.0, low=0.0, high=2.0)
+
+
+class CostModel:
+    """Lazy, cached sampler of pairwise network costs.
+
+    Parameters
+    ----------
+    topology:
+        The ISP membership map deciding which distribution applies.
+    rng:
+        Source of randomness for the cost draws.
+    inter, intra:
+        Truncated-normal distributions for cross-ISP and same-ISP pairs.
+    symmetric:
+        If ``True`` the unordered pair shares one draw.
+    """
+
+    def __init__(
+        self,
+        topology: ISPTopology,
+        rng: np.random.Generator,
+        inter: TruncatedNormal = PAPER_INTER_ISP_COST,
+        intra: TruncatedNormal = PAPER_INTRA_ISP_COST,
+        symmetric: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.rng = rng
+        self.inter = inter
+        self.intra = intra
+        self.symmetric = symmetric
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Cost queries
+    # ------------------------------------------------------------------
+    def cost(self, src: int, dst: int) -> float:
+        """Network cost ``w_{src→dst}`` of sending one chunk from src to dst."""
+        if src == dst:
+            return 0.0
+        key = self._key(src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        dist = self.intra if self.topology.same_isp(src, dst) else self.inter
+        value = dist.sample_one(self.rng)
+        self._cache[key] = value
+        return value
+
+    def costs_from(self, sources: Iterable[int], dst: int) -> np.ndarray:
+        """Vector of costs ``w_{u→dst}`` for each ``u`` in ``sources``."""
+        return np.array([self.cost(src, dst) for src in sources], dtype=float)
+
+    def is_inter_isp(self, src: int, dst: int) -> bool:
+        """Whether a transfer src→dst crosses an ISP boundary."""
+        return not self.topology.same_isp(src, dst)
+
+    def as_cost_fn(self) -> Callable[[int, int], float]:
+        """The model as a plain ``(src, dst) -> float`` callable."""
+        return self.cost
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def forget_peer(self, peer_id: int) -> int:
+        """Drop cached entries involving a departed peer.
+
+        Returns the number of entries evicted.  Keeping the cache tight
+        matters in long churn runs (arrival rate 1/s over hundreds of
+        seconds).
+        """
+        stale = [k for k in self._cache if peer_id in k]
+        for k in stale:
+            del self._cache[k]
+        return len(stale)
+
+    def cache_size(self) -> int:
+        """Number of cached pair costs."""
+        return len(self._cache)
+
+    def matrix(self, peers: list[int]) -> np.ndarray:
+        """Dense cost matrix over ``peers`` (diagonal zero).
+
+        Row ``i``, column ``j`` holds ``w_{peers[i]→peers[j]}``.  Used by
+        tests and the exact solvers; the auction itself only ever touches
+        costs on candidate edges.
+        """
+        n = len(peers)
+        out = np.zeros((n, n), dtype=float)
+        for i, u in enumerate(peers):
+            for j, d in enumerate(peers):
+                if i != j:
+                    out[i, j] = self.cost(u, d)
+        return out
+
+    def _key(self, src: int, dst: int) -> Tuple[int, int]:
+        if self.symmetric and src > dst:
+            return (dst, src)
+        return (src, dst)

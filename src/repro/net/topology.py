@@ -1,0 +1,164 @@
+"""Overlay neighbor graph.
+
+The tracker bootstraps each joining peer "with a list of neighbors with
+close playback positions" (Section V); the default neighbor count is 30.
+:class:`OverlayGraph` maintains the undirected neighbor relation under
+churn, and :func:`rank_candidates` implements the tracker's proximity
+ranking (same video, close playback position, seeds always eligible).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+__all__ = ["OverlayGraph", "rank_candidates"]
+
+
+def rank_candidates(
+    position_of: Callable[[int], Optional[float]],
+    joiner_position: float,
+    candidates: Iterable[int],
+    rng: Optional[np.random.Generator] = None,
+    seed_rank: str = "first",
+) -> List[int]:
+    """Order ``candidates`` by closeness of playback position to the joiner.
+
+    ``position_of`` returns a candidate's playback position, or ``None``
+    for seed peers, which have no position.  ``seed_rank`` decides how
+    seeds compete:
+
+    * ``"first"`` — seeds rank ahead of all watchers (distance 0): every
+      joiner is guaranteed the seeds if its neighbor budget allows.
+    * ``"random"`` — seeds draw a uniform random rank among the watcher
+      distances, modelling a tracker that ranks purely by advertised
+      playback position (seeds advertise none).  With more candidates
+      than neighbor slots, a joiner may then miss some (or all) seeds —
+      the regime in which ISP-aware source selection actually matters.
+
+    Ties are broken randomly when ``rng`` is given, else by peer id for
+    determinism.
+    """
+    if seed_rank not in ("first", "random"):
+        raise ValueError(f"unknown seed_rank {seed_rank!r}")
+    candidates = list(candidates)
+    watcher_distances = []
+    positions = {}
+    for peer in candidates:
+        pos = position_of(peer)
+        positions[peer] = pos
+        if pos is not None:
+            watcher_distances.append(abs(pos - joiner_position))
+    max_distance = max(watcher_distances, default=1.0)
+    keyed = []
+    for peer in candidates:
+        pos = positions[peer]
+        if pos is None:
+            if seed_rank == "first":
+                distance = 0.0
+            else:
+                draw = rng.random() if rng is not None else (peer % 997) / 997.0
+                distance = draw * max_distance
+        else:
+            distance = abs(pos - joiner_position)
+        tiebreak = rng.random() if rng is not None else float(peer)
+        keyed.append((distance, tiebreak, peer))
+    keyed.sort()
+    return [peer for _, __, peer in keyed]
+
+
+class OverlayGraph:
+    """Undirected neighbor relation with a soft degree target.
+
+    ``degree_target`` is the number of neighbors the tracker aims to give
+    each peer (paper default 30).  Accepting a link may push an existing
+    peer slightly above target; the graph never silently drops links —
+    churn handles pruning, as in real mesh overlays.
+    """
+
+    def __init__(self, degree_target: int = 30) -> None:
+        if degree_target < 1:
+            raise ValueError(f"degree_target must be >= 1, got {degree_target!r}")
+        self.degree_target = int(degree_target)
+        self._adj: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_node(self, peer_id: int) -> None:
+        """Register a peer with no neighbors yet (idempotent)."""
+        self._adj.setdefault(peer_id, set())
+
+    def remove_node(self, peer_id: int) -> Set[int]:
+        """Remove a peer; returns the set of ex-neighbors that lost a link."""
+        neighbors = self._adj.pop(peer_id, set())
+        for other in neighbors:
+            self._adj[other].discard(peer_id)
+        return neighbors
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def nodes(self) -> Set[int]:
+        return set(self._adj)
+
+    # ------------------------------------------------------------------
+    # Link management
+    # ------------------------------------------------------------------
+    def connect(self, a: int, b: int) -> None:
+        """Create the undirected link a—b (idempotent; self-links rejected)."""
+        if a == b:
+            raise ValueError(f"self-link on peer {a!r}")
+        self.add_node(a)
+        self.add_node(b)
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+
+    def disconnect(self, a: int, b: int) -> None:
+        """Remove the link a—b if present."""
+        if a in self._adj:
+            self._adj[a].discard(b)
+        if b in self._adj:
+            self._adj[b].discard(a)
+
+    def neighbors(self, peer_id: int) -> Set[int]:
+        """A copy of the neighbor set of ``peer_id``."""
+        return set(self._adj.get(peer_id, set()))
+
+    def degree(self, peer_id: int) -> int:
+        return len(self._adj.get(peer_id, set()))
+
+    def wants_more(self, peer_id: int) -> bool:
+        """Whether the peer is below its neighbor target."""
+        return self.degree(peer_id) < self.degree_target
+
+    def deficit(self, peer_id: int) -> int:
+        """How many neighbors the peer is short of its target."""
+        return max(0, self.degree_target - self.degree(peer_id))
+
+    # ------------------------------------------------------------------
+    # Bulk wiring
+    # ------------------------------------------------------------------
+    def bootstrap(self, peer_id: int, ranked_candidates: List[int]) -> List[int]:
+        """Connect ``peer_id`` to candidates in rank order until the target.
+
+        Returns the list of newly connected neighbors.
+        """
+        self.add_node(peer_id)
+        connected = []
+        for other in ranked_candidates:
+            if self.degree(peer_id) >= self.degree_target:
+                break
+            if other == peer_id or other in self._adj[peer_id]:
+                continue
+            self.connect(peer_id, other)
+            connected.append(other)
+        return connected
+
+    def edge_count(self) -> int:
+        """Number of undirected links."""
+        return sum(len(s) for s in self._adj.values()) // 2

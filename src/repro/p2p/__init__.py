@@ -1,0 +1,18 @@
+"""P2P system emulator: peers, tracker, churn, seeding, slot loop."""
+
+from .churn import ArrivalPlan, ChurnModel
+from .config import SystemConfig
+from .peer import Peer
+from .seeding import create_seeds
+from .system import P2PSystem
+from .tracker import Tracker
+
+__all__ = [
+    "ArrivalPlan",
+    "ChurnModel",
+    "P2PSystem",
+    "Peer",
+    "SystemConfig",
+    "Tracker",
+    "create_seeds",
+]

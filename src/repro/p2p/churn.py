@@ -1,0 +1,105 @@
+"""Peer churn: Poisson arrivals, Zipf video choice, early departures.
+
+Section V's dynamic model: "Peers join the system as a Poisson process
+with rate 1 peer per second, and are distributed in the 5 ISPs evenly.
+When a peer joins the system, it will select video i ... according to
+the Zipf-Mandelbrot distribution"; peers "stay until they finish
+watching the respective video" (Fig. 3) or "depart at any time with
+probability 0.6" (Fig. 6) — we realize the latter by flagging each
+arrival with probability ``early_departure_prob`` and drawing its
+departure time uniformly within its viewing interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..vod.popularity import ZipfMandelbrot
+
+__all__ = ["ArrivalPlan", "ChurnModel"]
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """One planned peer arrival."""
+
+    time: float
+    video_id: int
+    upload_multiple: float
+    departure_time: Optional[float]  # None = watches to the end
+
+
+class ChurnModel:
+    """Generates the arrival/departure schedule of dynamic experiments.
+
+    Parameters
+    ----------
+    rng:
+        Random stream (dedicated, so churn is identical across scheduler
+        comparisons — the paper compares algorithms on the same arrival
+        pattern).
+    popularity:
+        Video selector.
+    arrival_rate_per_s:
+        Poisson intensity λ of the arrival process.
+    upload_range:
+        Uniform range of upload-bandwidth multiples ([1, 4] × bitrate).
+    early_departure_prob:
+        Probability that a peer departs before finishing its video.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        popularity: ZipfMandelbrot,
+        arrival_rate_per_s: float = 1.0,
+        upload_range: tuple[float, float] = (1.0, 4.0),
+        early_departure_prob: float = 0.0,
+    ) -> None:
+        if arrival_rate_per_s <= 0:
+            raise ValueError(
+                f"arrival rate must be positive, got {arrival_rate_per_s!r}"
+            )
+        if not 0.0 <= early_departure_prob <= 1.0:
+            raise ValueError("early_departure_prob must be in [0, 1]")
+        self.rng = rng
+        self.popularity = popularity
+        self.arrival_rate_per_s = float(arrival_rate_per_s)
+        self.upload_range = upload_range
+        self.early_departure_prob = float(early_departure_prob)
+
+    def next_interarrival(self) -> float:
+        """Exponential gap to the next arrival."""
+        return float(self.rng.exponential(1.0 / self.arrival_rate_per_s))
+
+    def plan_arrival(self, time: float, video_duration_of) -> ArrivalPlan:
+        """Plan the peer arriving at ``time``.
+
+        ``video_duration_of`` maps a video id to its playback duration in
+        seconds (used to place the early-departure instant).
+        """
+        video_id = self.popularity.sample(self.rng)
+        lo, hi = self.upload_range
+        multiple = float(self.rng.uniform(lo, hi))
+        departure: Optional[float] = None
+        if self.early_departure_prob and self.rng.random() < self.early_departure_prob:
+            duration = float(video_duration_of(video_id))
+            departure = time + float(self.rng.uniform(0.0, duration))
+        return ArrivalPlan(
+            time=time,
+            video_id=video_id,
+            upload_multiple=multiple,
+            departure_time=departure,
+        )
+
+    def arrivals_until(self, start: float, end: float, video_duration_of) -> list:
+        """All arrivals planned in ``[start, end)`` (convenience for batch setup)."""
+        plans = []
+        t = start + self.next_interarrival()
+        while t < end:
+            plans.append(self.plan_arrival(t, video_duration_of))
+            t += self.next_interarrival()
+        return plans

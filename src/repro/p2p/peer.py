@@ -1,0 +1,158 @@
+"""The peer: buffer, playback session, request generation, upload capacity.
+
+Mirrors the paper's emulator peer, whose components are a neighbor
+manager (kept in :mod:`repro.net.topology` / :mod:`repro.p2p.tracker`),
+a buffer manager (:mod:`repro.vod.buffer`), a bidding module and an
+allocator module (both realized by the scheduler —
+:mod:`repro.core.auction` centrally or :mod:`repro.core.distributed` at
+message level), and a transmission manager (the system applies the
+winning transfers, :mod:`repro.p2p.system`).
+
+Seed peers cache a complete video, never watch, and contribute 8× the
+streaming rate of upload bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..vod.buffer import ChunkBuffer
+from ..vod.playback import PlaybackSession
+from ..vod.valuation import DeadlineValuation
+from ..vod.video import Video
+
+__all__ = ["Peer"]
+
+
+class Peer:
+    """One peer in the emulated system.
+
+    Parameters
+    ----------
+    peer_id:
+        Globally unique id.
+    isp:
+        ISP index the peer lives in.
+    video:
+        The video it watches (seeds: the video it serves).
+    upload_capacity_chunks:
+        ``B(u)`` in chunks per slot.
+    is_seed:
+        Seeds hold the full video and never issue requests.
+    session:
+        Playback state; ``None`` for seeds.
+    departure_time:
+        Early-departure instant (Fig. 6 dynamics), ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        peer_id: int,
+        isp: int,
+        video: Video,
+        upload_capacity_chunks: int,
+        buffer: ChunkBuffer,
+        session: Optional[PlaybackSession] = None,
+        is_seed: bool = False,
+        joined_at: float = 0.0,
+        departure_time: Optional[float] = None,
+    ) -> None:
+        if upload_capacity_chunks < 0:
+            raise ValueError(
+                f"upload capacity must be >= 0, got {upload_capacity_chunks!r}"
+            )
+        if is_seed and session is not None:
+            raise ValueError("seed peers do not play back")
+        self.peer_id = peer_id
+        self.isp = isp
+        self.video = video
+        self.upload_capacity_chunks = int(upload_capacity_chunks)
+        self.buffer = buffer
+        self.session = session
+        self.is_seed = is_seed
+        self.joined_at = float(joined_at)
+        self.departure_time = departure_time
+        self.chunks_uploaded = 0
+        self.chunks_downloaded = 0
+
+    # ------------------------------------------------------------------
+    # Content queries
+    # ------------------------------------------------------------------
+    def holds_chunk(self, video_id: int, index: int) -> bool:
+        """Whether this peer caches chunk ``index`` of ``video_id``."""
+        return self.video.video_id == video_id and self.buffer.holds(index)
+
+    def bitmap(self) -> frozenset:
+        """Buffer-map snapshot (chunk indices of :attr:`video`)."""
+        return self.buffer.bitmap()
+
+    @property
+    def watching(self) -> bool:
+        """Has an unfinished playback session."""
+        return self.session is not None and not self.session.finished
+
+    def playback_position(self) -> Optional[int]:
+        """Current playback position; ``None`` for seeds."""
+        if self.session is None:
+            return None
+        return self.session.position
+
+    # ------------------------------------------------------------------
+    # Bidding-side inputs (the window of interest R_t(d))
+    # ------------------------------------------------------------------
+    def build_requests(
+        self,
+        now: float,
+        prefetch_chunks: int,
+        valuation: DeadlineValuation,
+        lookahead: float = 0.0,
+    ) -> List[Tuple[int, float]]:
+        """Chunks this peer wants this slot with their valuations.
+
+        Returns ``[(chunk_index, v), ...]`` for the next
+        ``prefetch_chunks`` chunks beyond the playback position that are
+        neither held nor already missed, valued by time-to-deadline.
+
+        ``lookahead`` implements *anticipative valuation* for sub-slot
+        bidding: a chunk is valued at the urgency it will reach by the
+        end of the bidding interval, ``v(max(0, d − lookahead))``.  The
+        paper's peers "keep bidding" continuously, so a chunk's bid
+        approaches ``v(0)`` (= 11 > the costliest link, by the paper's
+        own parameter choice) right before its deadline; the lookahead
+        reproduces that within a discrete bidding round.
+        """
+        if self.is_seed or self.session is None or self.session.finished:
+            return []
+        position = self.session.due_position(now)
+        wanted = self.buffer.window_of_interest(
+            position, prefetch_chunks, exclude=self.session.missed
+        )
+        requests = []
+        for index in wanted:
+            to_deadline = max(
+                0.0, self.session.seconds_to_deadline(index, now) - lookahead
+            )
+            requests.append((index, valuation.value(to_deadline)))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def receive_chunk(self, index: int) -> bool:
+        """Store a downloaded chunk; returns ``False`` if it was duplicate."""
+        position = self.session.position if self.session is not None else 0
+        added = self.buffer.add(index, protect_from=position)
+        if added:
+            self.chunks_downloaded += 1
+        return added
+
+    def record_upload(self, n: int = 1) -> None:
+        self.chunks_uploaded += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "seed" if self.is_seed else "peer"
+        return (
+            f"<{role} {self.peer_id} isp={self.isp} video={self.video.video_id} "
+            f"B={self.upload_capacity_chunks}>"
+        )

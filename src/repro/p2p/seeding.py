@@ -1,0 +1,49 @@
+"""Seed-peer placement.
+
+Section V: "In each ISP, for each video, there are 2 seed peers with a
+upload bandwidth that is 8 times of the streaming rate, which cache the
+complete video."  Seeds guarantee every chunk exists somewhere in every
+ISP, making the auction's sufficiency assumption (Theorem 1) realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..vod.buffer import ChunkBuffer
+from ..vod.video import VideoCatalog
+from .config import SystemConfig
+from .peer import Peer
+
+__all__ = ["create_seeds"]
+
+
+def create_seeds(
+    config: SystemConfig,
+    catalog: VideoCatalog,
+    id_source: Iterator[int],
+) -> List[Peer]:
+    """Build all seed peers: per ISP × video × ``seeds_per_isp_per_video``.
+
+    ``id_source`` yields fresh peer ids.  The caller registers the seeds
+    with the topology/tracker/overlay.
+    """
+    seeds: List[Peer] = []
+    capacity = config.peer_capacity_chunks(config.seed_upload_multiple)
+    for isp in range(config.n_isps):
+        for video in catalog:
+            for _ in range(config.seeds_per_isp_per_video):
+                buffer = ChunkBuffer(video)
+                buffer.fill_range(0, video.n_chunks)
+                seeds.append(
+                    Peer(
+                        peer_id=next(id_source),
+                        isp=isp,
+                        video=video,
+                        upload_capacity_chunks=capacity,
+                        buffer=buffer,
+                        session=None,
+                        is_seed=True,
+                    )
+                )
+    return seeds

@@ -1,0 +1,491 @@
+"""The emulated P2P VoD system: slot loop, churn, transfers, metrics.
+
+This is the Python replacement for the paper's Java emulator (Section
+V).  Time advances in 10-second slots.  At each slot boundary the
+system:
+
+1. admits peers that arrived during the previous slot (the paper delays
+   mid-slot joiners to the next slot so running auctions are not
+   disturbed) and removes departed/finished peers;
+2. tops up neighbor lists via the tracker;
+3. builds the slot's :class:`~repro.core.problem.SchedulingProblem` from
+   every watching peer's window of interest, neighbor buffer maps and
+   pairwise network costs;
+4. runs the configured scheduler (the auction, the locality baseline, or
+   any registry entry);
+5. applies the winning transfers to the buffers, tallying welfare and
+   intra/inter-ISP traffic;
+6. advances playback over the slot, tallying due/missed chunks;
+7. records a :class:`~repro.metrics.collectors.SlotMetrics`.
+
+Chunks scheduled in a slot count as delivered within it ("the actual
+chunk transfers happen as soon as the auction algorithm converges"), so
+a chunk due 3 s into the slot can still make its deadline if scheduled
+at the boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import SchedulingProblem
+from ..core.result import ScheduleResult
+from ..core.scheduler import AuctionScheduler, ChunkScheduler, make_scheduler
+from ..metrics.collectors import MetricsCollector, SlotMetrics
+from ..metrics.traffic_matrix import TrafficMatrix
+from ..net.costs import CostModel
+from ..net.isp import ISPTopology
+from ..net.topology import OverlayGraph
+from ..net.trunc_normal import TruncatedNormal
+from ..sim.rng import RngRegistry
+from ..vod.buffer import ChunkBuffer
+from ..vod.playback import PlaybackSession
+from ..vod.popularity import ZipfMandelbrot
+from ..vod.valuation import DeadlineValuation
+from ..vod.video import VideoCatalog
+from .churn import ArrivalPlan, ChurnModel
+from .config import SystemConfig
+from .peer import Peer
+from .seeding import create_seeds
+from .tracker import Tracker
+
+__all__ = ["P2PSystem"]
+
+
+class P2PSystem:
+    """The whole emulated system for one scheduler configuration.
+
+    Example
+    -------
+    >>> config = SystemConfig.tiny(seed=1)
+    >>> system = P2PSystem(config)
+    >>> system.populate_static(20)
+    >>> collector = system.run(duration_seconds=50)
+    >>> len(collector.slots)
+    5
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Optional[ChunkScheduler] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.rngs = RngRegistry(config.seed)
+        self.topology = ISPTopology(config.n_isps)
+        self.costs = CostModel(
+            self.topology,
+            self.rngs.stream("costs"),
+            inter=TruncatedNormal(
+                config.inter_cost_mean,
+                config.inter_cost_std,
+                config.inter_cost_low,
+                config.inter_cost_high,
+            ),
+            intra=TruncatedNormal(
+                config.intra_cost_mean,
+                config.intra_cost_std,
+                config.intra_cost_low,
+                config.intra_cost_high,
+            ),
+        )
+        self.catalog = VideoCatalog.paper_default(
+            n_videos=config.n_videos,
+            size_bytes=config.video_size_bytes,
+            chunk_size_bytes=config.chunk_size_bytes,
+            bitrate_bps=config.bitrate_bps,
+        )
+        self.popularity = ZipfMandelbrot(
+            config.n_videos, alpha=config.zipf_alpha, q=config.zipf_q
+        )
+        self.valuation = DeadlineValuation(
+            alpha=config.valuation_alpha, beta=config.valuation_beta
+        )
+        self.overlay = OverlayGraph(degree_target=config.neighbor_target)
+        self.tracker = Tracker(
+            rng=self.rngs.stream("tracker"),
+            seed_rank=config.tracker_seed_rank,
+        )
+        self.churn = ChurnModel(
+            self.rngs.stream("churn"),
+            self.popularity,
+            arrival_rate_per_s=config.arrival_rate_per_s,
+            upload_range=(
+                config.peer_upload_min_multiple,
+                config.peer_upload_max_multiple,
+            ),
+            early_departure_prob=config.early_departure_prob,
+        )
+        self.scheduler = scheduler or self._default_scheduler()
+        self.collector = MetricsCollector()
+        self.traffic_matrix = TrafficMatrix(config.n_isps)
+        self.peers: Dict[int, Peer] = {}
+        self._ids = itertools.count(1)
+        self.now = 0.0
+        self.slot_index = 0
+        self._pending_arrivals: List[ArrivalPlan] = []
+        self._next_arrival_time: Optional[float] = None
+        self.departures = 0
+        self.arrivals = 0
+
+        for seed_peer in create_seeds(config, self.catalog, self._ids):
+            self._admit(seed_peer)
+
+    def _default_scheduler(self) -> ChunkScheduler:
+        if self.config.scheduler == "auction":
+            return AuctionScheduler(epsilon=self.config.epsilon)
+        return make_scheduler(
+            self.config.scheduler, rng=self.rngs.stream("scheduler")
+        )
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def populate_static(self, n_peers: int, stagger: bool = True) -> None:
+        """Create ``n_peers`` at time 0 for the static-network experiments.
+
+        ``stagger=True``: each peer picks a uniform playback position
+        within its video and starts with everything before the position
+        already buffered (it "has been watching" up to there).
+        ``stagger=False``: a synchronized audience — everyone starts at
+        chunk 0 with an empty buffer after the configured startup delay,
+        supplied by the seeds and (pipelined within slots) by each other;
+        nobody finishes before ``video_duration_seconds``, which keeps
+        the per-slot series steady like the paper's Figs. 4–5.
+        """
+        rng = self.rngs.stream("static-population")
+        startup = self.config.startup_delay_slots * self.config.slot_seconds
+        for _ in range(n_peers):
+            video = self.catalog[self.popularity.sample(rng)]
+            position = int(rng.integers(0, video.n_chunks)) if stagger else 0
+            multiple = float(
+                rng.uniform(
+                    self.config.peer_upload_min_multiple,
+                    self.config.peer_upload_max_multiple,
+                )
+            )
+            self.add_watching_peer(
+                video_id=video.video_id,
+                upload_multiple=multiple,
+                start_position=position,
+                start_time=self.now if stagger else self.now + startup,
+                prefill_history=stagger,
+            )
+
+    def add_watching_peer(
+        self,
+        video_id: int,
+        upload_multiple: float,
+        start_position: int = 0,
+        start_time: Optional[float] = None,
+        departure_time: Optional[float] = None,
+        prefill_history: bool = False,
+    ) -> Peer:
+        """Create, register and wire a watching peer; returns it."""
+        video = self.catalog[video_id]
+        buffer = ChunkBuffer(video)
+        if prefill_history and start_position > 0:
+            buffer.fill_range(0, start_position)
+        session = PlaybackSession(
+            video=video,
+            buffer=buffer,
+            start_time=self.now if start_time is None else start_time,
+            start_position=start_position,
+        )
+        peer = Peer(
+            peer_id=next(self._ids),
+            isp=-1,  # assigned by _admit
+            video=video,
+            upload_capacity_chunks=self.config.peer_capacity_chunks(upload_multiple),
+            buffer=buffer,
+            session=session,
+            joined_at=self.now,
+            departure_time=departure_time,
+        )
+        self._admit(peer)
+        return peer
+
+    def _admit(self, peer: Peer) -> None:
+        # Seeds come with a fixed ISP (the paper places 2 per ISP per
+        # video); watchers (isp < 0) go to the least-populated ISP,
+        # realizing "distributed in the 5 ISPs evenly".
+        wanted_isp = None if peer.isp < 0 else peer.isp
+        isp = self.topology.add_peer(peer.peer_id, isp=wanted_isp)
+        peer.isp = isp
+        self.overlay.add_node(peer.peer_id)
+        candidates = self.tracker.bootstrap_candidates(peer)
+        self.tracker.register(peer)
+        self.overlay.bootstrap(peer.peer_id, candidates)
+        self.peers[peer.peer_id] = peer
+
+    def remove_peer(self, peer_id: int) -> None:
+        """Depart a peer: drop from overlay, tracker, topology and caches."""
+        if peer_id not in self.peers:
+            raise KeyError(f"peer {peer_id} is not online")
+        del self.peers[peer_id]
+        self.tracker.unregister(peer_id)
+        self.overlay.remove_node(peer_id)
+        self.topology.remove_peer(peer_id)
+        self.costs.forget_peer(peer_id)
+        self.departures += 1
+
+    # ------------------------------------------------------------------
+    # Slot loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration_seconds: float,
+        churn: bool = False,
+        remove_finished: Optional[bool] = None,
+    ) -> MetricsCollector:
+        """Advance the system ``duration_seconds``; returns the collector.
+
+        ``churn`` enables Poisson arrivals and departures; by default
+        finished sessions leave only in churn mode (static networks keep
+        all peers online as uploaders, matching the paper's "static
+        network of 500 peers").
+        """
+        if remove_finished is None:
+            remove_finished = churn
+        end = self.now + duration_seconds
+        while self.now < end - 1e-9:
+            self.run_slot(churn=churn, remove_finished=remove_finished)
+        return self.collector
+
+    def run_slot(self, churn: bool = False, remove_finished: bool = False) -> SlotMetrics:
+        """Execute one full time slot; returns its metrics.
+
+        With ``bid_rounds_per_slot = R > 1`` the slot is divided into R
+        re-bid rounds: each round re-evaluates the window with refreshed
+        deadlines (urgency grows, as in the paper's within-slot bidding)
+        and gives every uploader a 1/R share of its slot bandwidth.
+        """
+        t = self.now
+        slot = self.config.slot_seconds
+        rounds = self.config.bid_rounds_per_slot
+
+        if churn:
+            self._process_departures(t, remove_finished)
+            self._admit_arrivals(t)
+            self._collect_arrivals_during(t, t + slot)
+        self._refill_neighbors()
+
+        welfare = 0.0
+        inter = intra = 0
+        n_requests = n_served = sched_rounds = 0
+        due = missed = 0
+        for r in range(rounds):
+            now_r = t + r * slot / rounds
+            budgets = {
+                peer.peer_id: self._round_budget(peer.upload_capacity_chunks, r, rounds)
+                for peer in self.peers.values()
+            }
+            problem, _ = self.build_problem(now_r, capacities=budgets)
+            result = self.scheduler.schedule(problem)
+            welfare += result.welfare(problem)
+            round_inter, round_intra = self._apply_transfers(problem, result)
+            inter += round_inter
+            intra += round_intra
+            n_requests += problem.n_requests
+            n_served += result.n_served()
+            sched_rounds += result.stats.rounds
+            round_due, round_missed = self._advance_playback(t + (r + 1) * slot / rounds)
+            due += round_due
+            missed += round_missed
+
+        metrics = SlotMetrics(
+            time=t,
+            n_peers=len(self.peers),
+            n_requests=n_requests,
+            n_served=n_served,
+            welfare=welfare,
+            inter_isp_chunks=inter,
+            intra_isp_chunks=intra,
+            chunks_due=due,
+            chunks_missed=missed,
+            auction_rounds=sched_rounds,
+        )
+        self.collector.record(metrics)
+        self.now = t + slot
+        self.slot_index += 1
+        return metrics
+
+    @staticmethod
+    def _round_budget(capacity: int, round_index: int, rounds: int) -> int:
+        """Integer share of ``capacity`` for one sub-round (shares sum exactly)."""
+        return capacity * (round_index + 1) // rounds - capacity * round_index // rounds
+
+    # ------------------------------------------------------------------
+    # Churn handling
+    # ------------------------------------------------------------------
+    def _collect_arrivals_during(self, start: float, end: float) -> None:
+        """Sample Poisson arrivals in [start, end); admitted next slot."""
+        if self._next_arrival_time is None:
+            self._next_arrival_time = start + self.churn.next_interarrival()
+        while self._next_arrival_time < end:
+            plan = self.churn.plan_arrival(
+                self._next_arrival_time,
+                lambda vid: self.catalog[vid].duration_seconds,
+            )
+            self._pending_arrivals.append(plan)
+            self._next_arrival_time += self.churn.next_interarrival()
+
+    def _admit_arrivals(self, t: float) -> None:
+        """Admit peers that arrived before ``t`` (paper: delayed to slot start)."""
+        ready = [p for p in self._pending_arrivals if p.time < t]
+        self._pending_arrivals = [p for p in self._pending_arrivals if p.time >= t]
+        startup = self.config.startup_delay_slots * self.config.slot_seconds
+        for plan in ready:
+            departure = plan.departure_time
+            self.add_watching_peer(
+                video_id=plan.video_id,
+                upload_multiple=plan.upload_multiple,
+                start_position=0,
+                start_time=t + startup,
+                departure_time=departure,
+            )
+            self.arrivals += 1
+
+    def _process_departures(self, t: float, remove_finished: bool) -> None:
+        doomed = []
+        for peer in self.peers.values():
+            if peer.is_seed:
+                continue
+            if peer.departure_time is not None and peer.departure_time <= t:
+                doomed.append(peer.peer_id)
+            elif remove_finished and peer.session is not None and peer.session.finished:
+                doomed.append(peer.peer_id)
+        for peer_id in doomed:
+            self.remove_peer(peer_id)
+
+    def _refill_neighbors(self) -> None:
+        """Top up peers that fell below their neighbor target (churn losses)."""
+        for peer in self.peers.values():
+            if peer.is_seed or not self.overlay.wants_more(peer.peer_id):
+                continue
+            candidates = [
+                pid
+                for pid in self.tracker.bootstrap_candidates(peer)
+                if pid not in self.overlay.neighbors(peer.peer_id)
+            ]
+            self.overlay.bootstrap(peer.peer_id, candidates)
+
+    # ------------------------------------------------------------------
+    # Problem construction / transfer application
+    # ------------------------------------------------------------------
+    def build_problem(
+        self,
+        now: float,
+        capacities: Optional[Dict[int, int]] = None,
+    ) -> Tuple[SchedulingProblem, Dict[int, int]]:
+        """One (sub-)round's assignment problem from buffers and windows.
+
+        ``capacities`` overrides per-peer upload budgets (used by the
+        sub-round split); default is each peer's full slot capacity.
+        Returns the problem plus a map request-index → downstream peer id
+        (also recoverable from the problem's requests; kept for
+        convenience).
+        """
+        problem = SchedulingProblem()
+        for peer in self.peers.values():
+            capacity = (
+                peer.upload_capacity_chunks
+                if capacities is None
+                else capacities.get(peer.peer_id, 0)
+            )
+            problem.set_capacity(peer.peer_id, capacity)
+        request_owner: Dict[int, int] = {}
+        for peer in self.peers.values():
+            if peer.session is None:
+                continue  # seeds never request
+            # Peers in their startup delay do bid: they are pre-fetching
+            # ahead of the (future) playback start.  With sub-slot
+            # re-bidding, valuations anticipate the urgency reached by
+            # the end of the bid interval (see Peer.build_requests).
+            rounds = self.config.bid_rounds_per_slot
+            lookahead = self.config.slot_seconds / rounds if rounds > 1 else 0.0
+            wanted = peer.build_requests(
+                now, self.config.prefetch_chunks, self.valuation, lookahead=lookahead
+            )
+            if not wanted:
+                continue
+            video_id = peer.video.video_id
+            window = {index for index, _ in wanted}
+            # One set intersection per neighbor instead of one membership
+            # test per (chunk, neighbor) pair — the paper-scale problem
+            # has ~100-chunk windows × 30 neighbors per peer.
+            per_chunk: Dict[int, Dict[int, float]] = {}
+            for nb in self.overlay.neighbors(peer.peer_id):
+                other = self.peers.get(nb)
+                if other is None or other.video.video_id != video_id:
+                    continue
+                hits = other.buffer.held_among(window)
+                if not hits:
+                    continue
+                cost = self.costs.cost(nb, peer.peer_id)
+                for index in hits:
+                    per_chunk.setdefault(index, {})[nb] = cost
+            for index, value in wanted:
+                candidates = per_chunk.get(index)
+                if not candidates:
+                    continue  # nobody caches it: cannot even be requested
+                r = problem.add_request(
+                    peer=peer.peer_id,
+                    chunk=(video_id, index),
+                    valuation=value,
+                    candidates=candidates,
+                )
+                request_owner[r] = peer.peer_id
+        return problem, request_owner
+
+    def _apply_transfers(
+        self, problem: SchedulingProblem, result: ScheduleResult
+    ) -> Tuple[int, int]:
+        """Deliver scheduled chunks; returns (inter-ISP, intra-ISP) counts."""
+        inter = 0
+        intra = 0
+        for _, downstream, chunk, uploader, _ in result.served_edges(problem):
+            peer = self.peers[downstream]
+            _, index = chunk
+            peer.receive_chunk(index)
+            up = self.peers[uploader]
+            up.record_upload()
+            self.traffic_matrix.record(up.isp, peer.isp)
+            if self.costs.is_inter_isp(uploader, downstream):
+                inter += 1
+            else:
+                intra += 1
+        return inter, intra
+
+    def _advance_playback(self, to_time: float) -> Tuple[int, int]:
+        """Advance every session; returns (due, missed) chunk totals."""
+        due = 0
+        missed = 0
+        for peer in self.peers.values():
+            if peer.session is None or peer.session.start_time >= to_time:
+                continue
+            stats = peer.session.advance_to(to_time)
+            due += stats.due
+            missed += stats.missed
+        return due, missed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def online_watching(self) -> List[Peer]:
+        """Non-seed peers with unfinished sessions."""
+        return [p for p in self.peers.values() if p.watching]
+
+    def n_seeds(self) -> int:
+        return sum(1 for p in self.peers.values() if p.is_seed)
+
+    def describe(self) -> str:
+        return (
+            f"P2PSystem(t={self.now:.0f}s, peers={len(self.peers)} "
+            f"(seeds={self.n_seeds()}), scheduler={self.scheduler.name}, "
+            f"isps={self.config.n_isps})"
+        )

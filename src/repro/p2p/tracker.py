@@ -1,0 +1,100 @@
+"""The tracker server.
+
+Section V: "There is a track server which keeps track of online peers
+and bootstraps new joining peers with a list of neighbors with close
+playback positions."  The tracker indexes online peers by video and
+ranks bootstrap candidates by playback proximity (seeds rank first:
+they serve every position).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..net.topology import rank_candidates
+from .peer import Peer
+
+__all__ = ["Tracker"]
+
+
+class Tracker:
+    """Online-peer registry and bootstrap neighbor selection.
+
+    ``seed_rank`` ("first" or "random") controls whether seeds are
+    guaranteed top-ranked in bootstrap lists or compete at a random
+    position rank; see :func:`repro.net.topology.rank_candidates`.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed_rank: str = "first",
+    ) -> None:
+        self._peers: Dict[int, Peer] = {}
+        self._by_video: Dict[int, Set[int]] = {}
+        self.rng = rng
+        self.seed_rank = seed_rank
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, peer: Peer) -> None:
+        if peer.peer_id in self._peers:
+            raise ValueError(f"peer {peer.peer_id} already registered")
+        self._peers[peer.peer_id] = peer
+        self._by_video.setdefault(peer.video.video_id, set()).add(peer.peer_id)
+
+    def unregister(self, peer_id: int) -> None:
+        peer = self._peers.pop(peer_id, None)
+        if peer is None:
+            raise KeyError(f"peer {peer_id} not registered")
+        members = self._by_video.get(peer.video.video_id)
+        if members is not None:
+            members.discard(peer_id)
+            if not members:
+                del self._by_video[peer.video.video_id]
+
+    def __contains__(self, peer_id: int) -> bool:
+        return peer_id in self._peers
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def online_peers(self) -> List[int]:
+        return list(self._peers)
+
+    def peers_watching(self, video_id: int) -> Set[int]:
+        """Online peers (incl. seeds) holding content of ``video_id``."""
+        return set(self._by_video.get(video_id, set()))
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap_candidates(self, joiner: Peer) -> List[int]:
+        """Candidates for a joining peer, ranked by playback proximity.
+
+        Seeds of the video are always eligible and rank first (they
+        cover any playback position).
+        """
+        video_id = joiner.video.video_id
+        candidates = [
+            pid for pid in self._by_video.get(video_id, set()) if pid != joiner.peer_id
+        ]
+        joiner_pos = float(joiner.playback_position() or 0)
+
+        def position_of(pid: int) -> Optional[float]:
+            peer = self._peers[pid]
+            if peer.is_seed:
+                return None  # ranks first
+            pos = peer.playback_position()
+            return float(pos) if pos is not None else None
+
+        return rank_candidates(
+            position_of,
+            joiner_pos,
+            candidates,
+            rng=self.rng,
+            seed_rank=self.seed_rank,
+        )

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate (engine, RNG streams, message network)."""
+
+from .engine import EventHandle, SimulationError, Simulator, Timer
+from .messages import (
+    AcceptMessage,
+    BidMessage,
+    BufferMapMessage,
+    EvictMessage,
+    Message,
+    PriceUpdateMessage,
+    RejectMessage,
+)
+from .network import ConstantLatency, CostLatency, SimNetwork
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "AcceptMessage",
+    "BidMessage",
+    "BufferMapMessage",
+    "ConstantLatency",
+    "CostLatency",
+    "EvictMessage",
+    "EventHandle",
+    "Message",
+    "PriceUpdateMessage",
+    "RejectMessage",
+    "RngRegistry",
+    "SimNetwork",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "derive_seed",
+]

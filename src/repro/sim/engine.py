@@ -1,0 +1,263 @@
+"""Discrete-event simulation engine.
+
+The paper evaluates its auction protocol on a Java emulator running real
+traffic between peer processes.  We replace that testbed with a
+single-process discrete-event simulator: callbacks are scheduled at
+simulated timestamps and executed in timestamp order.  Everything that
+the emulator measured (prices over time, per-slot welfare, traffic,
+misses) is a function of the ordering of protocol events, which this
+engine reproduces deterministically.
+
+The engine is deliberately small: an event is ``(time, priority, seq,
+callback)``.  Ties on ``time`` break first on ``priority`` (lower runs
+first) and then on insertion order, which makes runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g., scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  ``active`` is ``True`` until the event has either run or been
+    cancelled.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not run, not cancelled)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, current time is {self._now!r}"
+            )
+        event = _Event(float(time), priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None], priority: int = 0) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, callback, priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time; the
+            clock is then advanced to ``until``.  ``None`` runs to queue
+            exhaustion.
+        max_events:
+            Optional safety valve on the number of events to execute.
+
+        Returns
+        -------
+        int
+            Number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                self._drop_cancelled_head()
+                if not self._heap:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.cancelled = True  # consumed: handle becomes inactive
+                event.callback()
+                self._events_processed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns ``False`` when none remain."""
+        return self.run(max_events=1) == 1
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+class Timer:
+    """A recurring timer bound to a :class:`Simulator`.
+
+    Fires ``callback`` every ``interval`` simulated seconds until
+    :meth:`stop` is called.  Used by the P2P system for slot boundaries.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        start_delay: float = 0.0,
+        priority: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval!r}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._priority = priority
+        self._stopped = False
+        self._fires = 0
+        self._handle: Optional[EventHandle] = sim.schedule(
+            start_delay, self._fire, priority
+        )
+
+    @property
+    def fires(self) -> int:
+        """Number of times the timer has fired."""
+        return self._fires
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop the timer; pending fire is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fires += 1
+        self._handle = self._sim.schedule(self._interval, self._fire, self._priority)
+        self._callback()
+
+
+def run_callbacks_in_order(sim: Simulator, items: list[tuple[float, Any]]) -> list[Any]:
+    """Test helper: schedule ``items`` as (time, value) and return values in fire order."""
+    out: list[Any] = []
+    for time, value in items:
+        sim.schedule_at(time, (lambda v: (lambda: out.append(v)))(value))
+    sim.run()
+    return out

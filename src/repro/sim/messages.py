@@ -1,0 +1,96 @@
+"""Message types for the distributed auction protocol.
+
+Section IV-B of the paper describes the auction as an exchange of bids,
+rejections/evictions and price updates between bidder peers and
+auctioneer peers; Section V's emulator adds buffer-map exchange.  These
+dataclasses are the wire format of our simulated protocol
+(:mod:`repro.core.distributed` and :mod:`repro.p2p.peer`).
+
+Peer ids are plain ints; chunk ids are ``(video_id, chunk_index)`` pairs
+in the full system, or bare ints in the standalone auction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Tuple
+
+__all__ = [
+    "AcceptMessage",
+    "BidMessage",
+    "BufferMapMessage",
+    "EvictMessage",
+    "Message",
+    "PriceUpdateMessage",
+    "RejectMessage",
+    "RequestKey",
+]
+
+# A request is identified by (downstream peer id, chunk id), the paper's (I_d, c).
+RequestKey = Tuple[int, Hashable]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base envelope: every protocol message names its source and destination."""
+
+    src: int
+    dst: int
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase name used by the network statistics."""
+        return type(self).__name__.replace("Message", "").lower()
+
+
+@dataclass(frozen=True)
+class BufferMapMessage(Message):
+    """Advertises which chunks ``src`` caches (paper: bitmap exchange)."""
+
+    chunks: frozenset = field(default_factory=frozenset)
+
+
+@dataclass(frozen=True)
+class BidMessage(Message):
+    """Bid ``b(d, c, u)`` from bidder ``src`` = d to auctioneer ``dst`` = u."""
+
+    chunk: Hashable = None
+    bid: float = 0.0
+
+    @property
+    def request(self) -> RequestKey:
+        return (self.src, self.chunk)
+
+
+@dataclass(frozen=True)
+class AcceptMessage(Message):
+    """Auctioneer ``src`` provisionally accepted ``dst``'s bid for ``chunk``."""
+
+    chunk: Hashable = None
+
+
+@dataclass(frozen=True)
+class RejectMessage(Message):
+    """Auctioneer ``src`` rejected ``dst``'s bid (bid ≤ current price).
+
+    Carries the price so the bidder can immediately recompute without
+    waiting for a separate price-update message.
+    """
+
+    chunk: Hashable = None
+    price: float = 0.0
+
+
+@dataclass(frozen=True)
+class EvictMessage(Message):
+    """A previously accepted bid of ``dst`` was displaced by a higher bid."""
+
+    chunk: Hashable = None
+    price: float = 0.0
+
+
+@dataclass(frozen=True)
+class PriceUpdateMessage(Message):
+    """Auctioneer ``src`` announces its new unit-bandwidth price λ_u."""
+
+    price: float = 0.0

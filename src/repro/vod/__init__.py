@@ -1,0 +1,18 @@
+"""VoD substrate: videos, popularity, buffers, playback, valuation."""
+
+from .buffer import ChunkBuffer
+from .playback import PlaybackSession, SlotPlaybackStats
+from .popularity import ZipfMandelbrot
+from .valuation import DeadlineValuation
+from .video import ChunkId, Video, VideoCatalog
+
+__all__ = [
+    "ChunkBuffer",
+    "ChunkId",
+    "DeadlineValuation",
+    "PlaybackSession",
+    "SlotPlaybackStats",
+    "Video",
+    "VideoCatalog",
+    "ZipfMandelbrot",
+]

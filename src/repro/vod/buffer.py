@@ -1,0 +1,133 @@
+"""Per-peer chunk buffer and window of interest.
+
+Each peer holds downloaded chunks of the video it watches and exchanges
+buffer maps with neighbors (Section V's "buffer manager").  The window
+of interest ``R_t(d)`` is the next ``window`` chunks beyond the playback
+position that the peer does not yet hold — the paper prefetches 100
+chunks, i.e. 10 seconds ahead.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from .video import Video
+
+__all__ = ["ChunkBuffer"]
+
+
+class ChunkBuffer:
+    """Holds chunk indices of one video for one peer.
+
+    Parameters
+    ----------
+    video:
+        The video whose chunks this buffer stores.
+    capacity_chunks:
+        Optional cap on held chunks; when exceeded, the chunks furthest
+        *behind* the protected position are evicted first (they are least
+        useful for the peer's own playback, though still uploadable until
+        evicted).  ``None`` means unbounded, the paper's implicit setting
+        for 20 MB videos.
+    """
+
+    def __init__(self, video: Video, capacity_chunks: Optional[int] = None) -> None:
+        if capacity_chunks is not None and capacity_chunks < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity_chunks!r}")
+        self.video = video
+        self.capacity_chunks = capacity_chunks
+        self._held: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Content management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._held)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._held
+
+    def holds(self, index: int) -> bool:
+        """Whether chunk ``index`` is in the buffer."""
+        return index in self._held
+
+    def add(self, index: int, protect_from: int = 0) -> bool:
+        """Insert chunk ``index``; returns ``False`` if it was already held.
+
+        ``protect_from`` is the current playback position: eviction under
+        a capacity cap removes the chunk most distant behind it.
+        """
+        if not 0 <= index < self.video.n_chunks:
+            raise IndexError(
+                f"chunk {index!r} out of range [0, {self.video.n_chunks})"
+            )
+        if index in self._held:
+            return False
+        self._held.add(index)
+        if self.capacity_chunks is not None and len(self._held) > self.capacity_chunks:
+            self._evict_one(protect_from)
+        return True
+
+    def add_many(self, indices: Iterable[int], protect_from: int = 0) -> int:
+        """Insert several chunks; returns how many were new."""
+        return sum(1 for index in indices if self.add(index, protect_from))
+
+    def fill_range(self, start: int, stop: int) -> None:
+        """Mark ``[start, stop)`` as held — used to pre-seed buffers."""
+        if start < 0 or stop > self.video.n_chunks or start > stop:
+            raise ValueError(
+                f"bad range [{start!r}, {stop!r}) for video of "
+                f"{self.video.n_chunks} chunks"
+            )
+        self._held.update(range(start, stop))
+
+    def _evict_one(self, protect_from: int) -> None:
+        # Prefer the chunk furthest behind the playback position; if none
+        # lies behind, evict the furthest-ahead chunk instead.
+        behind = [i for i in self._held if i < protect_from]
+        victim = min(behind) if behind else max(self._held)
+        self._held.discard(victim)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def bitmap(self) -> FrozenSet[int]:
+        """Immutable snapshot advertised to neighbors."""
+        return frozenset(self._held)
+
+    def held_among(self, indices: Set[int]) -> Set[int]:
+        """Subset of ``indices`` that this buffer holds (one set op)."""
+        return self._held & indices
+
+    def window_of_interest(
+        self,
+        position: int,
+        window: int,
+        exclude: Optional[Set[int]] = None,
+    ) -> List[int]:
+        """The next ``window`` chunk indices from ``position`` not yet held.
+
+        ``exclude`` removes chunks already being fetched or already missed.
+        The result is ordered by index (i.e., by deadline).
+        """
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window!r}")
+        start = max(0, position)
+        stop = min(self.video.n_chunks, start + window)
+        skip = exclude or set()
+        return [
+            i for i in range(start, stop) if i not in self._held and i not in skip
+        ]
+
+    def contiguous_from(self, position: int) -> int:
+        """Length of the held run starting at ``position`` (buffered playtime)."""
+        run = 0
+        i = max(0, position)
+        while i < self.video.n_chunks and i in self._held:
+            run += 1
+            i += 1
+        return run
+
+    def completion(self) -> float:
+        """Fraction of the video held, in [0, 1]."""
+        return len(self._held) / self.video.n_chunks

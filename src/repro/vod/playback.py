@@ -1,0 +1,138 @@
+"""Playback sessions: positions, deadlines and miss accounting.
+
+A session starts at a wall-clock instant and consumes chunks at the
+video's bitrate.  A chunk not present in the buffer when its playback
+instant arrives is a *miss* (the player skips it — the VoD behaviour the
+paper measures as "chunk miss rate": "the percentage of chunks which
+fail to be downloaded before the respective playback deadlines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from .buffer import ChunkBuffer
+from .video import Video
+
+__all__ = ["PlaybackSession", "SlotPlaybackStats"]
+
+
+@dataclass(frozen=True)
+class SlotPlaybackStats:
+    """Chunks that came due and chunks missed during one advance call."""
+
+    due: int
+    missed: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction missed among due chunks; 0 when nothing was due."""
+        return self.missed / self.due if self.due else 0.0
+
+
+class PlaybackSession:
+    """Tracks one peer's playback through one video.
+
+    Parameters
+    ----------
+    video:
+        The video being watched.
+    buffer:
+        The peer's chunk buffer (consulted at each deadline).
+    start_time:
+        Simulated time at which playback of chunk 0 begins.
+    start_position:
+        First chunk index to play — static-network experiments stagger
+        peers by starting them mid-video.
+    """
+
+    def __init__(
+        self,
+        video: Video,
+        buffer: ChunkBuffer,
+        start_time: float,
+        start_position: int = 0,
+    ) -> None:
+        if not 0 <= start_position <= video.n_chunks:
+            raise ValueError(
+                f"start_position {start_position!r} out of range "
+                f"[0, {video.n_chunks}]"
+            )
+        self.video = video
+        self.buffer = buffer
+        self.start_time = float(start_time)
+        self.start_position = int(start_position)
+        self.position = int(start_position)
+        self.missed: Set[int] = set()
+        self.played = 0
+        self._last_advance = float(start_time)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def deadline_of(self, index: int) -> float:
+        """Absolute simulated time at which chunk ``index`` is consumed."""
+        offset = (index - self.start_position) / self.video.chunks_per_second
+        return self.start_time + offset
+
+    def seconds_to_deadline(self, index: int, now: float) -> float:
+        """Seconds from ``now`` until chunk ``index`` plays (negative if overdue)."""
+        return self.deadline_of(index) - now
+
+    def due_position(self, now: float) -> int:
+        """Index of the first chunk not yet due at time ``now``."""
+        elapsed = max(0.0, now - self.start_time)
+        due = self.start_position + int(elapsed * self.video.chunks_per_second)
+        return min(due, self.video.n_chunks)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the session has played (or skipped) every chunk."""
+        return self.position >= self.video.n_chunks
+
+    @property
+    def end_time(self) -> float:
+        """Simulated time at which the last chunk is consumed."""
+        remaining = self.video.n_chunks - self.start_position
+        return self.start_time + remaining / self.video.chunks_per_second
+
+    # ------------------------------------------------------------------
+    # Advancing
+    # ------------------------------------------------------------------
+    def advance_to(self, now: float) -> SlotPlaybackStats:
+        """Consume every chunk whose deadline passed since the last call.
+
+        Held chunks count as played; absent ones as missed and are
+        recorded in :attr:`missed` so the request window skips them.
+        """
+        if now < self._last_advance:
+            raise ValueError(
+                f"time went backwards: {now!r} < {self._last_advance!r}"
+            )
+        self._last_advance = float(now)
+        target = self.due_position(now)
+        due = 0
+        missed = 0
+        while self.position < target:
+            index = self.position
+            due += 1
+            if self.buffer.holds(index):
+                self.played += 1
+            else:
+                self.missed.add(index)
+                missed += 1
+            self.position += 1
+        return SlotPlaybackStats(due=due, missed=missed)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def miss_rate(self) -> float:
+        """Lifetime miss fraction among consumed chunks."""
+        consumed = self.played + len(self.missed)
+        return len(self.missed) / consumed if consumed else 0.0
+
+    def remaining_chunks(self) -> int:
+        """Chunks not yet due."""
+        return self.video.n_chunks - self.position

@@ -1,0 +1,66 @@
+"""Deadline-based chunk valuation.
+
+Section V adopts the valuation of Wu et al. [9]:
+
+    v(d) = α_d / log(β_d + d)
+
+where ``d`` is the time to the chunk's playback deadline (seconds here),
+α_d = 2 and β_d = 1.2.  Chunks about to be played are worth the most;
+with a 10-second prefetch window (d ∈ [0.1, 10]) the valuation spans
+roughly [0.8, 8], matching the paper's quoted range.
+
+Overdue chunks (d ≤ 0) are clamped to ``d = 0``: the valuation stays
+finite (≈ 11) and maximal, expressing extreme urgency.  The system layer
+normally drops overdue chunks from the request window before valuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeadlineValuation"]
+
+
+@dataclass(frozen=True)
+class DeadlineValuation:
+    """The paper's deadline valuation function, vectorized.
+
+    Example
+    -------
+    >>> v = DeadlineValuation()
+    >>> bool(v.value(0.1) > v.value(10.0))
+    True
+    >>> 0.7 < v.value(10.0) < 0.9
+    True
+    """
+
+    alpha: float = 2.0
+    beta: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha!r}")
+        if self.beta <= 1.0:
+            raise ValueError(
+                f"beta must exceed 1 so log(beta + d) > 0 for d >= 0, got {self.beta!r}"
+            )
+
+    def value(self, seconds_to_deadline: float) -> float:
+        """Valuation of a chunk due in ``seconds_to_deadline`` seconds."""
+        d = max(0.0, float(seconds_to_deadline))
+        return self.alpha / float(np.log(self.beta + d))
+
+    def values(self, seconds_to_deadline: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value`."""
+        d = np.maximum(0.0, np.asarray(seconds_to_deadline, dtype=float))
+        return self.alpha / np.log(self.beta + d)
+
+    def max_value(self) -> float:
+        """Largest attainable valuation (at d = 0)."""
+        return self.value(0.0)
+
+    def min_value(self, horizon_seconds: float) -> float:
+        """Smallest valuation within a prefetch horizon of ``horizon_seconds``."""
+        return self.value(horizon_seconds)

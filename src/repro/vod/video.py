@@ -1,0 +1,158 @@
+"""Video catalog: videos, chunks and their timing.
+
+Paper settings (Section V): 100 short videos of about 20 MB each,
+playback bitrate 640 Kbps (YouTube-360p-like), chunk size 8 KB (a
+PPStream sub-piece).  At those numbers a video holds 2560 chunks and
+playback consumes 10 chunks per second, i.e. 100 chunks per 10-second
+time slot — which is exactly the paper's 100-chunk prefetch window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ChunkId", "Video", "VideoCatalog"]
+
+#: Chunks are addressed globally as (video_id, chunk_index).
+ChunkId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Video:
+    """A single video and its derived chunk timing.
+
+    Attributes
+    ----------
+    video_id:
+        Catalog index, 0-based.
+    n_chunks:
+        Number of equal-sized chunks.
+    chunk_size_bytes:
+        Bytes per chunk.
+    bitrate_bps:
+        Playback bitrate in bits per second.
+    """
+
+    video_id: int
+    n_chunks: int
+    chunk_size_bytes: int
+    bitrate_bps: int
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 1:
+            raise ValueError(f"video needs at least one chunk, got {self.n_chunks!r}")
+        if self.chunk_size_bytes < 1 or self.bitrate_bps < 1:
+            raise ValueError("chunk size and bitrate must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the video in bytes."""
+        return self.n_chunks * self.chunk_size_bytes
+
+    @property
+    def chunks_per_second(self) -> float:
+        """Playback consumption rate in chunks per second."""
+        return self.bitrate_bps / 8.0 / self.chunk_size_bytes
+
+    @property
+    def duration_seconds(self) -> float:
+        """Playback duration in seconds."""
+        return self.n_chunks / self.chunks_per_second
+
+    def chunk_id(self, index: int) -> ChunkId:
+        """Global id of chunk ``index``; bounds-checked."""
+        if not 0 <= index < self.n_chunks:
+            raise IndexError(
+                f"chunk index {index!r} out of range [0, {self.n_chunks}) "
+                f"for video {self.video_id}"
+            )
+        return (self.video_id, index)
+
+    def chunk_playback_offset(self, index: int) -> float:
+        """Seconds after playback start at which chunk ``index`` is consumed."""
+        return index / self.chunks_per_second
+
+
+class VideoCatalog:
+    """The collection of videos available in the system.
+
+    Example
+    -------
+    >>> catalog = VideoCatalog.paper_default(n_videos=3)
+    >>> catalog[0].n_chunks
+    2560
+    >>> round(catalog[0].chunks_per_second, 1)
+    10.0
+    """
+
+    #: Paper defaults.
+    DEFAULT_N_VIDEOS = 100
+    DEFAULT_SIZE_BYTES = 20 * 1024 * 1024
+    DEFAULT_CHUNK_BYTES = 8 * 1024
+    DEFAULT_BITRATE_BPS = 640 * 1000
+
+    def __init__(self, videos: List[Video]) -> None:
+        if not videos:
+            raise ValueError("catalog cannot be empty")
+        self._videos: Dict[int, Video] = {}
+        for video in videos:
+            if video.video_id in self._videos:
+                raise ValueError(f"duplicate video id {video.video_id!r}")
+            self._videos[video.video_id] = video
+
+    @classmethod
+    def paper_default(
+        cls,
+        n_videos: int = DEFAULT_N_VIDEOS,
+        size_bytes: int = DEFAULT_SIZE_BYTES,
+        chunk_size_bytes: int = DEFAULT_CHUNK_BYTES,
+        bitrate_bps: int = DEFAULT_BITRATE_BPS,
+        size_jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "VideoCatalog":
+        """Build a catalog with the paper's parameters.
+
+        ``size_jitter`` (fraction, e.g. 0.1) varies per-video size
+        uniformly around ``size_bytes``, reflecting "around 20 MB".
+        """
+        if size_jitter and rng is None:
+            raise ValueError("size_jitter requires an rng")
+        videos = []
+        for vid in range(n_videos):
+            size = size_bytes
+            if size_jitter:
+                factor = 1.0 + size_jitter * (2.0 * rng.random() - 1.0)
+                size = max(chunk_size_bytes, int(size_bytes * factor))
+            n_chunks = max(1, size // chunk_size_bytes)
+            videos.append(
+                Video(
+                    video_id=vid,
+                    n_chunks=int(n_chunks),
+                    chunk_size_bytes=chunk_size_bytes,
+                    bitrate_bps=bitrate_bps,
+                )
+            )
+        return cls(videos)
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def __getitem__(self, video_id: int) -> Video:
+        return self._videos[video_id]
+
+    def __iter__(self) -> Iterator[Video]:
+        return iter(self._videos.values())
+
+    def __contains__(self, video_id: int) -> bool:
+        return video_id in self._videos
+
+    def video_ids(self) -> List[int]:
+        """All video ids in ascending order."""
+        return sorted(self._videos)
+
+    def total_chunks(self) -> int:
+        """Total chunk count across the catalog."""
+        return sum(v.n_chunks for v in self._videos.values())

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_problem() -> SchedulingProblem:
+    """A hand-built 4-request / 2-uploader instance with a known optimum.
+
+    Uploaders: 100 (B=2), 200 (B=1).
+    Requests (peer, chunk, v, candidates{uploader: cost}):
+      r0: (1, a, 8.0, {100: 1.0, 200: 2.0})   best edge 7.0 at 100
+      r1: (2, b, 6.0, {100: 1.0})             edge 5.0 at 100
+      r2: (3, c, 5.0, {100: 4.0, 200: 1.0})   edges 1.0 / 4.0
+      r3: (4, d, 2.0, {200: 3.0})             edge -1.0 (never worth serving)
+
+    Optimum: r0→100, r1→100, r2→200; r3 unserved; welfare = 7+5+4 = 16.
+    """
+    p = SchedulingProblem()
+    p.set_capacity(100, 2)
+    p.set_capacity(200, 1)
+    p.add_request(peer=1, chunk="a", valuation=8.0, candidates={100: 1.0, 200: 2.0})
+    p.add_request(peer=2, chunk="b", valuation=6.0, candidates={100: 1.0})
+    p.add_request(peer=3, chunk="c", valuation=5.0, candidates={100: 4.0, 200: 1.0})
+    p.add_request(peer=4, chunk="d", valuation=2.0, candidates={200: 3.0})
+    return p
+
+
+SMALL_PROBLEM_OPTIMUM = 16.0
+
+
+@pytest.fixture
+def small_problem_optimum() -> float:
+    return SMALL_PROBLEM_OPTIMUM

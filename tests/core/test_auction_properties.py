@@ -1,0 +1,111 @@
+"""Property-based tests: the auction is optimal on arbitrary instances.
+
+These are the numerical verification of Theorem 1: for random problems,
+the auction's welfare matches the Hungarian oracle within n·ε, the
+result is primal feasible, the duals are feasible, and complementary
+slackness holds within ε.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import AuctionSolver
+from repro.core.duality import check_complementary_slackness, duality_gap, verify_theorem1
+from repro.core.exact import solve_hungarian
+from repro.core.problem import SchedulingProblem
+
+EPS = 1e-6
+
+
+@st.composite
+def problems(draw):
+    """Random scheduling problems with diverse shapes, including scarcity."""
+    n_uploaders = draw(st.integers(1, 6))
+    uploader_ids = [100 + i for i in range(n_uploaders)]
+    capacities = [draw(st.integers(0, 3)) for _ in uploader_ids]
+    n_requests = draw(st.integers(1, 25))
+    p = SchedulingProblem()
+    for uid, cap in zip(uploader_ids, capacities):
+        p.set_capacity(uid, cap)
+    for r in range(n_requests):
+        k = draw(st.integers(0, n_uploaders))
+        chosen = draw(
+            st.permutations(uploader_ids).map(lambda perm: perm[:k])
+        )
+        candidates = {}
+        for uid in chosen:
+            cost = draw(
+                st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+            )
+            candidates[uid] = round(cost, 3)
+        valuation = round(
+            draw(st.floats(0.0, 12.0, allow_nan=False, allow_infinity=False)), 3
+        )
+        p.add_request(peer=r, chunk=f"c{r}", valuation=valuation, candidates=candidates)
+    return p
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=problems(), mode=st.sampled_from(["gauss-seidel", "jacobi"]))
+def test_auction_matches_hungarian_within_eps(problem, mode):
+    result = AuctionSolver(epsilon=EPS, mode=mode).solve(problem)
+    result.check_feasible(problem)
+    optimum = solve_hungarian(problem).welfare(problem)
+    welfare = result.welfare(problem)
+    assert welfare >= optimum - problem.n_requests * EPS - 1e-9
+    assert welfare <= optimum + 1e-9  # feasible ⇒ can't beat the optimum
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=problems(), mode=st.sampled_from(["gauss-seidel", "jacobi"]))
+def test_theorem1_certificates(problem, mode):
+    result = AuctionSolver(epsilon=EPS, mode=mode).solve(problem)
+    report = verify_theorem1(problem, result, epsilon=EPS)
+    assert report.optimal, report.violations[:5]
+
+
+@settings(max_examples=40, deadline=None)
+@given(problem=problems())
+def test_duality_gap_bounds(problem):
+    result = AuctionSolver(epsilon=EPS, mode="gauss-seidel").solve(problem)
+    gap = duality_gap(problem, result)
+    assert -1e-9 <= gap <= result.n_served() * EPS + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=problems())
+def test_prices_nonnegative_and_bounded_by_values(problem):
+    """λ_u ≥ 0, and no winner pays more than its valuation allows."""
+    result = AuctionSolver(epsilon=EPS, mode="jacobi").solve(problem)
+    for price in result.prices.values():
+        assert price >= 0.0
+    for r, uploader in result.assignment.items():
+        if uploader is None:
+            continue
+        value = problem.edge_value(r, uploader)
+        # Winner's utility at the final price stays ≥ −ε.
+        assert value - result.prices[uploader] >= -EPS - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=problems())
+def test_gauss_seidel_and_jacobi_agree(problem):
+    gs = AuctionSolver(epsilon=EPS, mode="gauss-seidel").solve(problem)
+    jac = AuctionSolver(epsilon=EPS, mode="jacobi").solve(problem)
+    assert gs.welfare(problem) == pytest.approx(
+        jac.welfare(problem), abs=2 * problem.n_requests * EPS + 1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=problems(), seed=st.integers(0, 100))
+def test_idempotent_across_runs(problem, seed):
+    """The solver is deterministic: same problem ⇒ same assignment."""
+    a = AuctionSolver(epsilon=EPS, mode="jacobi").solve(problem)
+    b = AuctionSolver(epsilon=EPS, mode="jacobi").solve(problem)
+    assert a.assignment == b.assignment
+    assert a.prices == b.prices

@@ -1,0 +1,65 @@
+"""Tests for the ε-scaling auction driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.epsilon_scaling import ScaledAuctionSolver
+from repro.core.exact import solve_hungarian
+from repro.core.problem import random_problem
+
+
+class TestScaling:
+    def test_known_optimum(self, small_problem, small_problem_optimum):
+        solver = ScaledAuctionSolver(epsilon_final=1e-6)
+        result = solver.solve(small_problem)
+        assert result.welfare(small_problem) == pytest.approx(small_problem_optimum)
+
+    def test_runs_multiple_phases(self, small_problem):
+        solver = ScaledAuctionSolver(epsilon_final=1e-3, theta=4.0)
+        solver.solve(small_problem)
+        assert len(solver.phases) >= 3
+        epsilons = [p.epsilon for p in solver.phases]
+        assert epsilons == sorted(epsilons, reverse=True)
+        assert epsilons[-1] == pytest.approx(1e-3)
+
+    def test_guarantee_holds_even_with_fallback(self, rng):
+        """Whether or not the warm start strands prices, the returned
+        result is within n·ε of the optimum."""
+        for _ in range(6):
+            p = random_problem(rng, n_requests=60, n_uploaders=5, capacity_range=(1, 2))
+            solver = ScaledAuctionSolver(epsilon_final=1e-4)
+            result = solver.solve(p)
+            result.check_feasible(p)
+            optimum = solve_hungarian(p).welfare(p)
+            assert result.welfare(p) >= optimum - p.n_requests * 1e-4 - 1e-9
+
+    def test_total_bids_accumulates(self, small_problem):
+        solver = ScaledAuctionSolver(epsilon_final=1e-3)
+        solver.solve(small_problem)
+        assert solver.total_bids() == sum(p.bids for p in solver.phases)
+
+    def test_scheduler_protocol_alias(self, small_problem):
+        solver = ScaledAuctionSolver(epsilon_final=1e-6)
+        assert solver.schedule(small_problem).welfare(small_problem) == pytest.approx(
+            solver.solve(small_problem).welfare(small_problem)
+        )
+
+    def test_explicit_initial_epsilon(self, small_problem):
+        solver = ScaledAuctionSolver(epsilon_final=0.01, epsilon_initial=0.02, theta=2.0)
+        solver.solve(small_problem)
+        assert solver.phases[0].epsilon == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaledAuctionSolver(epsilon_final=0.0)
+        with pytest.raises(ValueError):
+            ScaledAuctionSolver(theta=1.0)
+
+    def test_contended_instance_matches_oracle(self):
+        rng = np.random.default_rng(9)
+        p = random_problem(rng, n_requests=120, n_uploaders=4, capacity_range=(1, 2))
+        result = ScaledAuctionSolver(epsilon_final=0.001).solve(p)
+        optimum = solve_hungarian(p).welfare(p)
+        assert result.welfare(p) >= optimum - 120 * 0.001 - 1e-9

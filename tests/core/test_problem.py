@@ -1,0 +1,155 @@
+"""Tests for the scheduling-problem model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import ChunkRequest, SchedulingProblem, random_problem
+
+
+class TestConstruction:
+    def test_capacity_declaration(self):
+        p = SchedulingProblem()
+        p.set_capacity(1, 3)
+        assert p.capacity_of(1) == 3
+        assert p.total_capacity() == 3
+
+    def test_capacity_validation(self):
+        p = SchedulingProblem()
+        with pytest.raises(ValueError):
+            p.set_capacity(1, -1)
+        with pytest.raises(ValueError):
+            p.set_capacity(1, 2.5)
+
+    def test_add_request_returns_index(self):
+        p = SchedulingProblem()
+        p.set_capacity(10, 1)
+        assert p.add_request(1, "a", 5.0, {10: 1.0}) == 0
+        assert p.add_request(1, "b", 5.0, {10: 1.0}) == 1
+
+    def test_duplicate_request_rejected(self):
+        p = SchedulingProblem()
+        p.set_capacity(10, 1)
+        p.add_request(1, "a", 5.0, {10: 1.0})
+        with pytest.raises(ValueError):
+            p.add_request(1, "a", 6.0, {10: 2.0})
+
+    def test_self_upload_rejected(self):
+        p = SchedulingProblem()
+        p.set_capacity(1, 1)
+        with pytest.raises(ValueError):
+            p.add_request(1, "a", 5.0, {1: 0.5})
+
+    def test_unknown_uploader_rejected(self):
+        p = SchedulingProblem()
+        with pytest.raises(ValueError):
+            p.add_request(1, "a", 5.0, {99: 1.0})
+
+    def test_bad_cost_rejected(self):
+        p = SchedulingProblem()
+        p.set_capacity(10, 1)
+        with pytest.raises(ValueError):
+            p.add_request(1, "a", 5.0, {10: -1.0})
+        with pytest.raises(ValueError):
+            p.add_request(1, "b", 5.0, {10: float("inf")})
+
+    def test_nonfinite_valuation_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkRequest(peer=1, chunk="a", valuation=float("nan"))
+
+    def test_empty_candidates_allowed(self):
+        p = SchedulingProblem()
+        index = p.add_request(1, "a", 5.0, {})
+        assert len(p.candidates_of(index)) == 0
+
+
+class TestAccessors:
+    def test_edge_values(self, small_problem):
+        assert small_problem.edge_value(0, 100) == pytest.approx(7.0)
+        assert small_problem.edge_value(0, 200) == pytest.approx(6.0)
+        assert small_problem.edge_value(3, 200) == pytest.approx(-1.0)
+
+    def test_cost_of_edge_missing_raises(self, small_problem):
+        with pytest.raises(KeyError):
+            small_problem.cost_of_edge(1, 200)
+
+    def test_counts(self, small_problem):
+        assert small_problem.n_requests == 4
+        assert small_problem.n_edges() == 6
+        assert small_problem.total_capacity() == 3
+        assert small_problem.uploaders() == [100, 200]
+
+    def test_max_edge_value(self, small_problem):
+        assert small_problem.max_edge_value() == pytest.approx(7.0)
+
+    def test_describe_mentions_sizes(self, small_problem):
+        text = small_problem.describe()
+        assert "requests=4" in text and "uploaders=2" in text
+
+
+class TestWelfare:
+    def test_welfare_of_known_assignment(self, small_problem):
+        assignment = {0: 100, 1: 100, 2: 200, 3: None}
+        assert small_problem.welfare(assignment) == pytest.approx(16.0)
+
+    def test_unserved_contributes_zero(self, small_problem):
+        assert small_problem.welfare({0: None, 1: None, 2: None, 3: None}) == 0.0
+
+
+class TestDenseView:
+    def test_shapes_and_padding(self, small_problem):
+        dense = small_problem.dense()
+        assert dense.values.shape == (4, 2)
+        assert dense.uploader_index.shape == (4, 2)
+        # Request 1 has one candidate: second column padded.
+        assert dense.uploader_index[1, 1] == -1
+        assert dense.values[1, 1] == -np.inf
+
+    def test_values_match_edges(self, small_problem):
+        dense = small_problem.dense()
+        uploader_ids = dense.uploaders
+        for r in range(4):
+            for k in range(dense.max_candidates):
+                idx = dense.uploader_index[r, k]
+                if idx < 0:
+                    continue
+                uploader = int(uploader_ids[idx])
+                assert dense.values[r, k] == pytest.approx(
+                    small_problem.edge_value(r, uploader)
+                )
+
+    def test_cached_and_invalidated(self, small_problem):
+        first = small_problem.dense()
+        assert small_problem.dense() is first
+        small_problem.set_capacity(300, 1)
+        assert small_problem.dense() is not first
+
+    def test_capacity_alignment(self, small_problem):
+        dense = small_problem.dense()
+        for uploader, capacity in zip(dense.uploaders, dense.capacity):
+            assert small_problem.capacity_of(int(uploader)) == int(capacity)
+
+
+class TestRandomProblem:
+    def test_respects_sizes(self, rng):
+        p = random_problem(rng, n_requests=30, n_uploaders=7, max_candidates=4)
+        assert p.n_requests == 30
+        assert len(p.uploaders()) == 7
+        for r in range(30):
+            assert 1 <= len(p.candidates_of(r)) <= 4
+
+    def test_integer_weights_mode(self, rng):
+        p = random_problem(rng, n_requests=20, integer_weights=True)
+        for r in range(20):
+            assert float(p.request(r).valuation).is_integer()
+            for c in p.costs_of(r):
+                assert float(c).is_integer()
+
+    def test_deterministic_for_seed(self):
+        a = random_problem(np.random.default_rng(5), n_requests=10)
+        b = random_problem(np.random.default_rng(5), n_requests=10)
+        assert a.welfare({r: None for r in range(10)}) == 0.0
+        for r in range(10):
+            assert a.request(r).valuation == b.request(r).valuation
+            assert np.array_equal(a.candidates_of(r), b.candidates_of(r))

@@ -1,0 +1,54 @@
+"""Tests for experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import FIGURES, figure_config
+
+
+class TestFigureConfig:
+    @pytest.mark.parametrize("figure", sorted(FIGURES))
+    @pytest.mark.parametrize("scale", ["tiny", "bench"])
+    def test_all_figures_buildable(self, figure, scale):
+        config = figure_config(figure, scale=scale, seed=1)
+        config.system.validate()
+        assert config.figure == figure
+        assert config.duration_seconds > 0
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            figure_config("fig99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            figure_config("fig3", scale="huge")
+
+    def test_fig3_and_fig6_use_churn(self):
+        assert figure_config("fig3").churn
+        assert figure_config("fig6").churn
+        assert not figure_config("fig4").churn
+
+    def test_fig6_has_early_departures(self):
+        assert figure_config("fig6").system.early_departure_prob == 0.6
+        assert figure_config("fig3").system.early_departure_prob == 0.0
+
+    def test_fig2_single_scheduler(self):
+        assert figure_config("fig2").schedulers == ("auction",)
+
+    def test_comparison_figures_include_locality(self):
+        for figure in ("fig3", "fig4", "fig5", "fig6"):
+            assert "locality" in figure_config(figure).schedulers
+
+    def test_static_figures_use_synchronized_audience(self):
+        assert not figure_config("fig4").stagger
+        assert not figure_config("fig5").stagger
+
+    def test_paper_scale_uses_paper_parameters(self):
+        config = figure_config("fig4", scale="paper")
+        assert config.n_static_peers == 500
+        assert config.system.n_videos == 100
+        assert config.system.prefetch_chunks == 100
+
+    def test_seed_propagates(self):
+        assert figure_config("fig3", seed=42).system.seed == 42

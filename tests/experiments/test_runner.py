@@ -1,0 +1,57 @@
+"""Tests for the experiment runners (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import figure_config
+from repro.experiments.runner import run_comparison, run_price_trace
+
+
+class TestRunComparison:
+    def test_returns_collector_per_scheduler(self):
+        config = figure_config("fig4", scale="tiny", seed=1)
+        results = run_comparison(config)
+        assert set(results) == {"auction", "locality"}
+        for collector in results.values():
+            assert len(collector.slots) == int(
+                config.duration_seconds / config.system.slot_seconds
+            )
+
+    def test_warmup_discarded(self):
+        config = figure_config("fig4", scale="tiny", seed=1)
+        results = run_comparison(config)
+        for collector in results.values():
+            # Slots restart after warmup: first recorded time == warmup.
+            assert collector.slots[0].time == pytest.approx(config.warmup_seconds)
+
+    def test_workload_identical_across_schedulers(self):
+        config = figure_config("fig6", scale="tiny", seed=2)
+        results = run_comparison(config)
+        peers_a = [s.n_peers for s in results["auction"].slots]
+        peers_l = [s.n_peers for s in results["locality"].slots]
+        assert peers_a == peers_l  # same arrivals/departure draws
+
+
+class TestRunPriceTrace:
+    def test_trace_structure(self):
+        config = figure_config("fig2", scale="tiny", seed=0)
+        trace = run_price_trace(config, n_slots=3)
+        assert len(trace.slot_starts) == 3
+        assert len(trace.convergence_seconds) == 3
+        assert len(trace.times) == len(trace.prices)
+        # Each slot contributes at least its opening zero point.
+        assert len(trace.times) >= 3
+        assert all(p >= 0.0 for p in trace.prices)
+
+    def test_convergence_within_slot(self):
+        config = figure_config("fig2", scale="tiny", seed=0)
+        trace = run_price_trace(config, n_slots=3)
+        slot = config.system.slot_seconds
+        assert all(c < slot for c in trace.convergence_seconds)
+        assert trace.mean_convergence() < slot
+
+    def test_times_monotone(self):
+        config = figure_config("fig2", scale="tiny", seed=0)
+        trace = run_price_trace(config, n_slots=2)
+        assert list(trace.times) == sorted(trace.times)

@@ -1,0 +1,69 @@
+"""Tests for ablation sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    epsilon_sweep,
+    render_epsilon_sweep,
+    render_solver_comparison,
+    scheduler_shootout,
+    solver_comparison,
+)
+
+
+class TestEpsilonSweep:
+    def test_rows_cover_requested_epsilons(self):
+        rows = epsilon_sweep(
+            [1.0, 0.01],
+            rng=np.random.default_rng(0),
+            n_requests=60,
+            n_uploaders=8,
+        )
+        assert [r.epsilon for r in rows] == [1.0, 0.01]
+
+    def test_smaller_epsilon_at_least_as_optimal(self):
+        rows = epsilon_sweep(
+            [5.0, 0.001],
+            rng=np.random.default_rng(1),
+            n_requests=80,
+            n_uploaders=6,
+        )
+        assert rows[1].optimality >= rows[0].optimality - 1e-9
+        assert rows[1].optimality == pytest.approx(1.0, abs=1e-3)
+
+    def test_render(self):
+        rows = epsilon_sweep([0.1], rng=np.random.default_rng(0), n_requests=30)
+        text = render_epsilon_sweep(rows)
+        assert "epsilon" in text and "optimality" in text
+
+
+class TestSolverComparison:
+    def test_all_solvers_near_optimal(self):
+        rows = solver_comparison(
+            rng=np.random.default_rng(2), n_requests=60, n_uploaders=8
+        )
+        names = {r.solver for r in rows}
+        assert {"auction-gs", "auction-jacobi", "hungarian", "lp", "min-cost-flow"} <= names
+        best = max(r.welfare for r in rows)
+        for row in rows:
+            assert row.welfare >= best - 60 * 0.01 - 1e-3, row
+
+    def test_render(self):
+        rows = solver_comparison(rng=np.random.default_rng(0), n_requests=20, n_uploaders=4)
+        assert "hungarian" in render_solver_comparison(rows)
+
+
+class TestShootout:
+    def test_runs_all_schedulers(self):
+        results = scheduler_shootout(
+            schedulers=("auction", "locality"),
+            seed=0,
+            n_peers=12,
+            duration_seconds=20.0,
+        )
+        assert set(results) == {"auction", "locality"}
+        for totals in results.values():
+            assert "welfare_mean_per_slot" in totals

@@ -1,0 +1,55 @@
+"""Integration: the whole P2P system driven by the message-level protocol.
+
+Runs the same workload once with the centralized auction solver and once
+with the full distributed protocol (per-slot simulated network, bids,
+timeouts).  Theorem 1 says both must reach the slot optima, so the
+system-level series should match almost exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.p2p.config import SystemConfig
+from repro.p2p.system import P2PSystem
+
+
+def run(scheduler: str, seed: int = 23):
+    system = P2PSystem(SystemConfig.tiny(seed=seed, scheduler=scheduler))
+    system.populate_static(15)
+    return system.run(30.0)
+
+
+class TestDistributedSystemMode:
+    def test_matches_centralized_welfare(self):
+        central = run("auction")
+        distributed = run("auction-distributed")
+        for c, d in zip(central.slots, distributed.slots):
+            assert d.welfare == pytest.approx(
+                c.welfare, abs=0.05 * max(1.0, abs(c.welfare))
+            )
+
+    def test_same_traffic_profile(self):
+        central = run("auction")
+        distributed = run("auction-distributed")
+        inter_c = sum(s.inter_isp_chunks for s in central.slots)
+        inter_d = sum(s.inter_isp_chunks for s in distributed.slots)
+        served_c = sum(s.n_served for s in central.slots)
+        served_d = sum(s.n_served for s in distributed.slots)
+        assert served_d == pytest.approx(served_c, rel=0.05)
+        assert abs(inter_d - inter_c) <= max(3, 0.2 * max(inter_c, 1))
+
+    def test_distributed_under_message_loss_still_plays(self):
+        from repro.core.scheduler import DistributedAuctionScheduler
+
+        config = SystemConfig.tiny(seed=23)
+        system = P2PSystem(
+            config,
+            scheduler=DistributedAuctionScheduler(loss_probability=0.15),
+        )
+        system.populate_static(15)
+        collector = system.run(30.0)
+        # Loss costs some transfers but the system keeps functioning.
+        assert sum(s.n_served for s in collector.slots) > 0
+        for slot in collector.slots:
+            assert 0.0 <= slot.miss_rate <= 1.0

@@ -1,0 +1,118 @@
+"""Integration: whole-system invariants and the paper's orderings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.p2p.config import SystemConfig
+from repro.p2p.system import P2PSystem
+
+
+def run_system(scheduler, seed=13, n_peers=25, duration=40.0, churn=False, **overrides):
+    config = SystemConfig.tiny(seed=seed, scheduler=scheduler, **overrides)
+    system = P2PSystem(config)
+    if n_peers:
+        system.populate_static(n_peers)
+    collector = system.run(duration, churn=churn)
+    return system, collector
+
+
+class TestConservation:
+    def test_chunks_conserved(self):
+        system, collector = run_system("auction")
+        transferred = sum(s.inter_isp_chunks + s.intra_isp_chunks for s in collector.slots)
+        downloaded = sum(p.chunks_downloaded for p in system.peers.values())
+        uploaded = sum(p.chunks_uploaded for p in system.peers.values())
+        assert transferred == downloaded == uploaded
+
+    def test_served_matches_traffic(self):
+        _, collector = run_system("locality")
+        for slot in collector.slots:
+            assert slot.n_served == slot.inter_isp_chunks + slot.intra_isp_chunks
+
+    def test_capacity_respected_every_slot(self):
+        """No uploader ever ships more than B(u) chunks in a slot."""
+        config = SystemConfig.tiny(seed=3)
+        system = P2PSystem(config)
+        system.populate_static(20)
+        before = {p.peer_id: p.chunks_uploaded for p in system.peers.values()}
+        system.run_slot()
+        for peer in system.peers.values():
+            shipped = peer.chunks_uploaded - before.get(peer.peer_id, 0)
+            assert shipped <= peer.upload_capacity_chunks
+
+    def test_miss_rates_bounded(self):
+        _, collector = run_system("auction", duration=60.0)
+        for slot in collector.slots:
+            assert 0.0 <= slot.miss_rate <= 1.0
+            assert 0.0 <= slot.inter_isp_fraction <= 1.0
+
+
+class TestReproducibility:
+    def test_same_seed_identical_series(self):
+        _, a = run_system("auction", seed=21)
+        _, b = run_system("auction", seed=21)
+        assert [s.welfare for s in a.slots] == [s.welfare for s in b.slots]
+        assert [s.chunks_missed for s in a.slots] == [s.chunks_missed for s in b.slots]
+
+    def test_different_seed_differs(self):
+        _, a = run_system("auction", seed=21)
+        _, b = run_system("auction", seed=22)
+        assert [s.welfare for s in a.slots] != [s.welfare for s in b.slots]
+
+
+class TestPaperOrderings:
+    """The paper's qualitative results on a small workload."""
+
+    def test_auction_beats_locality_on_welfare(self):
+        _, auction = run_system("auction", seed=31)
+        _, locality = run_system("locality", seed=31)
+        welfare_a = sum(s.welfare for s in auction.slots)
+        welfare_l = sum(s.welfare for s in locality.slots)
+        assert welfare_a > welfare_l
+
+    def test_auction_never_negative_welfare(self):
+        _, collector = run_system("auction", seed=31)
+        for slot in collector.slots:
+            assert slot.welfare >= -1e-9
+
+    def test_agnostic_worst_on_inter_isp(self):
+        _, auction = run_system("auction", seed=31)
+        _, agnostic = run_system("agnostic", seed=31)
+        inter_a = sum(s.inter_isp_chunks for s in auction.slots)
+        inter_g = sum(s.inter_isp_chunks for s in agnostic.slots)
+        total_a = max(1, sum(s.n_served for s in auction.slots))
+        total_g = max(1, sum(s.n_served for s in agnostic.slots))
+        assert inter_a / total_a <= inter_g / total_g
+
+    def test_auction_matches_hungarian_system_welfare(self):
+        """Per-slot optimality end-to-end: the auction-run system achieves
+        the same welfare trajectory as an exact-oracle-run system."""
+        _, auction = run_system("auction", seed=41, duration=30.0)
+        _, hungarian = run_system("hungarian", seed=41, duration=30.0)
+        for a, h in zip(auction.slots, hungarian.slots):
+            assert a.welfare == pytest.approx(h.welfare, abs=0.05 * max(1.0, abs(h.welfare)))
+
+
+class TestChurnRuns:
+    def test_churn_with_departures_stays_consistent(self):
+        system, collector = run_system(
+            "auction",
+            seed=17,
+            n_peers=0,
+            duration=60.0,
+            churn=True,
+            arrival_rate_per_s=0.8,
+            early_departure_prob=0.6,
+        )
+        assert system.arrivals > 0
+        transferred = sum(s.inter_isp_chunks + s.intra_isp_chunks for s in collector.slots)
+        # Upload/download counters of *online* peers can't exceed transfers.
+        downloaded = sum(p.chunks_downloaded for p in system.peers.values())
+        assert downloaded <= transferred
+
+    def test_population_tracks_arrivals_and_departures(self):
+        system, collector = run_system(
+            "auction", seed=18, n_peers=0, duration=60.0, churn=True
+        )
+        assert len(system.peers) == system.n_seeds() + system.arrivals - system.departures

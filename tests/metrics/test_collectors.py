@@ -1,0 +1,76 @@
+"""Tests for the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector, SlotMetrics
+
+
+def make_slot(time, welfare=10.0, inter=2, intra=8, due=100, missed=5, peers=50):
+    return SlotMetrics(
+        time=time,
+        n_peers=peers,
+        n_requests=120,
+        n_served=inter + intra,
+        welfare=welfare,
+        inter_isp_chunks=inter,
+        intra_isp_chunks=intra,
+        chunks_due=due,
+        chunks_missed=missed,
+    )
+
+
+class TestSlotMetrics:
+    def test_inter_isp_fraction(self):
+        assert make_slot(0).inter_isp_fraction == pytest.approx(0.2)
+
+    def test_inter_isp_fraction_no_traffic(self):
+        assert make_slot(0, inter=0, intra=0).inter_isp_fraction == 0.0
+
+    def test_miss_rate(self):
+        assert make_slot(0).miss_rate == pytest.approx(0.05)
+
+    def test_miss_rate_nothing_due(self):
+        assert make_slot(0, due=0, missed=0).miss_rate == 0.0
+
+
+class TestCollector:
+    def test_records_in_order(self):
+        collector = MetricsCollector()
+        collector.record(make_slot(0.0))
+        collector.record(make_slot(10.0))
+        assert len(collector) == 2
+
+    def test_rejects_non_monotone_time(self):
+        collector = MetricsCollector()
+        collector.record(make_slot(10.0))
+        with pytest.raises(ValueError):
+            collector.record(make_slot(10.0))
+
+    def test_series_extraction(self):
+        collector = MetricsCollector()
+        collector.record(make_slot(0.0, welfare=5.0))
+        collector.record(make_slot(10.0, welfare=15.0))
+        welfare = collector.welfare_series()
+        assert list(welfare.times) == [0.0, 10.0]
+        assert list(welfare.values) == [5.0, 15.0]
+        assert collector.inter_isp_series().values[0] == pytest.approx(0.2)
+        assert collector.miss_rate_series().values[0] == pytest.approx(0.05)
+        assert collector.peers_series().values[0] == 50.0
+
+    def test_totals_aggregate_correctly(self):
+        collector = MetricsCollector()
+        collector.record(make_slot(0.0, welfare=5.0, inter=1, intra=9, due=50, missed=1))
+        collector.record(make_slot(10.0, welfare=15.0, inter=3, intra=7, due=50, missed=3))
+        totals = collector.totals()
+        assert totals["welfare_total"] == pytest.approx(20.0)
+        assert totals["welfare_mean_per_slot"] == pytest.approx(10.0)
+        assert totals["inter_isp_fraction"] == pytest.approx(4 / 20)
+        assert totals["miss_rate"] == pytest.approx(4 / 100)
+        assert totals["chunks_transferred"] == 20.0
+
+    def test_totals_empty(self):
+        totals = MetricsCollector().totals()
+        assert totals["welfare_total"] == 0.0
+        assert totals["miss_rate"] == 0.0

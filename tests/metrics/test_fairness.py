@@ -1,0 +1,67 @@
+"""Tests for welfare decomposition and Jain's fairness index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.auction import AuctionSolver
+from repro.core.problem import random_problem
+from repro.metrics.fairness import jain_index, per_isp_welfare, per_peer_utilities
+
+
+class TestJainIndex:
+    def test_perfectly_even(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_floor(self):
+        assert jain_index([9.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            values = rng.random(10)
+            j = jain_index(values)
+            assert 1 / 10 - 1e-12 <= j <= 1.0 + 1e-12
+
+    def test_degenerate_inputs(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 2.0])
+
+    def test_scale_invariant(self):
+        values = [1.0, 2.0, 5.0]
+        assert jain_index(values) == pytest.approx(
+            jain_index([10 * v for v in values])
+        )
+
+
+class TestDecomposition:
+    def test_per_peer_sums_to_welfare(self, small_problem):
+        result = AuctionSolver(epsilon=1e-9).solve(small_problem)
+        utilities = per_peer_utilities(small_problem, result)
+        assert sum(utilities.values()) == pytest.approx(result.welfare(small_problem))
+
+    def test_unserved_peers_absent(self, small_problem):
+        result = AuctionSolver(epsilon=1e-9).solve(small_problem)
+        utilities = per_peer_utilities(small_problem, result)
+        assert 4 not in utilities  # request 3 (peer 4) never served
+
+    def test_per_isp_grouping(self, small_problem):
+        result = AuctionSolver(epsilon=1e-9).solve(small_problem)
+        isp_of = lambda peer: peer % 2
+        grouped = per_isp_welfare(small_problem, result, isp_of, n_isps=2)
+        assert set(grouped) == {0, 1}
+        assert sum(grouped.values()) == pytest.approx(result.welfare(small_problem))
+
+    def test_on_random_instances(self, rng):
+        p = random_problem(rng, n_requests=40, n_uploaders=6)
+        result = AuctionSolver(epsilon=1e-6).solve(p)
+        utilities = per_peer_utilities(p, result)
+        assert sum(utilities.values()) == pytest.approx(result.welfare(p))
+        # Served utilities are individually rational (never negative):
+        # the auction refuses negative-utility edges.
+        assert all(u >= -1e-9 for u in utilities.values())

@@ -1,0 +1,80 @@
+"""Tests for the time-series container."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+
+
+def make_series(pairs):
+    series = TimeSeries("test")
+    for t, v in pairs:
+        series.append(t, v)
+    return series
+
+
+class TestAppend:
+    def test_append_and_access(self):
+        series = make_series([(0.0, 1.0), (10.0, 3.0)])
+        assert len(series) == 2
+        assert list(series.times) == [0.0, 10.0]
+        assert list(series.values) == [1.0, 3.0]
+        assert series.pairs() == [(0.0, 1.0), (10.0, 3.0)]
+
+    def test_time_must_not_go_backwards(self):
+        series = make_series([(5.0, 1.0)])
+        with pytest.raises(ValueError):
+            series.append(4.0, 2.0)
+
+    def test_equal_times_allowed(self):
+        series = make_series([(5.0, 1.0)])
+        series.append(5.0, 2.0)
+        assert len(series) == 2
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert make_series([(0, 1.0), (1, 3.0)]).mean() == 2.0
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(TimeSeries("empty").mean())
+
+    def test_last(self):
+        assert make_series([(0, 1.0), (1, 9.0)]).last() == 9.0
+        with pytest.raises(IndexError):
+            TimeSeries("empty").last()
+
+    def test_tail_mean(self):
+        series = make_series([(i, float(i)) for i in range(10)])
+        assert series.tail_mean(0.5) == pytest.approx(7.0)  # mean of 5..9
+        assert series.tail_mean(1.0) == pytest.approx(4.5)
+
+    def test_tail_mean_validation(self):
+        series = make_series([(0, 1.0)])
+        with pytest.raises(ValueError):
+            series.tail_mean(0.0)
+
+    def test_slope_direction(self):
+        rising = make_series([(i, 2.0 * i) for i in range(5)])
+        falling = make_series([(i, -1.0 * i) for i in range(5)])
+        assert rising.slope() == pytest.approx(2.0)
+        assert falling.slope() == pytest.approx(-1.0)
+        assert make_series([(0, 1.0)]).slope() == 0.0
+
+
+class TestSmoothing:
+    def test_smoothed_constant_series_unchanged(self):
+        series = make_series([(i, 5.0) for i in range(6)])
+        assert list(series.smoothed(3).values) == [5.0] * 6
+
+    def test_smoothing_reduces_variance(self):
+        series = make_series([(i, float((-1) ** i)) for i in range(20)])
+        smoothed = series.smoothed(5)
+        assert smoothed.values.var() < series.values.var()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make_series([(0, 1.0)]).smoothed(0)

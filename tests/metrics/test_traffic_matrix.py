@@ -1,0 +1,78 @@
+"""Tests for the ISP traffic matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.traffic_matrix import TrafficMatrix
+
+
+class TestAccounting:
+    def test_record_and_totals(self):
+        tm = TrafficMatrix(3)
+        tm.record(0, 0, 5)
+        tm.record(0, 1, 2)
+        tm.record(2, 2)
+        assert tm.total() == 8
+        assert tm.intra_total() == 6
+        assert tm.inter_total() == 2
+        assert tm.inter_fraction() == pytest.approx(0.25)
+        assert tm.localization_index() == pytest.approx(0.75)
+
+    def test_row_and_column_sums(self):
+        tm = TrafficMatrix(2)
+        tm.record(0, 1, 3)
+        tm.record(1, 1, 4)
+        assert tm.isp_upload_totals() == [3, 4]
+        assert tm.isp_download_totals() == [0, 7]
+
+    def test_empty_matrix_degenerate_values(self):
+        tm = TrafficMatrix(2)
+        assert tm.inter_fraction() == 0.0
+        assert tm.localization_index() == 1.0
+
+    def test_matrix_copy_isolated(self):
+        tm = TrafficMatrix(2)
+        tm.record(0, 0)
+        m = tm.matrix()
+        m[0, 0] = 99
+        assert tm.matrix()[0, 0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(0)
+        with pytest.raises(ValueError):
+            TrafficMatrix(2).record(0, 0, -1)
+
+    def test_render_contains_summary(self):
+        tm = TrafficMatrix(2)
+        tm.record(0, 1, 2)
+        text = tm.render()
+        assert "localization" in text and "inter=2" in text
+
+
+class TestSystemIntegration:
+    def test_system_matrix_consistent_with_slot_metrics(self):
+        from repro.p2p.config import SystemConfig
+        from repro.p2p.system import P2PSystem
+
+        system = P2PSystem(SystemConfig.tiny(seed=9))
+        system.populate_static(15)
+        collector = system.run(20.0)
+        inter = sum(s.inter_isp_chunks for s in collector.slots)
+        intra = sum(s.intra_isp_chunks for s in collector.slots)
+        assert system.traffic_matrix.inter_total() == inter
+        assert system.traffic_matrix.intra_total() == intra
+
+    def test_auction_more_localized_than_agnostic(self):
+        from repro.p2p.config import SystemConfig
+        from repro.p2p.system import P2PSystem
+
+        loc = {}
+        for name in ("auction", "agnostic"):
+            system = P2PSystem(SystemConfig.tiny(seed=9, scheduler=name))
+            system.populate_static(15)
+            system.run(20.0)
+            loc[name] = system.traffic_matrix.localization_index()
+        assert loc["auction"] >= loc["agnostic"]

@@ -1,0 +1,87 @@
+"""Tests for ISP membership tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.isp import ISPTopology
+
+
+class TestMembership:
+    def test_explicit_assignment(self):
+        topo = ISPTopology(3)
+        assert topo.add_peer(1, isp=2) == 2
+        assert topo.isp_of(1) == 2
+        assert 1 in topo
+
+    def test_auto_assignment_balances(self):
+        topo = ISPTopology(3)
+        for peer in range(9):
+            topo.add_peer(peer)
+        assert topo.sizes() == [3, 3, 3]
+
+    def test_auto_assignment_fills_least_populated(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1, isp=0)
+        topo.add_peer(2, isp=0)
+        assert topo.add_peer(3) == 1  # ISP 1 is emptier
+
+    def test_duplicate_peer_rejected(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1)
+        with pytest.raises(ValueError):
+            topo.add_peer(1)
+
+    def test_bad_isp_index_rejected(self):
+        topo = ISPTopology(2)
+        with pytest.raises(ValueError):
+            topo.add_peer(1, isp=5)
+
+    def test_needs_at_least_one_isp(self):
+        with pytest.raises(ValueError):
+            ISPTopology(0)
+
+    def test_remove_peer(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1, isp=0)
+        topo.remove_peer(1)
+        assert 1 not in topo
+        assert topo.sizes() == [0, 0]
+
+    def test_remove_unknown_peer_raises(self):
+        with pytest.raises(KeyError):
+            ISPTopology(2).remove_peer(42)
+
+    def test_len_and_iter(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1)
+        topo.add_peer(2)
+        assert len(topo) == 2
+        assert sorted(topo) == [1, 2]
+
+
+class TestQueries:
+    def test_same_isp(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1, isp=0)
+        topo.add_peer(2, isp=0)
+        topo.add_peer(3, isp=1)
+        assert topo.same_isp(1, 2)
+        assert not topo.same_isp(1, 3)
+
+    def test_peers_in_returns_copy(self):
+        topo = ISPTopology(2)
+        topo.add_peer(1, isp=0)
+        roster = topo.peers_in(0)
+        roster.add(99)
+        assert 99 not in topo.peers_in(0)
+
+    def test_all_peers(self):
+        topo = ISPTopology(3)
+        topo.add_peer(5, isp=1)
+        topo.add_peer(6, isp=2)
+        assert topo.all_peers() == {5, 6}
+
+    def test_isp_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ISPTopology(2).isp_of(1)

@@ -1,0 +1,59 @@
+"""Property-based tests for the overlay graph invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import OverlayGraph
+
+# Random op streams: (op, a, b) where op 0=connect, 1=disconnect, 2=remove node.
+ops = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 15), st.integers(0, 15)),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=ops)
+def test_symmetry_invariant(operations):
+    """After any op sequence: b ∈ N(a) ⇔ a ∈ N(b), and no self loops."""
+    g = OverlayGraph(degree_target=4)
+    for op, a, b in operations:
+        if op == 0 and a != b:
+            g.connect(a, b)
+        elif op == 1:
+            g.disconnect(a, b)
+        elif op == 2:
+            g.remove_node(a)
+    for node in g.nodes():
+        assert node not in g.neighbors(node)
+        for other in g.neighbors(node):
+            assert node in g.neighbors(other)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=ops)
+def test_edge_count_matches_adjacency(operations):
+    g = OverlayGraph(degree_target=4)
+    for op, a, b in operations:
+        if op == 0 and a != b:
+            g.connect(a, b)
+        elif op == 1:
+            g.disconnect(a, b)
+        elif op == 2:
+            g.remove_node(a)
+    assert g.edge_count() == sum(g.degree(n) for n in g.nodes()) // 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    candidates=st.lists(st.integers(1, 30), max_size=20),
+    target=st.integers(1, 6),
+)
+def test_bootstrap_never_exceeds_target_for_joiner(candidates, target):
+    g = OverlayGraph(degree_target=target)
+    connected = g.bootstrap(0, candidates)
+    assert g.degree(0) <= target
+    assert len(connected) == g.degree(0)
+    assert len(set(connected)) == len(connected)  # no duplicates

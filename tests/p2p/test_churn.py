@@ -1,0 +1,75 @@
+"""Tests for the churn model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.p2p.churn import ChurnModel
+from repro.vod.popularity import ZipfMandelbrot
+
+
+def make_model(rate=1.0, departure=0.0, seed=0):
+    return ChurnModel(
+        np.random.default_rng(seed),
+        ZipfMandelbrot(n=10),
+        arrival_rate_per_s=rate,
+        upload_range=(1.0, 4.0),
+        early_departure_prob=departure,
+    )
+
+
+class TestArrivals:
+    def test_interarrival_mean_matches_rate(self):
+        model = make_model(rate=2.0)
+        gaps = [model.next_interarrival() for _ in range(5000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.1)
+
+    def test_plan_fields(self):
+        model = make_model()
+        plan = model.plan_arrival(5.0, lambda vid: 100.0)
+        assert plan.time == 5.0
+        assert 0 <= plan.video_id < 10
+        assert 1.0 <= plan.upload_multiple <= 4.0
+        assert plan.departure_time is None
+
+    def test_arrivals_until_window(self):
+        model = make_model(rate=5.0)
+        plans = model.arrivals_until(0.0, 10.0, lambda vid: 100.0)
+        assert all(0.0 < p.time < 10.0 for p in plans)
+        assert 20 < len(plans) < 90  # ~50 expected
+
+    def test_video_choice_skewed_to_popular(self):
+        model = make_model(seed=3)
+        plans = model.arrivals_until(0.0, 2000.0, lambda vid: 100.0)
+        videos = [p.video_id for p in plans]
+        assert videos.count(0) > videos.count(9)
+
+
+class TestDepartures:
+    def test_no_departures_when_disabled(self):
+        model = make_model(departure=0.0)
+        plans = model.arrivals_until(0.0, 200.0, lambda vid: 100.0)
+        assert all(p.departure_time is None for p in plans)
+
+    def test_departure_probability_respected(self):
+        model = make_model(departure=0.6, seed=1)
+        plans = model.arrivals_until(0.0, 3000.0, lambda vid: 100.0)
+        early = sum(1 for p in plans if p.departure_time is not None)
+        assert early / len(plans) == pytest.approx(0.6, abs=0.05)
+
+    def test_departure_within_viewing_interval(self):
+        model = make_model(departure=1.0, seed=2)
+        plan = model.plan_arrival(10.0, lambda vid: 50.0)
+        assert plan.departure_time is not None
+        assert 10.0 <= plan.departure_time <= 60.0
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            make_model(rate=0.0)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            make_model(departure=2.0)

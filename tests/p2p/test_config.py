@@ -1,0 +1,89 @@
+"""Tests for system configuration presets and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.p2p.config import SystemConfig
+
+
+class TestPaperDerived:
+    def test_paper_chunk_arithmetic(self):
+        """640 Kbps / 8 KB chunks ⇒ 10 chunks/s ⇒ 100 chunks per 10 s slot."""
+        config = SystemConfig.paper()
+        assert config.chunks_per_second == pytest.approx(640_000 / 8 / 8192)
+        assert config.chunks_per_slot == pytest.approx(config.chunks_per_second * 10)
+        assert config.chunks_per_video == 2560
+
+    def test_paper_defaults_match_section5(self):
+        config = SystemConfig.paper()
+        assert config.n_isps == 5
+        assert config.n_videos == 100
+        assert config.neighbor_target == 30
+        assert config.prefetch_chunks == 100
+        assert config.seeds_per_isp_per_video == 2
+        assert config.seed_upload_multiple == 8.0
+        assert (config.peer_upload_min_multiple, config.peer_upload_max_multiple) == (1.0, 4.0)
+        assert config.zipf_alpha == 0.78 and config.zipf_q == 4.0
+        assert config.early_departure_prob == 0.0
+        assert (config.inter_cost_mean, config.inter_cost_low, config.inter_cost_high) == (5.0, 1.0, 10.0)
+        assert (config.intra_cost_mean, config.intra_cost_low, config.intra_cost_high) == (1.0, 0.0, 2.0)
+
+    def test_capacity_multiples(self):
+        config = SystemConfig.paper()
+        per_slot = config.chunks_per_slot
+        assert config.peer_capacity_chunks(1.0) == round(per_slot)
+        assert config.peer_capacity_chunks(8.0) == round(8 * per_slot)
+        assert config.peer_capacity_chunks(0.001) == 1  # floor at 1
+
+
+class TestPresets:
+    def test_bench_scales_down(self):
+        bench = SystemConfig.bench()
+        paper = SystemConfig.paper()
+        assert bench.n_videos < paper.n_videos
+        assert bench.chunks_per_video < paper.chunks_per_video
+        assert bench.prefetch_chunks >= bench.chunks_per_slot
+
+    def test_tiny_is_smallest(self):
+        tiny = SystemConfig.tiny()
+        tiny.validate()
+        assert tiny.n_videos <= 5
+        assert tiny.chunks_per_video <= 64
+
+    def test_overrides_apply(self):
+        config = SystemConfig.bench(seed=9, scheduler="locality", n_isps=3)
+        assert config.seed == 9
+        assert config.scheduler == "locality"
+        assert config.n_isps == 3
+
+    def test_with_scheduler_copies(self):
+        config = SystemConfig.bench()
+        other = config.with_scheduler("greedy")
+        assert other.scheduler == "greedy"
+        assert config.scheduler == "auction"
+
+
+class TestValidation:
+    def test_prefetch_below_consumption_rejected(self):
+        config = SystemConfig.paper(prefetch_chunks=10)
+        with pytest.raises(ValueError, match="never keep up"):
+            config.validate()
+
+    def test_bad_departure_probability(self):
+        with pytest.raises(ValueError):
+            SystemConfig.paper(early_departure_prob=1.5).validate()
+
+    def test_inverted_upload_range(self):
+        with pytest.raises(ValueError):
+            SystemConfig.paper(
+                peer_upload_min_multiple=4.0, peer_upload_max_multiple=1.0
+            ).validate()
+
+    def test_bad_bid_rounds(self):
+        with pytest.raises(ValueError):
+            SystemConfig.paper(bid_rounds_per_slot=0).validate()
+
+    def test_presets_all_valid(self):
+        for preset in (SystemConfig.paper(), SystemConfig.bench(), SystemConfig.tiny()):
+            preset.validate()

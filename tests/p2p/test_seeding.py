@@ -1,0 +1,61 @@
+"""Tests for seed placement."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.p2p.config import SystemConfig
+from repro.p2p.seeding import create_seeds
+from repro.vod.video import VideoCatalog
+
+
+def build(config):
+    catalog = VideoCatalog.paper_default(
+        n_videos=config.n_videos,
+        size_bytes=config.video_size_bytes,
+        chunk_size_bytes=config.chunk_size_bytes,
+        bitrate_bps=config.bitrate_bps,
+    )
+    return catalog, create_seeds(config, catalog, itertools.count(1))
+
+
+class TestSeedPlacement:
+    def test_count_is_isps_times_videos_times_rate(self):
+        config = SystemConfig.tiny()  # 2 ISPs × 3 videos × 1
+        _, seeds = build(config)
+        assert len(seeds) == 2 * 3 * 1
+
+    def test_paper_rate_two_per_isp_per_video(self):
+        config = SystemConfig.tiny(seeds_per_isp_per_video=2)
+        _, seeds = build(config)
+        assert len(seeds) == 2 * 3 * 2
+
+    def test_every_isp_video_pair_covered(self):
+        config = SystemConfig.tiny()
+        _, seeds = build(config)
+        pairs = {(s.isp, s.video.video_id) for s in seeds}
+        assert pairs == {(i, v) for i in range(2) for v in range(3)}
+
+    def test_seeds_cache_complete_video(self):
+        config = SystemConfig.tiny()
+        catalog, seeds = build(config)
+        for seed in seeds:
+            assert len(seed.buffer) == seed.video.n_chunks
+            assert seed.buffer.completion() == 1.0
+
+    def test_seed_capacity_uses_multiple(self):
+        config = SystemConfig.tiny()
+        _, seeds = build(config)
+        expected = config.peer_capacity_chunks(config.seed_upload_multiple)
+        assert all(s.upload_capacity_chunks == expected for s in seeds)
+
+    def test_unique_ids(self):
+        config = SystemConfig.tiny()
+        _, seeds = build(config)
+        ids = [s.peer_id for s in seeds]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_marked_seed_without_sessions(self):
+        config = SystemConfig.tiny()
+        _, seeds = build(config)
+        assert all(s.is_seed and s.session is None for s in seeds)

@@ -1,0 +1,187 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import (
+    SimulationError,
+    Simulator,
+    Timer,
+    run_callbacks_in_order,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = run_callbacks_in_order(sim, [(3.0, "c"), (1.0, "a"), (2.0, "b")])
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_same_time_events_run_in_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, (lambda t: (lambda: seen.append(t)))(tag))
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_priority_breaks_time_ties(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("low"), priority=5)
+        sim.schedule(1.0, lambda: seen.append("high"), priority=-5)
+        sim.run()
+        assert seen == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator(start_time=2.0)
+        seen = []
+        sim.call_soon(lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.schedule(1.0, lambda: seen.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == ["inner"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        executed = sim.run(until=3.0)
+        assert executed == 1
+        assert seen == [1]
+        assert sim.now == 3.0  # clock advanced to the horizon
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_step_executes_exactly_one(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("x"))
+        sim.schedule(2.0, lambda: seen.append("y"))
+        assert sim.step() is True
+        assert seen == ["x"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(4.0, lambda: None)
+        assert sim.peek_next_time() == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("no"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_handle_active_lifecycle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_next_time() == 2.0
+
+
+class TestTimer:
+    def test_timer_fires_periodically(self):
+        sim = Simulator()
+        ticks = []
+        timer = Timer(sim, interval=10.0, callback=lambda: ticks.append(sim.now))
+        sim.run(until=35.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+        assert timer.fires == 4
+
+    def test_timer_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        Timer(sim, interval=5.0, callback=lambda: ticks.append(sim.now), start_delay=2.0)
+        sim.run(until=13.0)
+        assert ticks == [2.0, 7.0, 12.0]
+
+    def test_timer_stop(self):
+        sim = Simulator()
+        ticks = []
+        timer = Timer(sim, interval=1.0, callback=lambda: ticks.append(sim.now))
+
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0]
+        assert timer.stopped
+
+    def test_timer_rejects_bad_interval(self):
+        with pytest.raises(SimulationError):
+            Timer(Simulator(), interval=0.0, callback=lambda: None)

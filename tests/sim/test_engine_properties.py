@@ -1,0 +1,80 @@
+"""Property-based tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 1000.0, allow_nan=False), min_size=1, max_size=50)
+)
+def test_events_always_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, (lambda d: (lambda: fired.append(d)))(delay))
+    sim.run()
+    assert fired == sorted(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=30),
+    horizon=st.floats(0.0, 120.0, allow_nan=False),
+)
+def test_run_until_splits_cleanly(delays, horizon):
+    """Events ≤ horizon fire; later ones fire on the next run; none are lost."""
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, (lambda d: (lambda: fired.append(d)))(delay))
+    sim.run(until=horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+    sim.run()
+    assert sorted(fired) == sorted(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+    cancel_index=st.integers(0, 29),
+)
+def test_cancelled_events_never_fire(delays, cancel_index):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for i, delay in enumerate(delays):
+        handles.append(
+            sim.schedule(delay, (lambda j: (lambda: fired.append(j)))(i))
+        )
+    victim = cancel_index % len(delays)
+    handles[victim].cancel()
+    sim.run()
+    assert victim not in fired
+    assert len(fired) == len(delays) - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    chain_depth=st.integers(1, 40),
+    step=st.floats(0.001, 10.0),
+)
+def test_chained_scheduling_advances_clock(chain_depth, step):
+    """Callbacks scheduling further callbacks walk the clock forward."""
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < chain_depth:
+            sim.schedule(step, tick)
+
+    sim.schedule(step, tick)
+    sim.run()
+    assert count[0] == chain_depth
+    assert abs(sim.now - chain_depth * step) < 1e-6 * chain_depth

@@ -1,0 +1,54 @@
+"""Tests for the protocol message types."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.messages import (
+    AcceptMessage,
+    BidMessage,
+    BufferMapMessage,
+    EvictMessage,
+    Message,
+    PriceUpdateMessage,
+    RejectMessage,
+)
+
+
+class TestEnvelope:
+    def test_kind_derivation(self):
+        cases = {
+            BidMessage(src=1, dst=2): "bid",
+            AcceptMessage(src=1, dst=2): "accept",
+            RejectMessage(src=1, dst=2): "reject",
+            EvictMessage(src=1, dst=2): "evict",
+            PriceUpdateMessage(src=1, dst=2): "priceupdate",
+            BufferMapMessage(src=1, dst=2): "buffermap",
+        }
+        for message, kind in cases.items():
+            assert message.kind == kind
+
+    def test_messages_are_frozen(self):
+        message = BidMessage(src=1, dst=2, chunk="c", bid=3.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            message.bid = 5.0
+
+    def test_bid_request_key(self):
+        message = BidMessage(src=7, dst=2, chunk=("v", 3), bid=1.0)
+        assert message.request == (7, ("v", 3))
+
+    def test_reject_carries_price(self):
+        message = RejectMessage(src=1, dst=2, chunk="c", price=4.5)
+        assert message.price == 4.5
+
+    def test_buffer_map_holds_chunks(self):
+        message = BufferMapMessage(src=1, dst=2, chunks=frozenset({1, 2}))
+        assert 1 in message.chunks
+
+    def test_equality_by_value(self):
+        a = PriceUpdateMessage(src=1, dst=2, price=3.0)
+        b = PriceUpdateMessage(src=1, dst=2, price=3.0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,135 @@
+"""Tests for the simulated message network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.messages import BidMessage, BufferMapMessage, PriceUpdateMessage
+from repro.sim.network import ConstantLatency, CostLatency, SimNetwork
+
+
+def make_network(**kwargs):
+    sim = Simulator()
+    network = SimNetwork(sim, **kwargs)
+    inbox = []
+    network.register(2, inbox.append)
+    return sim, network, inbox
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sim, network, inbox = make_network(latency=ConstantLatency(0.25))
+        network.send(BidMessage(src=1, dst=2, chunk="c", bid=3.0))
+        assert inbox == []
+        sim.run()
+        assert len(inbox) == 1
+        assert sim.now == 0.25
+        assert inbox[0].bid == 3.0
+
+    def test_fifo_for_equal_latency(self):
+        sim, network, inbox = make_network(latency=ConstantLatency(0.1))
+        for i in range(3):
+            network.send(BidMessage(src=1, dst=2, chunk=f"c{i}", bid=float(i)))
+        sim.run()
+        assert [m.chunk for m in inbox] == ["c0", "c1", "c2"]
+
+    def test_unknown_destination_dropped(self):
+        sim, network, _ = make_network()
+        assert network.send(BidMessage(src=1, dst=99, chunk="c", bid=1.0)) is False
+        assert network.dropped["bid"] == 1
+
+    def test_unregister_drops_in_flight(self):
+        sim, network, inbox = make_network(latency=ConstantLatency(1.0))
+        network.send(BidMessage(src=1, dst=2, chunk="c", bid=1.0))
+        network.unregister(2)
+        sim.run()
+        assert inbox == []
+        assert network.dropped["bid"] == 1
+
+    def test_stats_structure(self):
+        sim, network, _ = make_network()
+        network.send(PriceUpdateMessage(src=1, dst=2, price=1.0))
+        sim.run()
+        stats = network.stats()
+        assert stats["sent"] == {"priceupdate": 1}
+        assert stats["delivered"] == {"priceupdate": 1}
+
+    def test_message_kind_names(self):
+        assert BidMessage(src=1, dst=2).kind == "bid"
+        assert BufferMapMessage(src=1, dst=2).kind == "buffermap"
+
+
+class TestFailureInjection:
+    def test_full_loss_drops_everything(self):
+        sim, network, inbox = make_network(
+            loss_probability=1.0, rng=np.random.default_rng(0)
+        )
+        for _ in range(10):
+            network.send(BidMessage(src=1, dst=2, chunk="c", bid=1.0))
+        sim.run()
+        assert inbox == []
+        assert network.dropped["bid"] == 10
+
+    def test_partial_loss_statistics(self):
+        sim, network, inbox = make_network(
+            loss_probability=0.5, rng=np.random.default_rng(1)
+        )
+        for i in range(200):
+            network.send(BidMessage(src=1, dst=2, chunk=i, bid=1.0))
+        sim.run()
+        assert 60 < len(inbox) < 140  # ~100 expected
+
+    def test_partition_blocks_and_heals(self):
+        sim, network, inbox = make_network()
+        network.partition(1, 2)
+        assert network.send(BidMessage(src=1, dst=2, chunk="c", bid=1.0)) is False
+        network.heal(1, 2)
+        assert network.send(BidMessage(src=1, dst=2, chunk="c", bid=1.0)) is True
+        sim.run()
+        assert len(inbox) == 1
+
+    def test_partition_is_bidirectional(self):
+        sim = Simulator()
+        network = SimNetwork(sim)
+        got = []
+        network.register(1, got.append)
+        network.register(2, got.append)
+        network.partition(1, 2)
+        assert network.send(BidMessage(src=2, dst=1, chunk="c", bid=1.0)) is False
+
+
+class TestLatencyModels:
+    def test_constant_latency_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_cost_latency_scales_and_floors(self):
+        model = CostLatency(lambda a, b: 5.0, seconds_per_cost_unit=0.1, floor=0.01)
+        assert model(1, 2) == pytest.approx(0.5)
+        floored = CostLatency(lambda a, b: 0.0, seconds_per_cost_unit=0.1, floor=0.01)
+        assert floored(1, 2) == pytest.approx(0.01)
+
+    def test_jitter_varies_delay_but_stays_positive(self):
+        sim = Simulator()
+        network = SimNetwork(
+            sim,
+            latency=ConstantLatency(1.0),
+            jitter=0.5,
+            rng=np.random.default_rng(2),
+        )
+        times = []
+        network.register(2, lambda m: times.append(sim.now))
+        for i in range(20):
+            network.send(BidMessage(src=1, dst=2, chunk=i, bid=1.0))
+        sim.run()
+        assert len(set(round(t - int(t), 6) for t in times)) > 1
+        assert all(t >= 0.5 - 1e-9 for t in times)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SimNetwork(sim, loss_probability=1.5)
+        with pytest.raises(ValueError):
+            SimNetwork(sim, jitter=1.0)

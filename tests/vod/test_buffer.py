@@ -1,0 +1,124 @@
+"""Tests for the chunk buffer and window of interest."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vod.buffer import ChunkBuffer
+from repro.vod.video import Video
+
+
+def make_video(n_chunks=100):
+    return Video(video_id=0, n_chunks=n_chunks, chunk_size_bytes=8192, bitrate_bps=81920)
+
+
+class TestContent:
+    def test_add_and_holds(self):
+        buffer = ChunkBuffer(make_video())
+        assert buffer.add(5)
+        assert buffer.holds(5)
+        assert 5 in buffer
+        assert len(buffer) == 1
+
+    def test_duplicate_add_returns_false(self):
+        buffer = ChunkBuffer(make_video())
+        buffer.add(5)
+        assert buffer.add(5) is False
+        assert len(buffer) == 1
+
+    def test_out_of_range_rejected(self):
+        buffer = ChunkBuffer(make_video(10))
+        with pytest.raises(IndexError):
+            buffer.add(10)
+        with pytest.raises(IndexError):
+            buffer.add(-1)
+
+    def test_add_many_counts_new(self):
+        buffer = ChunkBuffer(make_video())
+        assert buffer.add_many([1, 2, 3]) == 3
+        assert buffer.add_many([3, 4]) == 1
+
+    def test_fill_range(self):
+        buffer = ChunkBuffer(make_video(50))
+        buffer.fill_range(10, 20)
+        assert all(buffer.holds(i) for i in range(10, 20))
+        assert not buffer.holds(9)
+        with pytest.raises(ValueError):
+            buffer.fill_range(40, 60)
+
+    def test_bitmap_snapshot_immutable(self):
+        buffer = ChunkBuffer(make_video())
+        buffer.add(1)
+        snapshot = buffer.bitmap()
+        buffer.add(2)
+        assert snapshot == frozenset({1})
+
+
+class TestCapacityEviction:
+    def test_evicts_furthest_behind_position(self):
+        buffer = ChunkBuffer(make_video(), capacity_chunks=3)
+        buffer.add(1, protect_from=10)
+        buffer.add(5, protect_from=10)
+        buffer.add(12, protect_from=10)
+        buffer.add(15, protect_from=10)  # over capacity: chunk 1 evicted
+        assert not buffer.holds(1)
+        assert buffer.holds(5) and buffer.holds(12) and buffer.holds(15)
+
+    def test_evicts_furthest_ahead_when_nothing_behind(self):
+        buffer = ChunkBuffer(make_video(), capacity_chunks=2)
+        buffer.add(20, protect_from=10)
+        buffer.add(30, protect_from=10)
+        buffer.add(25, protect_from=10)
+        assert not buffer.holds(30)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ChunkBuffer(make_video(), capacity_chunks=0)
+
+
+class TestWindowOfInterest:
+    def test_window_skips_held(self):
+        buffer = ChunkBuffer(make_video())
+        buffer.add(11)
+        assert buffer.window_of_interest(10, 4) == [10, 12, 13]
+
+    def test_window_clipped_at_video_end(self):
+        buffer = ChunkBuffer(make_video(20))
+        assert buffer.window_of_interest(18, 10) == [18, 19]
+
+    def test_window_respects_exclusions(self):
+        buffer = ChunkBuffer(make_video())
+        assert buffer.window_of_interest(0, 3, exclude={1}) == [0, 2]
+
+    def test_window_negative_rejected(self):
+        buffer = ChunkBuffer(make_video())
+        with pytest.raises(ValueError):
+            buffer.window_of_interest(0, -1)
+
+    def test_contiguous_run(self):
+        buffer = ChunkBuffer(make_video())
+        buffer.add_many([5, 6, 7, 9])
+        assert buffer.contiguous_from(5) == 3
+        assert buffer.contiguous_from(8) == 0
+
+    def test_completion_fraction(self):
+        buffer = ChunkBuffer(make_video(10))
+        buffer.add_many(range(5))
+        assert buffer.completion() == 0.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    held=st.sets(st.integers(0, 49), max_size=30),
+    position=st.integers(0, 49),
+    window=st.integers(0, 20),
+)
+def test_property_window_disjoint_from_held(held, position, window):
+    buffer = ChunkBuffer(make_video(50))
+    buffer.add_many(held)
+    wanted = buffer.window_of_interest(position, window)
+    assert set(wanted).isdisjoint(held)
+    assert all(position <= i < min(50, position + window) for i in wanted)
+    assert wanted == sorted(wanted)

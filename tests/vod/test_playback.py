@@ -1,0 +1,100 @@
+"""Tests for playback sessions and miss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vod.buffer import ChunkBuffer
+from repro.vod.playback import PlaybackSession
+from repro.vod.video import Video
+
+
+def make_session(n_chunks=100, start_time=0.0, start_position=0, prefill=()):
+    # 1 chunk per second for easy arithmetic.
+    video = Video(video_id=0, n_chunks=n_chunks, chunk_size_bytes=1000, bitrate_bps=8000)
+    buffer = ChunkBuffer(video)
+    for index in prefill:
+        buffer.add(index)
+    session = PlaybackSession(
+        video, buffer, start_time=start_time, start_position=start_position
+    )
+    return session, buffer
+
+
+class TestTiming:
+    def test_deadlines_linear_in_index(self):
+        session, _ = make_session(start_time=10.0)
+        assert session.deadline_of(0) == 10.0
+        assert session.deadline_of(5) == 15.0
+
+    def test_deadline_accounts_for_start_position(self):
+        session, _ = make_session(start_time=10.0, start_position=20)
+        assert session.deadline_of(20) == 10.0
+        assert session.deadline_of(25) == 15.0
+
+    def test_seconds_to_deadline(self):
+        session, _ = make_session()
+        assert session.seconds_to_deadline(5, now=2.0) == pytest.approx(3.0)
+        assert session.seconds_to_deadline(1, now=2.0) == pytest.approx(-1.0)
+
+    def test_due_position_clamps_to_video_length(self):
+        session, _ = make_session(n_chunks=10)
+        assert session.due_position(100.0) == 10
+
+    def test_due_position_before_start(self):
+        session, _ = make_session(start_time=50.0, start_position=3)
+        assert session.due_position(10.0) == 3
+
+    def test_end_time(self):
+        session, _ = make_session(n_chunks=30, start_time=5.0, start_position=10)
+        assert session.end_time == pytest.approx(25.0)
+
+
+class TestAdvance:
+    def test_held_chunks_play_missing_chunks_miss(self):
+        session, _ = make_session(prefill=[0, 2])
+        stats = session.advance_to(3.0)  # chunks 0,1,2 due
+        assert stats.due == 3
+        assert stats.missed == 1
+        assert session.missed == {1}
+        assert session.played == 2
+
+    def test_advance_is_incremental(self):
+        session, buffer = make_session(prefill=[0, 1])
+        session.advance_to(2.0)
+        buffer.add(2)
+        stats = session.advance_to(3.0)
+        assert stats.due == 1 and stats.missed == 0
+
+    def test_time_backwards_rejected(self):
+        session, _ = make_session()
+        session.advance_to(5.0)
+        with pytest.raises(ValueError):
+            session.advance_to(4.0)
+
+    def test_finished_after_last_chunk(self):
+        session, _ = make_session(n_chunks=5, prefill=range(5))
+        session.advance_to(5.0)
+        assert session.finished
+        assert session.remaining_chunks() == 0
+
+    def test_miss_rate_lifetime(self):
+        session, _ = make_session(n_chunks=10, prefill=[0, 1, 2, 3, 4])
+        session.advance_to(10.0)
+        assert session.miss_rate() == pytest.approx(0.5)
+
+    def test_slot_stats_miss_rate(self):
+        session, _ = make_session(prefill=[0])
+        stats = session.advance_to(2.0)
+        assert stats.miss_rate == pytest.approx(0.5)
+
+    def test_empty_advance_zero_stats(self):
+        session, _ = make_session(start_time=10.0)
+        stats = session.advance_to(5.0) if False else session.advance_to(10.0)
+        assert stats.due == 0 and stats.missed == 0 and stats.miss_rate == 0.0
+
+    def test_start_position_validation(self):
+        video = Video(video_id=0, n_chunks=10, chunk_size_bytes=1, bitrate_bps=8)
+        buffer = ChunkBuffer(video)
+        with pytest.raises(ValueError):
+            PlaybackSession(video, buffer, start_time=0.0, start_position=11)

@@ -1,0 +1,66 @@
+"""Tests for Zipf-Mandelbrot popularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vod.popularity import ZipfMandelbrot
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        dist = ZipfMandelbrot(n=100)
+        assert dist.pmf().sum() == pytest.approx(1.0)
+
+    def test_pmf_strictly_decreasing(self):
+        pmf = ZipfMandelbrot(n=50).pmf()
+        assert np.all(np.diff(pmf) < 0)
+
+    def test_paper_parameters(self):
+        """p(i) = (1/(i+q)^α)/Σ with α=0.78, q=4 — check an explicit value."""
+        dist = ZipfMandelbrot(n=100, alpha=0.78, q=4.0)
+        ranks = np.arange(1, 101, dtype=float)
+        weights = 1.0 / np.power(ranks + 4.0, 0.78)
+        assert dist.probability(0) == pytest.approx(weights[0] / weights.sum())
+
+    def test_larger_q_flattens(self):
+        sharp = ZipfMandelbrot(n=100, q=0.0)
+        flat = ZipfMandelbrot(n=100, q=50.0)
+        assert sharp.probability(0) > flat.probability(0)
+
+    def test_probability_bounds_checked(self):
+        dist = ZipfMandelbrot(n=10)
+        with pytest.raises(IndexError):
+            dist.probability(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(n=0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(n=5, alpha=0.0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(n=5, q=-1.0)
+
+
+class TestSampling:
+    def test_samples_in_range(self, rng):
+        dist = ZipfMandelbrot(n=20)
+        samples = dist.sample_many(rng, 1000)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_empirical_matches_pmf(self, rng):
+        dist = ZipfMandelbrot(n=10)
+        samples = dist.sample_many(rng, 50000)
+        empirical = np.bincount(samples, minlength=10) / 50000
+        assert np.abs(empirical - dist.pmf()).max() < 0.01
+
+    def test_single_sample(self, rng):
+        dist = ZipfMandelbrot(n=5)
+        assert 0 <= dist.sample(rng) < 5
+
+    def test_expected_rank_reflects_skew(self):
+        skewed = ZipfMandelbrot(n=100, alpha=2.0, q=0.0)
+        flat = ZipfMandelbrot(n=100, alpha=0.3, q=20.0)
+        assert skewed.expected_rank() < flat.expected_rank()

@@ -1,0 +1,75 @@
+"""Tests for the deadline-based valuation function."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vod.valuation import DeadlineValuation
+
+
+class TestPaperProperties:
+    def test_paper_range(self):
+        """With α=2, β=1.2 and a 10-second window, v spans ≈ [0.8, 8]."""
+        v = DeadlineValuation()
+        assert 7.5 < v.value(0.1) < 8.5
+        assert 0.75 < v.value(10.0) < 0.9
+
+    def test_urgent_chunks_worth_more(self):
+        v = DeadlineValuation()
+        values = [v.value(d) for d in (0.1, 1.0, 5.0, 10.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_value_at_deadline_exceeds_max_cost(self):
+        """v(0) ≈ 11 tops the costliest link (10) — the paper's design."""
+        assert DeadlineValuation().max_value() > 10.0
+
+    def test_overdue_clamped_to_deadline_value(self):
+        v = DeadlineValuation()
+        assert v.value(-5.0) == v.value(0.0)
+
+    def test_min_value_of_horizon(self):
+        v = DeadlineValuation()
+        assert v.min_value(10.0) == v.value(10.0)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        v = DeadlineValuation()
+        deadlines = np.array([0.0, 0.5, 3.0, 10.0])
+        vector = v.values(deadlines)
+        for d, expected in zip(deadlines, vector):
+            assert v.value(float(d)) == pytest.approx(float(expected))
+
+    def test_clamps_negative_entries(self):
+        v = DeadlineValuation()
+        out = v.values(np.array([-1.0, 0.0]))
+        assert out[0] == pytest.approx(out[1])
+
+
+class TestValidation:
+    def test_alpha_positive(self):
+        with pytest.raises(ValueError):
+            DeadlineValuation(alpha=0.0)
+
+    def test_beta_above_one(self):
+        with pytest.raises(ValueError):
+            DeadlineValuation(beta=1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(d1=st.floats(0, 100), d2=st.floats(0, 100))
+def test_property_monotone_decreasing(d1, d2):
+    v = DeadlineValuation()
+    lo, hi = sorted((d1, d2))
+    assert v.value(lo) >= v.value(hi)
+
+
+@settings(max_examples=50, deadline=None)
+@given(d=st.floats(-10, 100))
+def test_property_always_positive_and_finite(d):
+    value = DeadlineValuation().value(d)
+    assert value > 0
+    assert np.isfinite(value)

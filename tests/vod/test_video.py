@@ -1,0 +1,80 @@
+"""Tests for the video catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vod.video import Video, VideoCatalog
+
+
+class TestVideo:
+    def test_paper_chunk_timing(self):
+        """20 MB video, 8 KB chunks, 640 Kbps ⇒ 2560 chunks, 10 chunks/s."""
+        video = Video(
+            video_id=0,
+            n_chunks=2560,
+            chunk_size_bytes=8 * 1024,
+            bitrate_bps=640 * 1000,
+        )
+        assert video.size_bytes == 20 * 1024 * 1024
+        assert video.chunks_per_second == pytest.approx(9.765625)
+        assert video.duration_seconds == pytest.approx(2560 / 9.765625)
+
+    def test_chunk_id_bounds(self):
+        video = Video(video_id=3, n_chunks=10, chunk_size_bytes=100, bitrate_bps=800)
+        assert video.chunk_id(0) == (3, 0)
+        assert video.chunk_id(9) == (3, 9)
+        with pytest.raises(IndexError):
+            video.chunk_id(10)
+        with pytest.raises(IndexError):
+            video.chunk_id(-1)
+
+    def test_playback_offset_monotone(self):
+        video = Video(video_id=0, n_chunks=100, chunk_size_bytes=1000, bitrate_bps=8000)
+        offsets = [video.chunk_playback_offset(i) for i in range(5)]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Video(video_id=0, n_chunks=0, chunk_size_bytes=1, bitrate_bps=1)
+        with pytest.raises(ValueError):
+            Video(video_id=0, n_chunks=1, chunk_size_bytes=0, bitrate_bps=1)
+
+
+class TestVideoCatalog:
+    def test_paper_default_sizes(self):
+        catalog = VideoCatalog.paper_default(n_videos=5)
+        assert len(catalog) == 5
+        assert catalog[0].n_chunks == 2560
+
+    def test_size_jitter_varies_chunk_counts(self):
+        catalog = VideoCatalog.paper_default(
+            n_videos=20, size_jitter=0.3, rng=np.random.default_rng(0)
+        )
+        counts = {v.n_chunks for v in catalog}
+        assert len(counts) > 1
+
+    def test_size_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            VideoCatalog.paper_default(n_videos=2, size_jitter=0.1)
+
+    def test_duplicate_ids_rejected(self):
+        video = Video(video_id=0, n_chunks=1, chunk_size_bytes=1, bitrate_bps=1)
+        with pytest.raises(ValueError):
+            VideoCatalog([video, video])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            VideoCatalog([])
+
+    def test_lookup_and_iteration(self):
+        catalog = VideoCatalog.paper_default(n_videos=3)
+        assert catalog.video_ids() == [0, 1, 2]
+        assert 1 in catalog and 7 not in catalog
+        assert sum(1 for _ in catalog) == 3
+
+    def test_total_chunks(self):
+        catalog = VideoCatalog.paper_default(n_videos=4)
+        assert catalog.total_chunks() == 4 * 2560
