@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-quick bench-all
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-small --no-output
+
+bench-all:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py --all

@@ -1,0 +1,391 @@
+"""Slot-pipeline benchmark: seed path vs columnar path, per phase.
+
+Times one slot's hot path — problem build, jacobi solve, transfer
+apply — on a matrix of scenario configurations, comparing:
+
+* **seed path**: ``P2PSystem.build_problem_reference`` (per-request
+  dict/loop construction, as in the seed revision) + a faithful
+  re-implementation of the seed's per-request padded ``dense()``
+  expansion + the ``jacobi-dense`` solver;
+* **columnar path**: ``P2PSystem.build_problem`` (CSR batch
+  construction) + the CSR ``jacobi`` solver.
+
+Results are written machine-readable to ``BENCH_slot_pipeline.json`` at
+the repo root so future PRs can track the trajectory.  Run via
+``make bench`` or::
+
+    PYTHONPATH=src python benchmarks/bench_slot_pipeline.py [--scenarios ...]
+
+See benchmarks/README.md for the scenario matrix and how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.auction import AuctionSolver  # noqa: E402
+from repro.core.problem import DenseView, SchedulingProblem  # noqa: E402
+from repro.p2p.config import SystemConfig  # noqa: E402
+from repro.p2p.system import P2PSystem  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_slot_pipeline.json"
+EPSILON = 0.01  # the system config's default bidding increment
+
+#: Scenario matrix.  ``n_peers`` drives scale; ``churn`` exercises the
+#: arrival/departure path; ``overrides`` go into SystemConfig.bench.
+#: ``gauss_seidel`` additionally runs the sequential reference solver
+#: (only at scales where its Python loop stays reasonable).
+SCENARIOS: Dict[str, dict] = {
+    "static-small": dict(n_peers=200, slots=3, churn=False, overrides={}, gauss_seidel=True),
+    "static-medium": dict(n_peers=2000, slots=3, churn=False, overrides={}, gauss_seidel=True),
+    "static-large": dict(n_peers=5000, slots=2, churn=False, overrides={}, gauss_seidel=False),
+    "churn-medium": dict(
+        n_peers=2000, slots=3, churn=True,
+        overrides=dict(arrival_rate_per_s=1.0, early_departure_prob=0.3),
+        gauss_seidel=False,
+    ),
+    "multivideo-medium": dict(
+        n_peers=2000, slots=3, churn=False,
+        overrides=dict(n_videos=60), gauss_seidel=False,
+    ),
+}
+DEFAULT_SCENARIOS = [
+    "static-small", "static-medium", "churn-medium", "multivideo-medium",
+]
+
+
+def legacy_dense(problem: SchedulingProblem) -> DenseView:
+    """The seed revision's ``dense()`` expansion (per-request Python loop).
+
+    Kept here verbatim so the "before" timing reflects what the seed
+    jacobi solver actually paid to build its padded view; the library's
+    ``dense()`` is now a vectorized scatter and would understate it.
+    """
+    uploaders = np.fromiter((int(u) for u in problem.uploaders()), dtype=np.int64)
+    index_of = {int(u): i for i, u in enumerate(uploaders)}
+    capacity = np.fromiter(
+        (problem.capacity_of(int(u)) for u in uploaders), dtype=np.int64
+    )
+    n = problem.n_requests
+    k = max((len(problem.candidates_of(r)) for r in range(n)), default=0)
+    values = np.full((n, max(k, 1)), -np.inf, dtype=float)
+    uploader_index = np.full((n, max(k, 1)), -1, dtype=np.int64)
+    for r in range(n):
+        cands = problem.candidates_of(r)
+        m = len(cands)
+        if m == 0:
+            continue
+        values[r, :m] = problem.request(r).valuation - problem.costs_of(r)
+        uploader_index[r, :m] = [index_of[int(u)] for u in cands]
+    return DenseView(
+        values=values,
+        uploader_index=uploader_index,
+        uploaders=uploaders,
+        capacity=capacity,
+    )
+
+
+#: Inline script executed against a *seed-revision checkout* (its ``src``
+#: on sys.path) to record the true pre-PR numbers in a clean interpreter.
+#: argv: [src_path, spec_json, seed, slots]
+_SEED_SNIPPET = r"""
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+spec = json.loads(sys.argv[2])
+seed, slots, repeats = int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5])
+from repro.p2p.config import SystemConfig
+from repro.p2p.system import P2PSystem
+from repro.core.auction import AuctionSolver
+
+config = SystemConfig.bench(seed=seed, bid_rounds_per_slot=1, **spec["overrides"])
+system = P2PSystem(config)
+system.populate_static(spec["n_peers"])
+churn = spec["churn"]
+system.run_slot(churn=churn, remove_finished=churn)
+rows = []
+for _ in range(slots):
+    t = system.now
+    if churn:
+        system._process_departures(t, remove_finished=True)
+        system._admit_arrivals(t)
+        system._collect_arrivals_during(t, t + system.config.slot_seconds)
+    system._refill_neighbors()
+    budgets = {p.peer_id: p.upload_capacity_chunks for p in system.peers.values()}
+    build_s = solve_s = float("inf")
+    for _rep in range(repeats):
+        t0 = time.perf_counter()
+        problem, _ = system.build_problem(t, capacities=budgets)
+        t1 = time.perf_counter()
+        result = AuctionSolver(epsilon=0.01, mode="jacobi").solve(problem)
+        t2 = time.perf_counter()
+        build_s = min(build_s, t1 - t0)
+        solve_s = min(solve_s, t2 - t1)
+    rows.append(dict(
+        build_s=build_s, solve_s=solve_s,
+        n_requests=problem.n_requests, n_edges=problem.n_edges(),
+        welfare=result.welfare(problem),
+    ))
+    system._apply_transfers(problem, result)
+    system._advance_playback(t + system.config.slot_seconds)
+    system.now = t + system.config.slot_seconds
+    system.slot_index += 1
+print(json.dumps(rows))
+"""
+
+
+def measure_seed_revision(
+    seed_src: pathlib.Path, spec: dict, seed: int, slots: int, repeats: int = 3
+) -> dict:
+    """Run the seed revision's build+solve in a subprocess; aggregate."""
+    out = subprocess.run(
+        [
+            sys.executable, "-c", _SEED_SNIPPET,
+            str(seed_src), json.dumps({k: spec[k] for k in ("n_peers", "churn", "overrides")}),
+            str(seed), str(slots), str(repeats),
+        ],
+        capture_output=True, text=True, check=True,
+    )
+    rows = json.loads(out.stdout.strip().splitlines()[-1])
+    return dict(
+        build_s=float(sum(r["build_s"] for r in rows)),
+        solve_s=float(sum(r["solve_s"] for r in rows)),
+        slot_s=float(sum(r["build_s"] + r["solve_s"] for r in rows)),
+        n_requests_mean=float(np.mean([r["n_requests"] for r in rows])),
+        n_edges_mean=float(np.mean([r["n_edges"] for r in rows])),
+        slot_rows=rows,
+    )
+
+
+def build_system(spec: dict, seed: int) -> P2PSystem:
+    config = SystemConfig.bench(
+        seed=seed, bid_rounds_per_slot=1, **spec["overrides"]
+    )
+    system = P2PSystem(config)
+    system.populate_static(spec["n_peers"])
+    return system
+
+
+def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = None,
+                   verbose: bool = True, repeats: int = 3) -> dict:
+    n_slots = spec["slots"] if slots is None else slots
+    if n_slots < 1:
+        raise ValueError(f"need at least one measured slot, got {n_slots!r}")
+    system = build_system(spec, seed)
+    churn = spec["churn"]
+
+    # Warm-up slot: populates the pairwise cost cache so neither build
+    # path pays the sampling cost inside the timed region, and fills
+    # buffers so the measured slots look like steady state.
+    system.run_slot(churn=churn, remove_finished=churn)
+
+    rows: List[dict] = []
+    for _ in range(n_slots):
+        t = system.now
+        if churn:
+            system._process_departures(t, remove_finished=True)
+            system._admit_arrivals(t)
+            system._collect_arrivals_during(t, t + system.config.slot_seconds)
+        system._refill_neighbors()
+        budgets = {
+            p.peer_id: p.upload_capacity_chunks for p in system.peers.values()
+            if p.upload_capacity_chunks > 0
+        }
+
+        # Min-of-N per phase suppresses scheduler noise; every repeat
+        # rebuilds fresh problem objects so cached views never leak
+        # from one timing into another.
+        build_old = build_new = solve_old = solve_new = float("inf")
+        for _rep in range(repeats):
+            t0 = time.perf_counter()
+            problem_old, _ = system.build_problem_reference(t, capacities=budgets)
+            t1 = time.perf_counter()
+            problem_new, _ = system.build_problem(t, capacities=budgets)
+            t2 = time.perf_counter()
+            assert problem_old.n_requests == problem_new.n_requests
+            assert problem_old.n_edges() == problem_new.n_edges()
+
+            # Seed solve: padded dense expansion (as the seed built it) +
+            # dense jacobi.  The expansion is timed because the seed
+            # solver paid for it on every fresh problem.
+            t3 = time.perf_counter()
+            legacy_dense(problem_old)
+            solver_old = AuctionSolver(epsilon=EPSILON, mode="jacobi-dense")
+            result_old = solver_old.solve(problem_old)
+            t4 = time.perf_counter()
+            solver_new = AuctionSolver(epsilon=EPSILON, mode="jacobi")
+            result_new = solver_new.solve(problem_new)
+            t5 = time.perf_counter()
+            build_old = min(build_old, t1 - t0)
+            build_new = min(build_new, t2 - t1)
+            solve_old = min(solve_old, t4 - t3)
+            solve_new = min(solve_new, t5 - t4)
+
+        welfare_old = result_old.welfare(problem_old)
+        welfare_new = result_new.welfare(problem_new)
+        n_eps = problem_new.n_requests * EPSILON
+
+        gs_welfare = None
+        if spec["gauss_seidel"]:
+            gs = AuctionSolver(epsilon=EPSILON, mode="gauss-seidel").solve(problem_new)
+            gs_welfare = gs.welfare(problem_new)
+
+        t6 = time.perf_counter()
+        inter, intra = system._apply_transfers(problem_new, result_new)
+        t7 = time.perf_counter()
+
+        rows.append(dict(
+            n_peers=len(system.peers),
+            n_requests=problem_new.n_requests,
+            n_edges=problem_new.n_edges(),
+            build_old_s=build_old,
+            build_new_s=build_new,
+            solve_old_s=solve_old,
+            solve_new_s=solve_new,
+            apply_s=t7 - t6,
+            welfare_old=welfare_old,
+            welfare_new=welfare_new,
+            gs_welfare=gs_welfare,
+            n_eps_bound=n_eps,
+            inter_isp=inter,
+            intra_isp=intra,
+        ))
+        system._advance_playback(t + system.config.slot_seconds)
+        system.now = t + system.config.slot_seconds
+        system.slot_index += 1
+
+    def total(key):
+        return float(sum(row[key] for row in rows))
+
+    build_old, build_new = total("build_old_s"), total("build_new_s")
+    solve_old, solve_new = total("solve_old_s"), total("solve_new_s")
+    slot_old = build_old + solve_old
+    slot_new = build_new + solve_new
+    welfare_gap = max(
+        abs(row["welfare_old"] - row["welfare_new"]) for row in rows
+    )
+    gs_gap = None
+    if spec["gauss_seidel"]:
+        gs_gap = max(abs(row["gs_welfare"] - row["welfare_new"]) for row in rows)
+
+    summary = dict(
+        n_peers=rows[-1]["n_peers"],
+        slots=len(rows),
+        n_requests_mean=float(np.mean([r["n_requests"] for r in rows])),
+        n_edges_mean=float(np.mean([r["n_edges"] for r in rows])),
+        build_old_s=build_old,
+        build_new_s=build_new,
+        build_speedup=build_old / build_new if build_new else float("inf"),
+        solve_old_s=solve_old,
+        solve_new_s=solve_new,
+        solve_speedup=solve_old / solve_new if solve_new else float("inf"),
+        slot_old_s=slot_old,
+        slot_new_s=slot_new,
+        slot_speedup=slot_old / slot_new if slot_new else float("inf"),
+        apply_s=total("apply_s"),
+        welfare_gap_max=welfare_gap,
+        n_eps_bound=float(max(row["n_eps_bound"] for row in rows)),
+        welfare_within_n_eps=bool(
+            welfare_gap <= max(row["n_eps_bound"] for row in rows) + 1e-6
+        ),
+        gauss_seidel_gap_max=gs_gap,
+        slot_rows=rows,
+    )
+    if verbose:
+        print(
+            f"[{name}] peers={summary['n_peers']} "
+            f"requests≈{summary['n_requests_mean']:.0f} "
+            f"edges≈{summary['n_edges_mean']:.0f} | "
+            f"build {build_old:.3f}s → {build_new:.3f}s "
+            f"({summary['build_speedup']:.1f}×) | "
+            f"solve {solve_old:.3f}s → {solve_new:.3f}s "
+            f"({summary['solve_speedup']:.1f}×) | "
+            f"slot {summary['slot_speedup']:.1f}× | "
+            f"welfare gap {welfare_gap:.2e} (n·ε = {summary['n_eps_bound']:.2f})"
+        )
+    return summary
+
+
+def run(scenario_names: List[str], seed: int = 0, slots: Optional[int] = None,
+        output: Optional[pathlib.Path] = DEFAULT_OUTPUT, verbose: bool = True,
+        seed_src: Optional[pathlib.Path] = None) -> dict:
+    report = {
+        "benchmark": "slot_pipeline",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "epsilon": EPSILON,
+        "seed_revision_measured": seed_src is not None,
+        "scenarios": {},
+    }
+    for name in scenario_names:
+        spec = SCENARIOS[name]
+        summary = bench_scenario(name, spec, seed=seed, slots=slots, verbose=verbose)
+        if seed_src is not None:
+            baseline = measure_seed_revision(
+                seed_src, spec, seed, slots if slots is not None else spec["slots"]
+            )
+            summary["seed_revision"] = baseline
+            summary["slot_speedup_vs_seed_revision"] = (
+                baseline["slot_s"] / summary["slot_new_s"]
+                if summary["slot_new_s"] else float("inf")
+            )
+            if verbose:
+                print(
+                    f"[{name}] seed revision slot {baseline['slot_s']:.3f}s → "
+                    f"{summary['slot_new_s']:.3f}s "
+                    f"({summary['slot_speedup_vs_seed_revision']:.1f}× vs seed)"
+                )
+        report["scenarios"][name] = summary
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        if verbose:
+            print(f"wrote {output}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenarios", nargs="+", choices=sorted(SCENARIOS), default=DEFAULT_SCENARIOS,
+        help=f"scenario subset (default: {' '.join(DEFAULT_SCENARIOS)})",
+    )
+    parser.add_argument("--all", action="store_true", help="run every scenario incl. large")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--slots", type=int, default=None, help="override measured slots per scenario")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-output", action="store_true", help="skip writing the JSON")
+    parser.add_argument(
+        "--seed-src", type=pathlib.Path, default=None,
+        help="path to a seed-revision checkout's src/ — also measures the "
+        "true pre-PR numbers there (e.g. a `git worktree add` of the seed commit)",
+    )
+    args = parser.parse_args(argv)
+    if args.slots is not None and args.slots < 1:
+        parser.error("--slots must be >= 1")
+    names = sorted(SCENARIOS) if args.all else args.scenarios
+    run(
+        names,
+        seed=args.seed,
+        slots=args.slots,
+        output=None if args.no_output else args.output,
+        seed_src=args.seed_src,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Tier-1-safe smoke test for the slot-pipeline benchmark harness.
+
+Runs every scenario of the matrix at tiny scale (few peers, one slot,
+one repeat) so the harness itself cannot rot: scenario configs must
+build, both construction paths must agree, the solvers must agree within
+``n·ε``, and the report must carry every field the JSON consumers read.
+No file is written.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import bench_slot_pipeline as bench
+
+TINY_SUMMARY_FIELDS = [
+    "n_peers", "slots", "n_requests_mean", "n_edges_mean",
+    "build_old_s", "build_new_s", "build_speedup",
+    "solve_old_s", "solve_new_s", "solve_speedup",
+    "slot_old_s", "slot_new_s", "slot_speedup",
+    "apply_s", "welfare_gap_max", "n_eps_bound", "welfare_within_n_eps",
+]
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    """Every scenario shrunk to smoke size (preserving churn/overrides)."""
+    specs = {}
+    for name, spec in bench.SCENARIOS.items():
+        tiny = dict(spec)
+        tiny["n_peers"] = 30
+        tiny["slots"] = 1
+        specs[name] = tiny
+    return specs
+
+
+@pytest.mark.parametrize("name", sorted(bench.SCENARIOS))
+def test_scenario_smoke(name, tiny_specs):
+    summary = bench.bench_scenario(
+        name, tiny_specs[name], seed=1, verbose=False, repeats=1
+    )
+    for field in TINY_SUMMARY_FIELDS:
+        assert field in summary, field
+    assert summary["slots"] == 1
+    assert summary["n_requests_mean"] > 0
+    assert summary["build_new_s"] > 0 and summary["build_old_s"] > 0
+    # Old and columnar paths agree within the theorem bound.
+    assert summary["welfare_within_n_eps"]
+    if tiny_specs[name]["gauss_seidel"]:
+        assert summary["gauss_seidel_gap_max"] is not None
+        assert summary["gauss_seidel_gap_max"] <= summary["n_eps_bound"] + 1e-6
+
+
+def test_run_writes_report(tmp_path, monkeypatch):
+    monkeypatch.setitem(
+        bench.SCENARIOS,
+        "static-small",
+        dict(bench.SCENARIOS["static-small"], n_peers=25, slots=1),
+    )
+    out = tmp_path / "bench.json"
+    report = bench.run(
+        ["static-small"], seed=2, slots=1, output=out, verbose=False
+    )
+    assert out.exists()
+    assert report["benchmark"] == "slot_pipeline"
+    assert "static-small" in report["scenarios"]
+
+
+def test_legacy_dense_matches_library_dense():
+    """The archived seed expansion must stay equivalent to dense()."""
+    import numpy as np
+
+    from repro.core.problem import random_problem
+
+    p = random_problem(np.random.default_rng(3), n_requests=20, n_uploaders=5)
+    a = bench.legacy_dense(p)
+    b = p.dense()
+    assert np.array_equal(a.values, b.values)
+    assert np.array_equal(a.uploader_index, b.uploader_index)
+    assert np.array_equal(a.uploaders, b.uploaders)
+    assert np.array_equal(a.capacity, b.capacity)

@@ -24,7 +24,14 @@ from .duality import (
 )
 from .epsilon_scaling import ScaledAuctionSolver, ScalingPhase
 from .exact import LPSolution, solve_hungarian, solve_lp_relaxation, solve_min_cost_flow
-from .problem import ChunkRequest, DenseView, SchedulingProblem, random_problem
+from .problem import (
+    ChunkRequest,
+    CSRView,
+    DenseView,
+    ProblemBuilder,
+    SchedulingProblem,
+    random_problem,
+)
 from .result import ScheduleResult, SolverStats
 from .strategic import ManipulationRow, manipulation_study, true_utility_of_peer
 from .vcg import VCGOutcome, vcg_payments
@@ -43,6 +50,7 @@ __all__ = [
     "AuctionNonConvergence",
     "AuctionScheduler",
     "AuctionSolver",
+    "CSRView",
     "CertificateReport",
     "ChunkRequest",
     "ChunkScheduler",
@@ -58,6 +66,7 @@ __all__ = [
     "NetworkAgnosticScheduler",
     "PriceEvent",
     "PriceTrace",
+    "ProblemBuilder",
     "RandomScheduler",
     "ScaledAuctionSolver",
     "ScalingPhase",

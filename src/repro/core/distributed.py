@@ -79,6 +79,12 @@ class _Bidder:
         self.peer = peer
         self.requests: List[_RequestState] = []
         self.known_prices: Dict[int, float] = {}
+        # Evictions that overtook the Accept they undo (jitter reorders
+        # same-pair deliveries): (uploader, chunk) → bid_seq of the
+        # pending bid the Evict referred to.  Keyed by sequence so a
+        # record left behind by a lost Accept can never swallow a later
+        # bid generation's legitimate Accept.
+        self._early_evicts: Dict[Tuple[int, Hashable], int] = {}
 
     def add_request(self, request: _RequestState) -> None:
         self.requests.append(request)
@@ -158,6 +164,18 @@ class _Bidder:
         request = self._pending_for(msg.src, msg.chunk)
         if request is None:
             return
+        key = (msg.src, msg.chunk)
+        owed_seq = self._early_evicts.pop(key, None)
+        if owed_seq == request.bid_seq:
+            # The allocation this Accept confirms was already revoked by
+            # an Evict that overtook it — treat the pair as a no-op and
+            # keep bidding instead of believing a stale assignment.
+            request.state = _UNASSIGNED
+            request.pending_target = None
+            self.evaluate(request)
+            return
+        # owed_seq from an older bid generation (its Accept was lost or
+        # timed out): the record is stale and has been discarded above.
         request.state = _ASSIGNED
         request.assigned_to = msg.src
         request.pending_target = None
@@ -176,6 +194,13 @@ class _Bidder:
         self.observe_price(msg.src, msg.price)
         request = self._assigned_for(msg.src, msg.chunk)
         if request is None:
+            # The Evict can overtake the Accept it undoes (the bid is
+            # still _PENDING here).  Without bookkeeping the late Accept
+            # would freeze the request in a phantom _ASSIGNED state while
+            # the auctioneer no longer holds it.
+            pending = self._pending_for(msg.src, msg.chunk)
+            if pending is not None:
+                self._early_evicts[(msg.src, msg.chunk)] = pending.bid_seq
             return
         request.state = _UNASSIGNED
         request.assigned_to = None

@@ -11,16 +11,44 @@ A :class:`SchedulingProblem` is one time slot's social-welfare ILP:
 The edge weight is the net utility ``v^{(c)}(d) − w_{u→d}``.  Solvers
 (:mod:`repro.core.auction`, :mod:`repro.core.exact`,
 :mod:`repro.core.baselines`) consume this object; they may not modify it.
+
+Construction comes in two flavours:
+
+* :meth:`SchedulingProblem.add_request` — one request at a time, fully
+  validated per call.  The reference path, used by tests, tooling and
+  hand-built instances.
+* :meth:`SchedulingProblem.add_requests_batch` / :class:`ProblemBuilder`
+  — a whole block of requests as flat CSR arrays, validated once with
+  vectorized checks.  The per-slot hot path of
+  :meth:`repro.p2p.system.P2PSystem.build_problem` uses this; a batch of
+  tens of thousands of requests costs a handful of numpy passes instead
+  of one Python dict walk per request.
+
+Two read-only array views serve vectorized solvers: the padded
+:meth:`SchedulingProblem.dense` ``(R, K_max)`` matrices and the flat
+:meth:`SchedulingProblem.csr` arrays.  The CSR view is the one to prefer
+when candidate counts are skewed — its size is the edge count ``E``,
+not ``R × K_max``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ChunkRequest", "DenseView", "SchedulingProblem"]
+__all__ = [
+    "ChunkRequest",
+    "CSRView",
+    "DenseView",
+    "ProblemBuilder",
+    "SchedulingProblem",
+    "random_problem",
+]
+
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -72,11 +100,84 @@ class DenseView:
         return self.values.shape[1]
 
 
+@dataclass(frozen=True)
+class CSRView:
+    """Flat (CSR) numpy view of a problem for vectorized solvers.
+
+    Request ``r``'s candidate edges occupy positions
+    ``indptr[r]:indptr[r+1]`` of the flat arrays, in candidate order.
+    Unlike :class:`DenseView` there is no ``(R, K_max)`` padding, so the
+    memory/compute footprint is the edge count ``E`` even when candidate
+    counts are heavily skewed.
+
+    Attributes
+    ----------
+    values:
+        ``(E,)`` float array of edge net utilities ``v − w``.
+    uploader_index:
+        ``(E,)`` int array of uploader *indices* (into :attr:`uploaders`).
+    indptr:
+        ``(R + 1,)`` int array of row boundaries.
+    uploaders:
+        Uploader peer ids, position = index used above.
+    capacity:
+        ``(U,)`` int array of ``B(u)`` aligned with :attr:`uploaders`.
+    """
+
+    values: np.ndarray
+    uploader_index: np.ndarray
+    indptr: np.ndarray
+    uploaders: np.ndarray
+    capacity: np.ndarray
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.values)
+
+    def counts(self) -> np.ndarray:
+        """Candidate count per request, ``(R,)``."""
+        return np.diff(self.indptr)
+
+    def row(self, index: int) -> slice:
+        """Slice of the flat arrays holding request ``index``'s edges."""
+        return slice(int(self.indptr[index]), int(self.indptr[index + 1]))
+
+    def edge_rows(self) -> np.ndarray:
+        """Request index of every edge, ``(E,)``."""
+        return np.repeat(np.arange(self.n_requests, dtype=np.int64), self.counts())
+
+    def to_dense(self) -> DenseView:
+        """Expand to the padded :class:`DenseView` (round-trip helper)."""
+        n = self.n_requests
+        counts = self.counts()
+        k = int(counts.max()) if n else 0
+        values = np.full((n, max(k, 1)), -np.inf, dtype=float)
+        uploader_index = np.full((n, max(k, 1)), -1, dtype=np.int64)
+        if self.n_edges:
+            rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+            cols = np.arange(self.n_edges, dtype=np.int64) - np.repeat(
+                self.indptr[:-1], counts
+            )
+            values[rows, cols] = self.values
+            uploader_index[rows, cols] = self.uploader_index
+        return DenseView(
+            values=values,
+            uploader_index=uploader_index,
+            uploaders=self.uploaders,
+            capacity=self.capacity,
+        )
+
+
 class SchedulingProblem:
     """Immutable-after-build description of one slot's assignment problem.
 
-    Build with :meth:`add_request` / :meth:`set_capacity`, then hand to a
-    scheduler.  Request order is preserved and indexes results.
+    Build with :meth:`add_request` / :meth:`add_requests_batch` /
+    :meth:`set_capacity`, then hand to a scheduler.  Request order is
+    preserved and indexes results.
 
     Example
     -------
@@ -88,12 +189,27 @@ class SchedulingProblem:
     """
 
     def __init__(self) -> None:
-        self._requests: List[ChunkRequest] = []
+        # Columnar request storage: one entry per request each.
+        self._peers: List[int] = []
+        self._chunks: List[Hashable] = []
+        self._valuations: List[float] = []
         self._request_keys: set = set()
+        self._keys_stale = False
         self._candidates: List[np.ndarray] = []  # uploader peer ids per request
         self._costs: List[np.ndarray] = []  # w_{u→d} aligned with candidates
+        # Flat CSR blocks from add_requests_batch, not yet split into the
+        # per-request view lists above; split lazily on first per-request
+        # access so batch-built problems feed csr() without ever paying
+        # for R slice objects.
+        self._lazy_blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._capacity: Dict[int, int] = {}
+        self._edge_count = 0
         self._dense: Optional[DenseView] = None
+        self._csr: Optional[CSRView] = None
+
+    def _invalidate(self) -> None:
+        self._dense = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -103,7 +219,29 @@ class SchedulingProblem:
         if capacity < 0 or int(capacity) != capacity:
             raise ValueError(f"capacity must be a non-negative int, got {capacity!r}")
         self._capacity[peer] = int(capacity)
-        self._dense = None
+        self._invalidate()
+
+    def set_capacities_batch(
+        self, peers: Sequence[int], capacities: Sequence[int]
+    ) -> None:
+        """Declare many capacities at once (vectorized :meth:`set_capacity`)."""
+        ids = np.asarray(peers, dtype=np.int64)
+        caps = np.asarray(capacities)
+        if ids.shape != caps.shape or ids.ndim != 1:
+            raise ValueError(
+                f"peers and capacities must be 1-D and aligned, got shapes "
+                f"{ids.shape} and {caps.shape}"
+            )
+        if caps.size:
+            as_int = caps.astype(np.int64)
+            if np.any(caps != as_int) or np.any(as_int < 0):
+                bad = caps[(caps != as_int) | (as_int < 0)][0]
+                raise ValueError(
+                    f"capacity must be a non-negative int, got {bad!r}"
+                )
+            caps = as_int
+        self._capacity.update(zip(ids.tolist(), caps.tolist()))
+        self._invalidate()
 
     def add_request(
         self,
@@ -119,9 +257,13 @@ class SchedulingProblem:
         cannot be a candidate.  A request with no candidates is legal (it
         simply can never be served).
         """
-        request = ChunkRequest(peer=peer, chunk=chunk, valuation=float(valuation))
-        if request.key in self._request_keys:
-            raise ValueError(f"duplicate request {request.key!r}")
+        valuation = float(valuation)
+        if not np.isfinite(valuation):
+            raise ValueError(f"valuation must be finite, got {valuation!r}")
+        self._ensure_keys()
+        key = (peer, chunk)
+        if key in self._request_keys:
+            raise ValueError(f"duplicate request {key!r}")
         for uploader, cost in candidates.items():
             if uploader == peer:
                 raise ValueError(f"peer {peer!r} cannot upload to itself")
@@ -131,40 +273,217 @@ class SchedulingProblem:
                 )
             if not np.isfinite(cost) or cost < 0:
                 raise ValueError(f"cost must be finite and >= 0, got {cost!r}")
-        self._request_keys.add(request.key)
-        self._requests.append(request)
+        self._request_keys.add(key)
+        self._peers.append(peer)
+        self._chunks.append(chunk)
+        self._valuations.append(valuation)
         uploaders = np.fromiter(candidates.keys(), dtype=np.int64, count=len(candidates))
         costs = np.fromiter(candidates.values(), dtype=float, count=len(candidates))
+        self._materialize_views()
         self._candidates.append(uploaders)
         self._costs.append(costs)
-        self._dense = None
-        return len(self._requests) - 1
+        self._edge_count += len(uploaders)
+        self._invalidate()
+        return len(self._peers) - 1
+
+    def add_requests_batch(
+        self,
+        peers: Sequence[int],
+        chunks: Sequence[Hashable],
+        valuations: Sequence[float],
+        cand_uploaders: Sequence[int],
+        cand_costs: Sequence[float],
+        indptr: Sequence[int],
+        validate: bool = True,
+    ) -> range:
+        """Append a block of requests from flat CSR arrays; returns their indices.
+
+        Request ``i`` of the block is ``(peers[i], chunks[i])`` valued
+        ``valuations[i]``, with candidate uploaders
+        ``cand_uploaders[indptr[i]:indptr[i+1]]`` at costs
+        ``cand_costs[indptr[i]:indptr[i+1]]``.  Exactly the same
+        invariants as :meth:`add_request` are enforced — duplicate keys,
+        self-upload, undeclared uploaders, bad costs, duplicate
+        candidates within one request — but every check is one vectorized
+        pass over the batch instead of per-request Python work.
+
+        ``validate=False`` skips the invariant checks (shape checks are
+        always performed) for trusted producers whose output is pinned
+        elsewhere — the slot pipeline's construction is equivalence-tested
+        against the per-request reference, so it does not pay for
+        re-validating what the tests already guarantee.  Untrusted or
+        hand-built input must keep ``validate=True``.
+        """
+        peers_arr = np.ascontiguousarray(peers, dtype=np.int64)
+        valuations_arr = np.ascontiguousarray(valuations, dtype=float)
+        uploaders_arr = np.ascontiguousarray(cand_uploaders, dtype=np.int64)
+        costs_arr = np.ascontiguousarray(cand_costs, dtype=float)
+        indptr_arr = np.ascontiguousarray(indptr, dtype=np.int64)
+        chunk_list = list(chunks)
+        m = len(peers_arr)
+        start = len(self._peers)
+        if len(chunk_list) != m or len(valuations_arr) != m:
+            raise ValueError(
+                f"peers ({m}), chunks ({len(chunk_list)}) and valuations "
+                f"({len(valuations_arr)}) must be aligned"
+            )
+        if len(costs_arr) != len(uploaders_arr):
+            raise ValueError(
+                f"cand_uploaders ({len(uploaders_arr)}) and cand_costs "
+                f"({len(costs_arr)}) must be aligned"
+            )
+        if (
+            len(indptr_arr) != m + 1
+            or (m >= 0 and (indptr_arr[0] != 0 or indptr_arr[-1] != len(uploaders_arr)))
+        ):
+            raise ValueError(
+                f"indptr must have length {m + 1}, start at 0 and end at "
+                f"{len(uploaders_arr)}, got {indptr_arr!r}"
+            )
+        counts = np.diff(indptr_arr)
+        if np.any(counts < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if m == 0:
+            return range(start, start)
+        if validate:
+            self._validate_batch(
+                peers_arr, valuations_arr, uploaders_arr, costs_arr, counts, m
+            )
+            keys = list(zip(peers_arr.tolist(), chunk_list))
+            batch_keys = set(keys)
+            if len(batch_keys) < len(keys):
+                seen: set = set()
+                for key in keys:
+                    if key in seen:
+                        raise ValueError(f"duplicate request {key!r}")
+                    seen.add(key)
+            self._ensure_keys()
+            overlap = self._request_keys & batch_keys
+            if overlap:
+                raise ValueError(f"duplicate request {next(iter(overlap))!r}")
+            # All checks passed: commit the block (views into the flat
+            # arrays, so the append loop is O(R) slices, no per-edge work).
+            self._request_keys |= batch_keys
+        else:
+            # Trusted block: the key set is rebuilt lazily if a later
+            # per-request or validated add needs duplicate detection.
+            self._keys_stale = True
+        self._peers.extend(peers_arr.tolist())
+        self._chunks.extend(chunk_list)
+        self._valuations.extend(valuations_arr.tolist())
+        self._lazy_blocks.append((uploaders_arr, costs_arr, indptr_arr))
+        self._edge_count += len(uploaders_arr)
+        self._invalidate()
+        return range(start, start + m)
+
+    def _materialize_views(self) -> None:
+        """Split pending batch blocks into per-request zero-copy views.
+
+        Deferred until a per-request accessor needs them — the solver
+        hot path (``csr()``/``dense()``/``welfare``) never does.
+        ``map()`` keeps the slicing loop in C.
+        """
+        if not self._lazy_blocks:
+            return
+        for uploaders_arr, costs_arr, indptr_arr in self._lazy_blocks:
+            bounds = indptr_arr.tolist()
+            slices = list(map(slice, bounds[:-1], bounds[1:]))
+            self._candidates.extend(map(uploaders_arr.__getitem__, slices))
+            self._costs.extend(map(costs_arr.__getitem__, slices))
+        self._lazy_blocks.clear()
+
+    def _validate_batch(
+        self,
+        peers_arr: np.ndarray,
+        valuations_arr: np.ndarray,
+        uploaders_arr: np.ndarray,
+        costs_arr: np.ndarray,
+        counts: np.ndarray,
+        m: int,
+    ) -> None:
+        """Vectorized invariant checks for one request batch."""
+        if not np.all(np.isfinite(valuations_arr)):
+            bad = valuations_arr[~np.isfinite(valuations_arr)][0]
+            raise ValueError(f"valuation must be finite, got {bad!r}")
+        if len(costs_arr) and (
+            not np.all(np.isfinite(costs_arr)) or np.any(costs_arr < 0)
+        ):
+            bad = costs_arr[~np.isfinite(costs_arr) | (costs_arr < 0)][0]
+            raise ValueError(f"cost must be finite and >= 0, got {bad!r}")
+        if not len(uploaders_arr):
+            return
+        edge_peer = np.repeat(peers_arr, counts)
+        selfish = edge_peer == uploaders_arr
+        if np.any(selfish):
+            offender = int(edge_peer[selfish][0])
+            raise ValueError(f"peer {offender!r} cannot upload to itself")
+        declared = np.fromiter(
+            self._capacity.keys(), dtype=np.int64, count=len(self._capacity)
+        )
+        known = np.isin(uploaders_arr, declared)
+        if not known.all():
+            offender = int(uploaders_arr[~known][0])
+            raise ValueError(
+                f"candidate uploader {offender!r} has no declared capacity"
+            )
+        rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+        same_row = rows[1:] == rows[:-1]
+        adjacent = uploaders_arr[1:] == uploaders_arr[:-1]
+        if np.all((uploaders_arr[1:] > uploaders_arr[:-1]) | ~same_row):
+            return  # strictly increasing within each row ⇒ no duplicates
+        if not np.any(adjacent & same_row):
+            # Not sorted: fall back to a per-row sort to find repeats.
+            order = np.lexsort((uploaders_arr, rows))
+            su, sr = uploaders_arr[order], rows[order]
+            adjacent = su[1:] == su[:-1]
+            same_row = sr[1:] == sr[:-1]
+            uploaders_arr, rows = su, sr
+        dup = adjacent & same_row
+        if np.any(dup):
+            where = int(np.nonzero(dup)[0][0])
+            raise ValueError(
+                f"duplicate candidate uploader {int(uploaders_arr[1:][where])!r} "
+                f"for request {int(rows[1:][where])!r} of the batch"
+            )
+
+    def _ensure_keys(self) -> None:
+        """Rebuild the duplicate-detection key set after trusted batches."""
+        if self._keys_stale:
+            self._request_keys = set(zip(self._peers, self._chunks))
+            self._keys_stale = False
 
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
-        return len(self._requests)
+        return len(self._peers)
 
     @property
     def requests(self) -> Sequence[ChunkRequest]:
-        return tuple(self._requests)
+        return tuple(self.request(i) for i in range(len(self._peers)))
 
     def request(self, index: int) -> ChunkRequest:
-        return self._requests[index]
+        return ChunkRequest(
+            peer=self._peers[index],
+            chunk=self._chunks[index],
+            valuation=self._valuations[index],
+        )
 
     def candidates_of(self, index: int) -> np.ndarray:
         """Uploader peer ids that can serve request ``index``."""
+        self._materialize_views()
         return self._candidates[index]
 
     def costs_of(self, index: int) -> np.ndarray:
         """Edge costs ``w_{u→d}`` aligned with :meth:`candidates_of`."""
+        self._materialize_views()
         return self._costs[index]
 
     def edge_values_of(self, index: int) -> np.ndarray:
         """Net utilities ``v − w`` aligned with :meth:`candidates_of`."""
-        return self._requests[index].valuation - self._costs[index]
+        self._materialize_views()
+        return self._valuations[index] - self._costs[index]
 
     def capacity_of(self, peer: int) -> int:
         """``B(peer)``; raises ``KeyError`` for unknown uploaders."""
@@ -180,10 +499,11 @@ class SchedulingProblem:
 
     def n_edges(self) -> int:
         """Total number of candidate edges."""
-        return sum(len(c) for c in self._candidates)
+        return self._edge_count
 
     def cost_of_edge(self, index: int, uploader: int) -> float:
         """Cost ``w_{u→d}`` of a specific edge; raises if absent."""
+        self._materialize_views()
         cands = self._candidates[index]
         pos = np.nonzero(cands == uploader)[0]
         if len(pos) == 0:
@@ -194,34 +514,79 @@ class SchedulingProblem:
 
     def edge_value(self, index: int, uploader: int) -> float:
         """Net utility ``v − w`` of a specific edge."""
-        return self._requests[index].valuation - self.cost_of_edge(index, uploader)
+        return self._valuations[index] - self.cost_of_edge(index, uploader)
 
     # ------------------------------------------------------------------
-    # Dense view for vectorized solvers
+    # Array views for vectorized solvers
     # ------------------------------------------------------------------
-    def dense(self) -> DenseView:
-        """Padded arrays over a stable uploader index; cached."""
-        if self._dense is not None:
-            return self._dense
-        uploaders = np.fromiter(self._capacity.keys(), dtype=np.int64)
-        index_of = {int(u): i for i, u in enumerate(uploaders)}
-        capacity = np.fromiter(self._capacity.values(), dtype=np.int64)
-        n = len(self._requests)
-        k = max((len(c) for c in self._candidates), default=0)
-        values = np.full((n, max(k, 1)), -np.inf, dtype=float)
-        uploader_index = np.full((n, max(k, 1)), -1, dtype=np.int64)
-        for r, (cands, costs) in enumerate(zip(self._candidates, self._costs)):
-            m = len(cands)
-            if m == 0:
-                continue
-            values[r, :m] = self._requests[r].valuation - costs
-            uploader_index[r, :m] = [index_of[int(u)] for u in cands]
-        self._dense = DenseView(
+    def csr(self) -> CSRView:
+        """Flat CSR arrays over a stable uploader index; cached.
+
+        Built with a handful of array passes — no per-request Python
+        loop — so it stays cheap on batch-built problems with hundreds
+        of thousands of edges.
+        """
+        if self._csr is not None:
+            return self._csr
+        n = len(self._peers)
+        if self._lazy_blocks and not self._candidates:
+            # Batch-built problem: reuse the flat block arrays directly,
+            # never splitting them into per-request views.
+            blocks = self._lazy_blocks
+            if len(blocks) == 1:
+                flat_uploaders, flat_costs, indptr = blocks[0]
+                counts = np.diff(indptr)
+            else:
+                flat_uploaders = np.concatenate([b[0] for b in blocks])
+                flat_costs = np.concatenate([b[1] for b in blocks])
+                counts = np.concatenate([np.diff(b[2]) for b in blocks])
+                indptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+        else:
+            self._materialize_views()
+            counts = np.fromiter(map(len, self._candidates), dtype=np.int64, count=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            if self._candidates and self._edge_count:
+                flat_uploaders = np.concatenate(self._candidates)
+                flat_costs = np.concatenate(self._costs)
+            else:
+                flat_uploaders = _EMPTY_INT
+                flat_costs = _EMPTY_FLOAT
+        valuations = np.asarray(self._valuations, dtype=float)
+        values = np.repeat(valuations, counts) - flat_costs
+        uploaders = np.fromiter(
+            self._capacity.keys(), dtype=np.int64, count=len(self._capacity)
+        )
+        capacity = np.fromiter(
+            self._capacity.values(), dtype=np.int64, count=len(self._capacity)
+        )
+        if len(flat_uploaders):
+            sorter = np.argsort(uploaders, kind="stable")
+            uploader_index = sorter[
+                np.searchsorted(uploaders, flat_uploaders, sorter=sorter)
+            ]
+        else:
+            uploader_index = _EMPTY_INT
+        self._csr = CSRView(
             values=values,
             uploader_index=uploader_index,
+            indptr=indptr,
             uploaders=uploaders,
             capacity=capacity,
         )
+        return self._csr
+
+    def dense(self) -> DenseView:
+        """Padded arrays over a stable uploader index; cached.
+
+        Derived from :meth:`csr` by a vectorized scatter; prefer the CSR
+        view directly when candidate counts are skewed — the dense
+        expansion costs ``R × K_max`` regardless of the true edge count.
+        """
+        if self._dense is not None:
+            return self._dense
+        self._dense = self.csr().to_dense()
         return self._dense
 
     # ------------------------------------------------------------------
@@ -229,6 +594,27 @@ class SchedulingProblem:
     # ------------------------------------------------------------------
     def welfare(self, assignment: Dict[int, Optional[int]]) -> float:
         """Social welfare Σ (v − w) of an assignment {request index → uploader}."""
+        n = len(self._peers)
+        assigned = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+        served = 0
+        for index, uploader in assignment.items():
+            if uploader is None:
+                continue
+            if not 0 <= index < n:
+                return self._welfare_loop(assignment)
+            assigned[index] = uploader
+            served += 1
+        if served == 0:
+            return 0.0
+        csr = self.csr()
+        matched = csr.uploaders[csr.uploader_index] == assigned[csr.edge_rows()]
+        if int(matched.sum()) != served:
+            # Some (index, uploader) pair is not a candidate edge; fall
+            # back to the loop, which raises the precise error.
+            return self._welfare_loop(assignment)
+        return float(csr.values[matched].sum())
+
+    def _welfare_loop(self, assignment: Dict[int, Optional[int]]) -> float:
         total = 0.0
         for index, uploader in assignment.items():
             if uploader is None:
@@ -238,12 +624,10 @@ class SchedulingProblem:
 
     def max_edge_value(self) -> float:
         """Largest ``v − w`` over all edges (0 if there are no edges)."""
-        best = 0.0
-        for index in range(self.n_requests):
-            vals = self.edge_values_of(index)
-            if len(vals):
-                best = max(best, float(vals.max()))
-        return best
+        csr = self.csr()
+        if not csr.n_edges:
+            return 0.0
+        return max(0.0, float(csr.values.max()))
 
     def describe(self) -> str:
         """One-line summary for logs."""
@@ -265,6 +649,7 @@ class SchedulingProblem:
         map new-index → original-index.  Used by the VCG extension
         (welfare without one peer's requests) and by scenario tooling.
         """
+        self._materialize_views()
         sub = SchedulingProblem()
         for uploader, capacity in self._capacity.items():
             sub.set_capacity(uploader, capacity)
@@ -272,20 +657,22 @@ class SchedulingProblem:
         for index in range(self.n_requests):
             if not keep(index):
                 continue
-            request = self._requests[index]
             candidates = {
                 int(u): float(c)
                 for u, c in zip(self._candidates[index], self._costs[index])
             }
             new_index = sub.add_request(
-                request.peer, request.chunk, request.valuation, candidates
+                self._peers[index],
+                self._chunks[index],
+                self._valuations[index],
+                candidates,
             )
             index_map[new_index] = index
         return sub, index_map
 
     def without_peer(self, peer: int) -> Tuple["SchedulingProblem", Dict[int, int]]:
         """Copy with every request of ``peer`` removed (capacities intact)."""
-        return self.restricted(lambda r: self._requests[r].peer != peer)
+        return self.restricted(lambda r: self._peers[r] != peer)
 
     def reweighted(
         self, valuation_of: "Callable[[int], float]"
@@ -296,19 +683,169 @@ class SchedulingProblem:
         valuation for the request at ``index`` — the strategic-bidding
         tooling uses this to model manipulation.
         """
+        self._materialize_views()
         sub = SchedulingProblem()
         for uploader, capacity in self._capacity.items():
             sub.set_capacity(uploader, capacity)
         for index in range(self.n_requests):
-            request = self._requests[index]
             candidates = {
                 int(u): float(c)
                 for u, c in zip(self._candidates[index], self._costs[index])
             }
             sub.add_request(
-                request.peer, request.chunk, float(valuation_of(index)), candidates
+                self._peers[index],
+                self._chunks[index],
+                float(valuation_of(index)),
+                candidates,
             )
         return sub
+
+
+class ProblemBuilder:
+    """Columnar accumulator that assembles a :class:`SchedulingProblem`.
+
+    Collect capacity declarations and CSR *blocks* of requests (e.g. one
+    block per requesting peer), then :meth:`build` concatenates every
+    block once and performs a single vectorized
+    :meth:`SchedulingProblem.add_requests_batch` call.  This is the
+    construction path the per-slot pipeline uses: total cost is O(E) in
+    array ops, independent of how many blocks were added.
+
+    Example
+    -------
+    >>> b = ProblemBuilder()
+    >>> b.set_capacity(10, 2)
+    >>> b.add_block(peers=1, chunks=["a", "b"], valuations=[5.0, 4.0],
+    ...             cand_uploaders=[10, 10], cand_costs=[1.0, 2.0],
+    ...             indptr=[0, 1, 2])
+    >>> p = b.build()
+    >>> p.n_requests, p.n_edges()
+    (2, 2)
+    """
+
+    def __init__(self) -> None:
+        self._capacity: Dict[int, int] = {}
+        self._peer_blocks: List[np.ndarray] = []
+        self._chunk_blocks: List[List[Hashable]] = []
+        self._valuation_blocks: List[np.ndarray] = []
+        self._uploader_blocks: List[np.ndarray] = []
+        self._cost_blocks: List[np.ndarray] = []
+        self._count_blocks: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Capacities
+    # ------------------------------------------------------------------
+    def set_capacity(self, peer: int, capacity: int) -> None:
+        """Declare one uploader capacity (order of declaration preserved)."""
+        self._capacity[int(peer)] = int(capacity)
+
+    def set_capacities(self, peers: Sequence[int], capacities: Sequence[int]) -> None:
+        """Declare many uploader capacities at once."""
+        ids = np.asarray(peers, dtype=np.int64)
+        caps = np.asarray(capacities, dtype=np.int64)
+        if ids.shape != caps.shape:
+            raise ValueError(
+                f"peers and capacities must be aligned, got shapes "
+                f"{ids.shape} and {caps.shape}"
+            )
+        self._capacity.update(zip(ids.tolist(), caps.tolist()))
+
+    # ------------------------------------------------------------------
+    # Request blocks
+    # ------------------------------------------------------------------
+    def add_block(
+        self,
+        peers,
+        chunks: Sequence[Hashable],
+        valuations,
+        cand_uploaders,
+        cand_costs,
+        indptr=None,
+        counts=None,
+    ) -> int:
+        """Queue one CSR block of requests; returns the block's size.
+
+        ``peers`` may be a scalar (one downloader for the whole block —
+        the common per-peer case) or an array aligned with ``chunks``.
+        Provide either ``indptr`` (length ``len(chunks) + 1``) or
+        ``counts`` (length ``len(chunks)``).  Arrays are stored as-is
+        and validated at :meth:`build` time by ``add_requests_batch``.
+        """
+        chunk_list = list(chunks)
+        m = len(chunk_list)
+        if counts is None:
+            if indptr is None:
+                raise ValueError("provide either indptr or counts")
+            indptr_arr = np.asarray(indptr, dtype=np.int64)
+            if len(indptr_arr) != m + 1:
+                raise ValueError(
+                    f"indptr must have length {m + 1}, got {len(indptr_arr)}"
+                )
+            counts_arr = np.diff(indptr_arr)
+        else:
+            if indptr is not None:
+                raise ValueError("provide indptr or counts, not both")
+            counts_arr = np.asarray(counts, dtype=np.int64)
+            if len(counts_arr) != m:
+                raise ValueError(
+                    f"counts must have length {m}, got {len(counts_arr)}"
+                )
+        peers_arr = np.asarray(peers, dtype=np.int64)
+        if peers_arr.ndim == 0:
+            peers_arr = np.full(m, int(peers_arr), dtype=np.int64)
+        if m == 0:
+            return 0
+        self._peer_blocks.append(peers_arr)
+        self._chunk_blocks.append(chunk_list)
+        self._valuation_blocks.append(np.asarray(valuations, dtype=float))
+        self._uploader_blocks.append(np.asarray(cand_uploaders, dtype=np.int64))
+        self._cost_blocks.append(np.asarray(cand_costs, dtype=float))
+        self._count_blocks.append(counts_arr)
+        return m
+
+    @property
+    def n_pending(self) -> int:
+        """Requests queued so far."""
+        return sum(len(block) for block in self._peer_blocks)
+
+    def request_peers(self) -> np.ndarray:
+        """Downloader peer id per queued request, in request order."""
+        if not self._peer_blocks:
+            return _EMPTY_INT
+        return np.concatenate(self._peer_blocks)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> SchedulingProblem:
+        """Concatenate all blocks into one :class:`SchedulingProblem`.
+
+        ``validate`` is forwarded to
+        :meth:`SchedulingProblem.add_requests_batch`.
+        """
+        problem = SchedulingProblem()
+        if self._capacity:
+            problem.set_capacities_batch(
+                np.fromiter(self._capacity.keys(), dtype=np.int64, count=len(self._capacity)),
+                np.fromiter(self._capacity.values(), dtype=np.int64, count=len(self._capacity)),
+            )
+        if not self._peer_blocks:
+            return problem
+        peers = np.concatenate(self._peer_blocks)
+        chunks: List[Hashable] = []
+        for block in self._chunk_blocks:
+            chunks.extend(block)
+        valuations = np.concatenate(self._valuation_blocks)
+        cand_uploaders = np.concatenate(self._uploader_blocks)
+        cand_costs = np.concatenate(self._cost_blocks)
+        counts = np.concatenate(self._count_blocks)
+        indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        problem.add_requests_batch(
+            peers, chunks, valuations, cand_uploaders, cand_costs, indptr,
+            validate=validate,
+        )
+        return problem
 
 
 def random_problem(

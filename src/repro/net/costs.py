@@ -78,6 +78,49 @@ class CostModel:
         """Vector of costs ``w_{u→dst}`` for each ``u`` in ``sources``."""
         return np.array([self.cost(src, dst) for src in sources], dtype=float)
 
+    def costs_for_pairs(self, sources, dst: int) -> np.ndarray:
+        """Bulk :meth:`cost`: ``w_{u→dst}`` for an array of sources.
+
+        Cache hits are read in one pass; the (rare after warm-up)
+        missing pairs are sampled in two bulk truncated-normal draws —
+        intra-ISP pairs first, then inter-ISP, each in source order —
+        instead of one scipy round-trip per pair.  Per-pair values are
+        cached exactly like :meth:`cost`, so mixing the two APIs is safe.
+        """
+        src_list = np.asarray(sources, dtype=np.int64).tolist()
+        dst = int(dst)
+        out = np.empty(len(src_list), dtype=float)
+        cache = self._cache
+        missing: list = []  # (position, key, is_intra)
+        for i, src in enumerate(src_list):
+            if src == dst:
+                out[i] = 0.0
+                continue
+            key = self._key(src, dst)
+            cached = cache.get(key)
+            if cached is None:
+                missing.append((i, key, self.topology.same_isp(src, dst)))
+                out[i] = np.nan
+            else:
+                out[i] = cached
+        if missing:
+            n_intra = sum(1 for _, _, intra in missing if intra)
+            intra_draws = iter(
+                self.intra.sample(self.rng, size=n_intra) if n_intra else ()
+            )
+            inter_draws = iter(
+                self.inter.sample(self.rng, size=len(missing) - n_intra)
+                if len(missing) > n_intra
+                else ()
+            )
+            for i, key, intra in missing:
+                value = cache.get(key)  # duplicate source in this batch
+                if value is None:
+                    value = float(next(intra_draws if intra else inter_draws))
+                    cache[key] = value
+                out[i] = value
+        return out
+
     def is_inter_isp(self, src: int, dst: int) -> bool:
         """Whether a transfer src→dst crosses an ISP boundary."""
         return not self.topology.same_isp(src, dst)

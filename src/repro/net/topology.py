@@ -82,6 +82,13 @@ class OverlayGraph:
             raise ValueError(f"degree_target must be >= 1, got {degree_target!r}")
         self.degree_target = int(degree_target)
         self._adj: Dict[int, Set[int]] = {}
+        # Sorted int64 neighbor arrays, built lazily and invalidated on
+        # any link change — the columnar slot pipeline reads these once
+        # per peer per slot instead of copying the neighbor set.
+        self._adj_arrays: Dict[int, np.ndarray] = {}
+        #: Monotone counter bumped on every link/node mutation; cheap
+        #: cache key for derived per-peer structures (slot pipeline).
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Node management
@@ -93,8 +100,11 @@ class OverlayGraph:
     def remove_node(self, peer_id: int) -> Set[int]:
         """Remove a peer; returns the set of ex-neighbors that lost a link."""
         neighbors = self._adj.pop(peer_id, set())
+        self._adj_arrays.pop(peer_id, None)
+        self.version += 1
         for other in neighbors:
             self._adj[other].discard(peer_id)
+            self._adj_arrays.pop(other, None)
         return neighbors
 
     def __contains__(self, peer_id: int) -> bool:
@@ -117,17 +127,40 @@ class OverlayGraph:
         self.add_node(b)
         self._adj[a].add(b)
         self._adj[b].add(a)
+        self._adj_arrays.pop(a, None)
+        self._adj_arrays.pop(b, None)
+        self.version += 1
 
     def disconnect(self, a: int, b: int) -> None:
         """Remove the link a—b if present."""
         if a in self._adj:
             self._adj[a].discard(b)
+            self._adj_arrays.pop(a, None)
         if b in self._adj:
             self._adj[b].discard(a)
+            self._adj_arrays.pop(b, None)
+        self.version += 1
 
     def neighbors(self, peer_id: int) -> Set[int]:
         """A copy of the neighbor set of ``peer_id``."""
         return set(self._adj.get(peer_id, set()))
+
+    def neighbor_array(self, peer_id: int) -> np.ndarray:
+        """Sorted int64 array of ``peer_id``'s neighbors (cached view).
+
+        The array is rebuilt lazily after link changes and shared across
+        calls — callers must not mutate it.
+        """
+        cached = self._adj_arrays.get(peer_id)
+        if cached is None:
+            members = self._adj.get(peer_id)
+            if members:
+                cached = np.fromiter(members, dtype=np.int64, count=len(members))
+                cached.sort()
+            else:
+                cached = np.empty(0, dtype=np.int64)
+            self._adj_arrays[peer_id] = cached
+        return cached
 
     def degree(self, peer_id: int) -> int:
         return len(self._adj.get(peer_id, set()))

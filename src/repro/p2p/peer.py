@@ -17,12 +17,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from ..vod.buffer import ChunkBuffer
 from ..vod.playback import PlaybackSession
 from ..vod.valuation import DeadlineValuation
 from ..vod.video import Video
 
 __all__ = ["Peer"]
+
+_NO_CHUNKS = np.empty(0, dtype=np.int64)
+_NO_VALUES = np.empty(0, dtype=float)
 
 
 class Peer:
@@ -122,19 +127,37 @@ class Peer:
         own parameter choice) right before its deadline; the lookahead
         reproduces that within a discrete bidding round.
         """
+        wanted, values = self.build_request_arrays(
+            now, prefetch_chunks, valuation, lookahead=lookahead
+        )
+        return list(zip(wanted.tolist(), values.tolist()))
+
+    def build_request_arrays(
+        self,
+        now: float,
+        prefetch_chunks: int,
+        valuation: DeadlineValuation,
+        lookahead: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`build_requests`: ``(chunk_indices, valuations)``.
+
+        One window scan over the buffer bitmap and one vectorized
+        valuation evaluation; this is the form the slot pipeline
+        consumes directly, and :meth:`build_requests` is a thin wrapper
+        over it so the two can never drift apart.
+        """
         if self.is_seed or self.session is None or self.session.finished:
-            return []
+            return _NO_CHUNKS, _NO_VALUES
         position = self.session.due_position(now)
-        wanted = self.buffer.window_of_interest(
+        wanted = self.buffer.window_array(
             position, prefetch_chunks, exclude=self.session.missed
         )
-        requests = []
-        for index in wanted:
-            to_deadline = max(
-                0.0, self.session.seconds_to_deadline(index, now) - lookahead
-            )
-            requests.append((index, valuation.value(to_deadline)))
-        return requests
+        if not wanted.size:
+            return wanted, _NO_VALUES
+        to_deadline = np.maximum(
+            0.0, self.session.seconds_to_deadlines(wanted, now) - lookahead
+        )
+        return wanted, valuation.values(to_deadline)
 
     # ------------------------------------------------------------------
     # Transfers

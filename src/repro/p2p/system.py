@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.problem import SchedulingProblem
+from ..core.problem import ProblemBuilder, SchedulingProblem
 from ..core.result import ScheduleResult
 from ..core.scheduler import AuctionScheduler, ChunkScheduler, make_scheduler
 from ..metrics.collectors import MetricsCollector, SlotMetrics
@@ -124,6 +124,11 @@ class P2PSystem:
         self.collector = MetricsCollector()
         self.traffic_matrix = TrafficMatrix(config.n_isps)
         self.peers: Dict[int, Peer] = {}
+        # Per-peer candidate tables (same-video neighbor rows/ids/costs)
+        # reused across slots while the overlay and population are
+        # unchanged; keyed by the (overlay, membership) version pair.
+        self._candidate_cache: Dict[int, Tuple] = {}
+        self._membership_version = 0
         self._ids = itertools.count(1)
         self.now = 0.0
         self.slot_index = 0
@@ -221,6 +226,7 @@ class P2PSystem:
         self.tracker.register(peer)
         self.overlay.bootstrap(peer.peer_id, candidates)
         self.peers[peer.peer_id] = peer
+        self._membership_version += 1
 
     def remove_peer(self, peer_id: int) -> None:
         """Depart a peer: drop from overlay, tracker, topology and caches."""
@@ -231,6 +237,8 @@ class P2PSystem:
         self.overlay.remove_node(peer_id)
         self.topology.remove_peer(peer_id)
         self.costs.forget_peer(peer_id)
+        self._candidate_cache.pop(peer_id, None)
+        self._membership_version += 1
         self.departures += 1
 
     # ------------------------------------------------------------------
@@ -278,12 +286,17 @@ class P2PSystem:
         inter = intra = 0
         n_requests = n_served = sched_rounds = 0
         due = missed = 0
+        # The peer population is stable within a slot (churn is handled at
+        # the boundary above), so snapshot the list once; zero-budget
+        # peers are skipped — build_problem treats absent entries as 0.
+        slot_peers = list(self.peers.values())
         for r in range(rounds):
             now_r = t + r * slot / rounds
-            budgets = {
-                peer.peer_id: self._round_budget(peer.upload_capacity_chunks, r, rounds)
-                for peer in self.peers.values()
-            }
+            budgets = {}
+            for peer in slot_peers:
+                budget = self._round_budget(peer.upload_capacity_chunks, r, rounds)
+                if budget > 0:
+                    budgets[peer.peer_id] = budget
             problem, _ = self.build_problem(now_r, capacities=budgets)
             result = self.scheduler.schedule(problem)
             welfare += result.welfare(problem)
@@ -384,11 +397,188 @@ class P2PSystem:
     ) -> Tuple[SchedulingProblem, Dict[int, int]]:
         """One (sub-)round's assignment problem from buffers and windows.
 
+        Columnar construction: buffers are read through their zero-copy
+        bool bitmaps, stacked into one availability matrix per video, and
+        the candidate structure is assembled as flat CSR arrays handed to
+        :meth:`SchedulingProblem.add_requests_batch` in a single
+        vectorized call.  Produces the same problem (same request order,
+        same candidate edges and costs; candidates sorted by uploader id)
+        as the per-request :meth:`build_problem_reference`, which tests
+        pin it against.
+
         ``capacities`` overrides per-peer upload budgets (used by the
         sub-round split); default is each peer's full slot capacity.
         Returns the problem plus a map request-index → downstream peer id
         (also recoverable from the problem's requests; kept for
         convenience).
+        """
+        peers = list(self.peers.values())
+        n_peers = len(peers)
+        cap_ids = np.fromiter((p.peer_id for p in peers), dtype=np.int64, count=n_peers)
+        if capacities is None:
+            caps = np.fromiter(
+                (p.upload_capacity_chunks for p in peers), dtype=np.int64, count=n_peers
+            )
+        else:
+            caps = np.fromiter(
+                (capacities.get(p.peer_id, 0) for p in peers),
+                dtype=np.int64,
+                count=n_peers,
+            )
+        builder = ProblemBuilder()
+        builder.set_capacities(cap_ids, caps)
+
+        # Per-slot per-video tables: sorted member ids and the stacked
+        # buffer bitmaps (zero-copy views), so neighbor availability is
+        # one row gather + one fancy index instead of per-chunk set probes.
+        by_video: Dict[int, List[Peer]] = {}
+        for peer in peers:
+            by_video.setdefault(peer.video.video_id, []).append(peer)
+        video_ids: Dict[int, np.ndarray] = {}
+        video_masks: Dict[int, np.ndarray] = {}
+        for vid, members in by_video.items():
+            ids = np.fromiter((p.peer_id for p in members), dtype=np.int64, count=len(members))
+            order = np.argsort(ids, kind="stable")
+            video_ids[vid] = ids[order]
+            video_masks[vid] = np.stack(
+                [members[int(i)].buffer.mask for i in order]
+            )
+
+        rounds = self.config.bid_rounds_per_slot
+        lookahead = self.config.slot_seconds / rounds if rounds > 1 else 0.0
+        prefetch = self.config.prefetch_chunks
+        cache_version = (self.overlay.version, self._membership_version)
+        candidate_cache = self._candidate_cache
+
+        # Window-of-interest and valuations, batched per video: one
+        # (watchers, window) matrix pass replaces per-peer window scans
+        # and scalar-ish valuation calls (bitwise-equal to
+        # Peer.build_request_arrays, which tests pin).
+        window_tables: Dict[int, Tuple[Dict[int, int], np.ndarray, np.ndarray, np.ndarray]] = {}
+        offsets = np.arange(prefetch, dtype=np.int64)
+        for vid, members in by_video.items():
+            active = [
+                p for p in members
+                if p.session is not None and not p.session.finished
+            ]
+            if not active:
+                continue
+            video = active[0].video
+            n_chunks = video.n_chunks
+            cps = video.chunks_per_second
+            d_count = len(active)
+            pos = np.fromiter(
+                (p.session.due_position(now) for p in active), np.int64, count=d_count
+            )
+            cols = pos[:, None] + offsets[None, :]  # (watchers, window)
+            in_range = cols < n_chunks
+            cols_clipped = np.minimum(cols, n_chunks - 1)
+            # Rows of video_masks follow the sorted member ids.
+            own_rows = np.searchsorted(
+                video_ids[vid],
+                np.fromiter((p.peer_id for p in active), np.int64, count=d_count),
+            )
+            held = video_masks[vid][own_rows[:, None], cols_clipped]
+            avail = in_range & ~held
+            for i, p in enumerate(active):
+                missed = p.session.missed
+                if missed:
+                    skip = np.fromiter(missed, np.int64, count=len(missed))
+                    local = skip - pos[i]
+                    local = local[(local >= 0) & (local < prefetch)]
+                    avail[i, local] = False
+            deadlines = (
+                np.fromiter((p.session.start_time for p in active), float, count=d_count)[:, None]
+                + (cols - np.fromiter(
+                    (p.session.start_position for p in active), np.int64, count=d_count
+                )[:, None]) / cps
+            ) - now
+            to_deadline = np.maximum(0.0, deadlines - lookahead)
+            values_matrix = self.valuation.values(to_deadline)
+            window_tables[vid] = (
+                {p.peer_id: i for i, p in enumerate(active)},
+                cols,
+                avail,
+                values_matrix,
+            )
+
+        for peer in peers:
+            if peer.session is None:
+                continue  # seeds never request
+            vid = peer.video.video_id
+            # Peers in their startup delay do bid: they are pre-fetching
+            # ahead of the (future) playback start.  With sub-slot
+            # re-bidding, valuations anticipate the urgency reached by
+            # the end of the bid interval (see Peer.build_requests).
+            table = window_tables.get(vid)
+            if table is None:
+                continue
+            row_of, cols, avail, values_matrix = table
+            row = row_of.get(peer.peer_id)
+            if row is None:
+                continue  # finished session: nothing to prefetch
+            row_avail = avail[row]
+            if not row_avail.any():
+                continue
+            wanted = cols[row][row_avail]
+            values = values_matrix[row][row_avail]
+            # Same-video neighbor rows/ids/costs: stable while overlay
+            # and population are unchanged, so cached across slots.
+            entry = candidate_cache.get(peer.peer_id)
+            if entry is None or entry[0] != cache_version:
+                members = video_ids[vid]
+                nb = self.overlay.neighbor_array(peer.peer_id)
+                if nb.size and members.size:
+                    pos = np.searchsorted(members, nb)
+                    pos[pos >= len(members)] = 0
+                    nb_rows = pos[members[pos] == nb]
+                else:
+                    nb_rows = np.empty(0, dtype=np.int64)
+                nb_ids = members[nb_rows]
+                nb_costs = self.costs.costs_for_pairs(nb_ids, peer.peer_id)
+                entry = (cache_version, nb_rows, nb_ids, nb_costs)
+                candidate_cache[peer.peer_id] = entry
+            _, nb_rows, nb_ids, nb_costs = entry
+            if not nb_rows.size:
+                continue
+            # (wanted, neighbors) availability: nonzero groups by chunk.
+            # take+take gathers only the needed block (measurably faster
+            # than slice-then-column or open-mesh at both bench and
+            # paper scale).
+            have_per_chunk = (
+                video_masks[vid].take(nb_rows, axis=0).take(wanted, axis=1).T
+            )
+            _, nb_pos = np.nonzero(have_per_chunk)
+            counts = have_per_chunk.sum(axis=1, dtype=np.int64)
+            requested = counts > 0  # nobody caches it: cannot even be requested
+            if not requested.any():
+                continue
+            builder.add_block(
+                peers=peer.peer_id,
+                chunks=[(vid, int(c)) for c in wanted[requested].tolist()],
+                valuations=values[requested],
+                cand_uploaders=nb_ids[nb_pos],
+                cand_costs=nb_costs[nb_pos],
+                counts=counts[requested],
+            )
+
+        # validate=False: this producer is pinned against the per-request
+        # reference by the construction-equivalence tests.
+        problem = builder.build(validate=False)
+        request_owner = dict(enumerate(builder.request_peers().tolist()))
+        return problem, request_owner
+
+    def build_problem_reference(
+        self,
+        now: float,
+        capacities: Optional[Dict[int, int]] = None,
+    ) -> Tuple[SchedulingProblem, Dict[int, int]]:
+        """Per-request (dict/loop) construction of the same slot problem.
+
+        This is the pre-columnar hot path, kept as the semantics
+        reference: equivalence tests assert :meth:`build_problem`
+        produces the identical problem, and the benchmark harness times
+        the two against each other.
         """
         problem = SchedulingProblem()
         for peer in self.peers.values():

@@ -5,11 +5,19 @@ buffer maps with neighbors (Section V's "buffer manager").  The window
 of interest ``R_t(d)`` is the next ``window`` chunks beyond the playback
 position that the peer does not yet hold — the paper prefetches 100
 chunks, i.e. 10 seconds ahead.
+
+Storage is a numpy bool bitmap indexed by chunk number.  The zero-copy
+:attr:`ChunkBuffer.mask` view is what the columnar slot pipeline
+(:meth:`repro.p2p.system.P2PSystem.build_problem`) stacks into per-video
+availability matrices, replacing per-(chunk, neighbor) set probes with
+one fancy-index per neighbor.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Optional, Set
+
+import numpy as np
 
 from .video import Video
 
@@ -36,20 +44,21 @@ class ChunkBuffer:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity_chunks!r}")
         self.video = video
         self.capacity_chunks = capacity_chunks
-        self._held: Set[int] = set()
+        self._mask = np.zeros(video.n_chunks, dtype=bool)
+        self._count = 0
 
     # ------------------------------------------------------------------
     # Content management
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._held)
+        return self._count
 
     def __contains__(self, index: int) -> bool:
-        return index in self._held
+        return self.holds(index)
 
     def holds(self, index: int) -> bool:
         """Whether chunk ``index`` is in the buffer."""
-        return index in self._held
+        return 0 <= index < self.video.n_chunks and bool(self._mask[index])
 
     def add(self, index: int, protect_from: int = 0) -> bool:
         """Insert chunk ``index``; returns ``False`` if it was already held.
@@ -61,10 +70,11 @@ class ChunkBuffer:
             raise IndexError(
                 f"chunk {index!r} out of range [0, {self.video.n_chunks})"
             )
-        if index in self._held:
+        if self._mask[index]:
             return False
-        self._held.add(index)
-        if self.capacity_chunks is not None and len(self._held) > self.capacity_chunks:
+        self._mask[index] = True
+        self._count += 1
+        if self.capacity_chunks is not None and self._count > self.capacity_chunks:
             self._evict_one(protect_from)
         return True
 
@@ -79,25 +89,68 @@ class ChunkBuffer:
                 f"bad range [{start!r}, {stop!r}) for video of "
                 f"{self.video.n_chunks} chunks"
             )
-        self._held.update(range(start, stop))
+        segment = self._mask[start:stop]
+        self._count += int(segment.size - segment.sum())
+        segment[:] = True
 
     def _evict_one(self, protect_from: int) -> None:
-        # Prefer the chunk furthest behind the playback position; if none
-        # lies behind, evict the furthest-ahead chunk instead.
-        behind = [i for i in self._held if i < protect_from]
-        victim = min(behind) if behind else max(self._held)
-        self._held.discard(victim)
+        # Prefer the chunk furthest behind the playback position (lowest
+        # held index below it); if none lies behind, evict the
+        # furthest-ahead chunk instead.
+        bound = min(max(0, protect_from), self.video.n_chunks)
+        behind = self._mask[:bound]
+        if behind.any():
+            victim = int(np.argmax(behind))
+        else:
+            victim = int(self.video.n_chunks - 1 - np.argmax(self._mask[::-1]))
+        self._mask[victim] = False
+        self._count -= 1
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        """Zero-copy bool bitmap over chunk indices (do not mutate).
+
+        This is the live storage, not a snapshot: position ``i`` is
+        ``True`` iff chunk ``i`` is currently held.  The slot pipeline
+        stacks these views into per-video availability matrices.
+        """
+        return self._mask
+
     def bitmap(self) -> FrozenSet[int]:
         """Immutable snapshot advertised to neighbors."""
-        return frozenset(self._held)
+        return frozenset(np.nonzero(self._mask)[0].tolist())
 
     def held_among(self, indices: Set[int]) -> Set[int]:
-        """Subset of ``indices`` that this buffer holds (one set op)."""
-        return self._held & indices
+        """Subset of ``indices`` that this buffer holds."""
+        if not indices:
+            return set()
+        idx = np.fromiter(indices, dtype=np.int64, count=len(indices))
+        return set(idx[self._mask[idx]].tolist())
+
+    def window_array(
+        self,
+        position: int,
+        window: int,
+        exclude: Optional[Set[int]] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`window_of_interest`: sorted int64 array."""
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window!r}")
+        start = max(0, position)
+        stop = min(self.video.n_chunks, start + window)
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        available = ~self._mask[start:stop]
+        if exclude:
+            # Clear excluded positions directly — O(window + |exclude|),
+            # cheaper than a sort-based isin on the hot path.
+            skip = np.fromiter(exclude, dtype=np.int64, count=len(exclude))
+            skip = skip[(skip >= start) & (skip < stop)]
+            available[skip - start] = False
+        return np.nonzero(available)[0] + start
 
     def window_of_interest(
         self,
@@ -110,24 +163,19 @@ class ChunkBuffer:
         ``exclude`` removes chunks already being fetched or already missed.
         The result is ordered by index (i.e., by deadline).
         """
-        if window < 0:
-            raise ValueError(f"window must be non-negative, got {window!r}")
-        start = max(0, position)
-        stop = min(self.video.n_chunks, start + window)
-        skip = exclude or set()
-        return [
-            i for i in range(start, stop) if i not in self._held and i not in skip
-        ]
+        return self.window_array(position, window, exclude).tolist()
 
     def contiguous_from(self, position: int) -> int:
         """Length of the held run starting at ``position`` (buffered playtime)."""
-        run = 0
-        i = max(0, position)
-        while i < self.video.n_chunks and i in self._held:
-            run += 1
-            i += 1
-        return run
+        start = max(0, position)
+        segment = self._mask[start:]
+        if not segment.size:
+            return 0
+        first_gap = int(np.argmin(segment))
+        if segment[first_gap]:
+            return int(segment.size)  # no gap: held through the end
+        return first_gap
 
     def completion(self) -> float:
         """Fraction of the video held, in [0, 1]."""
-        return len(self._held) / self.video.n_chunks
+        return self._count / self.video.n_chunks

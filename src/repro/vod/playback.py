@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Set
 
+import numpy as np
+
 from .buffer import ChunkBuffer
 from .video import Video
 
@@ -79,6 +81,13 @@ class PlaybackSession:
     def seconds_to_deadline(self, index: int, now: float) -> float:
         """Seconds from ``now`` until chunk ``index`` plays (negative if overdue)."""
         return self.deadline_of(index) - now
+
+    def seconds_to_deadlines(self, indices, now: float) -> np.ndarray:
+        """Vectorized :meth:`seconds_to_deadline` over an index array."""
+        offsets = (
+            np.asarray(indices, dtype=float) - self.start_position
+        ) / self.video.chunks_per_second
+        return (self.start_time + offsets) - now
 
     def due_position(self, now: float) -> int:
         """Index of the first chunk not yet due at time ``now``."""

@@ -109,6 +109,50 @@ class TestWindowOfInterest:
         assert buffer.completion() == 0.5
 
 
+class TestMaskView:
+    def test_mask_is_live_and_zero_copy(self):
+        buffer = ChunkBuffer(make_video(10))
+        mask = buffer.mask
+        assert mask.dtype == bool and mask.shape == (10,)
+        assert not mask.any()
+        buffer.add(3)
+        assert mask[3]  # same storage, no snapshot
+        assert buffer.mask is mask
+
+    def test_mask_agrees_with_bitmap(self):
+        buffer = ChunkBuffer(make_video(20))
+        buffer.add_many([2, 5, 11])
+        import numpy as np
+
+        assert set(np.nonzero(buffer.mask)[0].tolist()) == set(buffer.bitmap())
+
+    def test_mask_tracks_eviction(self):
+        buffer = ChunkBuffer(make_video(), capacity_chunks=2)
+        buffer.add(1, protect_from=10)
+        buffer.add(2, protect_from=10)
+        buffer.add(3, protect_from=10)  # evicts 1
+        assert not buffer.mask[1]
+        assert buffer.mask[2] and buffer.mask[3]
+        assert len(buffer) == 2
+
+    def test_window_array_matches_list(self):
+        import numpy as np
+
+        buffer = ChunkBuffer(make_video(30))
+        buffer.add_many([4, 6, 9])
+        arr = buffer.window_array(3, 8, exclude={5})
+        assert arr.dtype == np.int64
+        assert arr.tolist() == buffer.window_of_interest(3, 8, exclude={5})
+
+    def test_fill_range_updates_count_idempotently(self):
+        buffer = ChunkBuffer(make_video(50))
+        buffer.add(12)
+        buffer.fill_range(10, 20)
+        buffer.fill_range(15, 25)
+        assert len(buffer) == 15
+        assert buffer.completion() == pytest.approx(15 / 50)
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     held=st.sets(st.integers(0, 49), max_size=30),
