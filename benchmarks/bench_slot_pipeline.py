@@ -1,14 +1,23 @@
 """Slot-pipeline benchmark: seed path vs columnar path, per phase.
 
 Times one slot's hot path — problem build, jacobi solve, transfer
-apply — on a matrix of scenario configurations, comparing:
+apply, playback advance — on a matrix of scenario configurations,
+comparing:
 
 * **seed path**: ``P2PSystem.build_problem_reference`` (per-request
   dict/loop construction, as in the seed revision) + a faithful
   re-implementation of the seed's per-request padded ``dense()``
-  expansion + the ``jacobi-dense`` solver;
+  expansion + the ``jacobi-dense`` solver + the per-edge
+  ``_apply_transfers_reference`` loop + the per-chunk
+  ``advance_to_reference`` playback walk;
 * **columnar path**: ``P2PSystem.build_problem`` (CSR batch
-  construction) + the CSR ``jacobi`` solver.
+  construction) + the CSR ``jacobi`` solver + the vectorized
+  ``_apply_transfers`` epilogue + batched ``advance_to``.
+
+Apply and playback mutate system state, so their min-of-N timing
+snapshots and restores the touched state between repeats (and keeps
+exactly one real application of the new path so the next slot starts
+from the true trajectory).
 
 Results are written machine-readable to ``BENCH_slot_pipeline.json`` at
 the repo root so future PRs can track the trajectory.  Run via
@@ -169,6 +178,122 @@ def measure_seed_revision(
     )
 
 
+def snapshot_transfer_state(system: P2PSystem, problem, result) -> dict:
+    """Save the state `_apply_transfers` will touch (peers on served edges).
+
+    Reaches into buffer internals on purpose: the harness must restore
+    bit-identical state between repeats without paying a full-system
+    deep copy.
+    """
+    indices, uploaders = result.served_pairs()
+    touched = set(problem.request_peer_array()[indices].tolist())
+    touched |= set(uploaders.tolist())
+    peers = {}
+    for pid in touched:
+        peer = system.peers[pid]
+        peers[pid] = (
+            peer.buffer._mask.copy(),
+            len(peer.buffer),
+            peer.chunks_downloaded,
+            peer.chunks_uploaded,
+        )
+    return dict(peers=peers, traffic=system.traffic_matrix._counts.copy())
+
+
+def restore_transfer_state(system: P2PSystem, snap: dict) -> None:
+    for pid, (mask, count, downloaded, uploaded) in snap["peers"].items():
+        peer = system.peers[pid]
+        peer.buffer._mask[:] = mask
+        peer.buffer._count = count
+        peer.chunks_downloaded = downloaded
+        peer.chunks_uploaded = uploaded
+    system.traffic_matrix._counts[:] = snap["traffic"]
+
+
+def snapshot_playback_state(system: P2PSystem) -> dict:
+    return {
+        pid: (
+            peer.session.position,
+            peer.session.played,
+            set(peer.session.missed),
+            peer.session._last_advance,
+        )
+        for pid, peer in system.peers.items()
+        if peer.session is not None
+    }
+
+
+def restore_playback_state(system: P2PSystem, snap: dict) -> None:
+    for pid, (position, played, missed, last_advance) in snap.items():
+        session = system.peers[pid].session
+        session.position = position
+        session.played = played
+        session.missed = set(missed)
+        session._last_advance = last_advance
+
+
+def advance_playback_reference(system: P2PSystem, to_time: float):
+    """The seed revision's playback phase: per-chunk while loop per session."""
+    due = 0
+    missed = 0
+    for peer in system.peers.values():
+        if peer.session is None or peer.session.start_time >= to_time:
+            continue
+        stats = peer.session.advance_to_reference(to_time)
+        due += stats.due
+        missed += stats.missed
+    return due, missed
+
+
+def timed_apply(system: P2PSystem, problem, result, repeats: int):
+    """Min-of-N timings of both apply paths on identical state.
+
+    Returns ``(apply_old_s, apply_new_s, (inter, intra))``; the new
+    path's effect is left applied exactly once.
+    """
+    snap = snapshot_transfer_state(system, problem, result)
+    apply_old = apply_new = float("inf")
+    outcome = None
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        pair_old = system._apply_transfers_reference(problem, result)
+        t1 = time.perf_counter()
+        restore_transfer_state(system, snap)
+        t2 = time.perf_counter()
+        outcome = system._apply_transfers(problem, result)
+        t3 = time.perf_counter()
+        assert outcome == pair_old
+        apply_old = min(apply_old, t1 - t0)
+        apply_new = min(apply_new, t3 - t2)
+        if rep < repeats - 1:
+            restore_transfer_state(system, snap)
+    return apply_old, apply_new, outcome
+
+
+def timed_playback(system: P2PSystem, to_time: float, repeats: int):
+    """Min-of-N timings of both playback paths on identical state.
+
+    Returns ``(playback_old_s, playback_new_s)``; the batched path's
+    effect is left applied exactly once.
+    """
+    snap = snapshot_playback_state(system)
+    playback_old = playback_new = float("inf")
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        pair_old = advance_playback_reference(system, to_time)
+        t1 = time.perf_counter()
+        restore_playback_state(system, snap)
+        t2 = time.perf_counter()
+        pair_new = system._advance_playback(to_time)
+        t3 = time.perf_counter()
+        assert pair_new == pair_old
+        playback_old = min(playback_old, t1 - t0)
+        playback_new = min(playback_new, t3 - t2)
+        if rep < repeats - 1:
+            restore_playback_state(system, snap)
+    return playback_old, playback_new
+
+
 def build_system(spec: dict, seed: int) -> P2PSystem:
     config = SystemConfig.bench(
         seed=seed, bid_rounds_per_slot=1, **spec["overrides"]
@@ -242,9 +367,12 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             gs = AuctionSolver(epsilon=EPSILON, mode="gauss-seidel").solve(problem_new)
             gs_welfare = gs.welfare(problem_new)
 
-        t6 = time.perf_counter()
-        inter, intra = system._apply_transfers(problem_new, result_new)
-        t7 = time.perf_counter()
+        apply_old, apply_new, (inter, intra) = timed_apply(
+            system, problem_new, result_new, repeats
+        )
+        playback_old, playback_new = timed_playback(
+            system, t + system.config.slot_seconds, repeats
+        )
 
         rows.append(dict(
             n_peers=len(system.peers),
@@ -254,7 +382,10 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             build_new_s=build_new,
             solve_old_s=solve_old,
             solve_new_s=solve_new,
-            apply_s=t7 - t6,
+            apply_old_s=apply_old,
+            apply_s=apply_new,
+            playback_old_s=playback_old,
+            playback_s=playback_new,
             welfare_old=welfare_old,
             welfare_new=welfare_new,
             gs_welfare=gs_welfare,
@@ -262,7 +393,6 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             inter_isp=inter,
             intra_isp=intra,
         ))
-        system._advance_playback(t + system.config.slot_seconds)
         system.now = t + system.config.slot_seconds
         system.slot_index += 1
 
@@ -294,7 +424,20 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         slot_old_s=slot_old,
         slot_new_s=slot_new,
         slot_speedup=slot_old / slot_new if slot_new else float("inf"),
+        apply_old_s=total("apply_old_s"),
         apply_s=total("apply_s"),
+        apply_speedup=(
+            total("apply_old_s") / total("apply_s")
+            if total("apply_s")
+            else float("inf")
+        ),
+        playback_old_s=total("playback_old_s"),
+        playback_s=total("playback_s"),
+        playback_speedup=(
+            total("playback_old_s") / total("playback_s")
+            if total("playback_s")
+            else float("inf")
+        ),
         welfare_gap_max=welfare_gap,
         n_eps_bound=float(max(row["n_eps_bound"] for row in rows)),
         welfare_within_n_eps=bool(
@@ -313,6 +456,11 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             f"solve {solve_old:.3f}s → {solve_new:.3f}s "
             f"({summary['solve_speedup']:.1f}×) | "
             f"slot {summary['slot_speedup']:.1f}× | "
+            f"apply {summary['apply_old_s']:.3f}s → {summary['apply_s']:.3f}s "
+            f"({summary['apply_speedup']:.1f}×) | "
+            f"playback {summary['playback_old_s']:.3f}s → "
+            f"{summary['playback_s']:.3f}s "
+            f"({summary['playback_speedup']:.1f}×) | "
             f"welfare gap {welfare_gap:.2e} (n·ε = {summary['n_eps_bound']:.2f})"
         )
     return summary

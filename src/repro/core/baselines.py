@@ -137,8 +137,10 @@ def _preference_rounds(
             stats.evictions += 1
             pending.append(outcome)
     stats.rounds = stats.bids_submitted
-    return ScheduleResult(
-        assignment={r: assigned[r] for r in range(n)},
+    return ScheduleResult.from_assignment_ids(
+        np.fromiter(
+            (-1 if u is None else u for u in assigned), dtype=np.int64, count=n
+        ),
         stats=stats,
     )
 

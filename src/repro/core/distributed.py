@@ -402,18 +402,15 @@ class DistributedAuction:
 
     def result(self) -> ScheduleResult:
         """Assemble the schedule from the auctioneers' assignment sets."""
-        assignment: Dict[int, Optional[int]] = {
-            r: None for r in range(self.problem.n_requests)
-        }
+        assigned = np.full(self.problem.n_requests, -1, dtype=np.int64)
         for u, auctioneer in self.auctioneers.items():
             for request_key in auctioneer.aset.bids:
-                index = self._request_of_key[request_key]
-                assignment[index] = u
+                assigned[self._request_of_key[request_key]] = u
         prices = {u: a.price for u, a in self.auctioneers.items()}
         self.stats.rounds = self.stats.bids_submitted
         etas = self._etas(prices)
-        return ScheduleResult(
-            assignment=assignment, prices=prices, etas=etas, stats=self.stats
+        return ScheduleResult.from_assignment_ids(
+            assigned, prices=prices, etas=etas, stats=self.stats
         )
 
     # ------------------------------------------------------------------

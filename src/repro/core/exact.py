@@ -41,8 +41,8 @@ def solve_hungarian(problem: SchedulingProblem) -> ScheduleResult:
     """Exact optimum via linear_sum_assignment on the slot expansion."""
     expansion = expand_to_assignment(problem)
     if expansion.weights.size == 0:
-        return ScheduleResult(
-            assignment={r: None for r in range(problem.n_requests)},
+        return ScheduleResult.from_assignment_ids(
+            np.full(problem.n_requests, -1, dtype=np.int64),
             stats=SolverStats(converged=True),
         )
     rows, cols = optimize.linear_sum_assignment(expansion.weights, maximize=True)
@@ -84,8 +84,8 @@ def solve_lp_relaxation(
     uploader_row = {u: i for i, u in enumerate(uploaders)}
 
     if n_edges == 0:
-        empty = ScheduleResult(
-            assignment={r: None for r in range(n_requests)},
+        empty = ScheduleResult.from_assignment_ids(
+            np.full(n_requests, -1, dtype=np.int64),
             stats=SolverStats(converged=True),
         )
         return LPSolution(value=0.0, x=np.zeros(0), integral=True, result=empty)
@@ -117,11 +117,13 @@ def solve_lp_relaxation(
     x = lp.x
     integral = bool(np.all(np.minimum(x, 1.0 - x) <= integrality_tol))
 
-    assignment: Dict[int, Optional[int]] = {r: None for r in range(n_requests)}
+    assigned = np.full(n_requests, -1, dtype=np.int64)
     for j, (r, u, _) in enumerate(edges):
         if x[j] > 0.5:
-            assignment[r] = u
-    result = ScheduleResult(assignment=assignment, stats=SolverStats(converged=True))
+            assigned[r] = u
+    result = ScheduleResult.from_assignment_ids(
+        assigned, stats=SolverStats(converged=True)
+    )
     return LPSolution(value=float(-lp.fun), x=x, integral=integral, result=result)
 
 
@@ -157,9 +159,11 @@ def solve_min_cost_flow(
             graph.add_edge(unode, sink, capacity=problem.capacity_of(u), weight=0)
 
     _, flow = nx.network_simplex(graph)
-    assignment: Dict[int, Optional[int]] = {r: None for r in range(n_requests)}
+    assigned = np.full(n_requests, -1, dtype=np.int64)
     for r in range(n_requests):
         for dst, units in flow.get(("r", r), {}).items():
             if units > 0 and isinstance(dst, tuple) and dst[0] == "u":
-                assignment[r] = dst[1]
-    return ScheduleResult(assignment=assignment, stats=SolverStats(converged=True))
+                assigned[r] = dst[1]
+    return ScheduleResult.from_assignment_ids(
+        assigned, stats=SolverStats(converged=True)
+    )

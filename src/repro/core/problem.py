@@ -206,10 +206,14 @@ class SchedulingProblem:
         self._edge_count = 0
         self._dense: Optional[DenseView] = None
         self._csr: Optional[CSRView] = None
+        self._peer_arr: Optional[np.ndarray] = None
+        self._chunk_arr: Optional[np.ndarray] = None
 
     def _invalidate(self) -> None:
         self._dense = None
         self._csr = None
+        self._peer_arr = None
+        self._chunk_arr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -470,6 +474,51 @@ class SchedulingProblem:
             valuation=self._valuations[index],
         )
 
+    def chunk_of(self, index: int) -> Hashable:
+        """Chunk key of request ``index`` (no :class:`ChunkRequest` built)."""
+        return self._chunks[index]
+
+    def request_peer_array(self) -> np.ndarray:
+        """Downloader peer id per request, ``(R,)`` int64; cached, do not mutate."""
+        if self._peer_arr is None:
+            self._peer_arr = np.asarray(self._peers, dtype=np.int64)
+        return self._peer_arr
+
+    def chunk_pair_array(self) -> np.ndarray:
+        """Chunk keys as an ``(R, 2)`` int array; cached, do not mutate.
+
+        Only valid when every chunk key is a ``(video_id, chunk_index)``
+        int pair — the shape the P2P slot pipeline always produces.
+        Raises ``ValueError``/``TypeError`` otherwise, so columnar
+        consumers can fall back to the generic per-request path.
+        """
+        if self._chunk_arr is None:
+            arr = np.asarray(self._chunks, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ValueError(
+                    "chunk keys are not (video_id, chunk_index) pairs"
+                )
+            self._chunk_arr = arr
+        return self._chunk_arr
+
+    def prime_chunk_pairs(self, pairs: np.ndarray) -> None:
+        """Install a precomputed :meth:`chunk_pair_array` cache.
+
+        Columnar producers (the slot pipeline) already hold the
+        ``(video_id, chunk_index)`` columns they tuple-ized into the
+        chunk keys; installing them here spares consumers the O(R)
+        list-of-tuples conversion.  The array must match ``_chunks``
+        row for row — the construction-equivalence tests pin the one
+        producer that uses this.
+        """
+        pairs = np.ascontiguousarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape != (self.n_requests, 2):
+            raise ValueError(
+                f"chunk pairs must have shape ({self.n_requests}, 2), "
+                f"got {pairs.shape}"
+            )
+        self._chunk_arr = pairs
+
     def candidates_of(self, index: int) -> np.ndarray:
         """Uploader peer ids that can serve request ``index``."""
         self._materialize_views()
@@ -595,24 +644,90 @@ class SchedulingProblem:
     def welfare(self, assignment: Dict[int, Optional[int]]) -> float:
         """Social welfare Σ (v − w) of an assignment {request index → uploader}."""
         n = len(self._peers)
-        assigned = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
-        served = 0
-        for index, uploader in assignment.items():
-            if uploader is None:
-                continue
-            if not 0 <= index < n:
-                return self._welfare_loop(assignment)
-            assigned[index] = uploader
-            served += 1
-        if served == 0:
-            return 0.0
-        csr = self.csr()
-        matched = csr.uploaders[csr.uploader_index] == assigned[csr.edge_rows()]
-        if int(matched.sum()) != served:
-            # Some (index, uploader) pair is not a candidate edge; fall
-            # back to the loop, which raises the precise error.
+        served = {
+            index: uploader
+            for index, uploader in assignment.items()
+            if uploader is not None
+        }
+        if not all(0 <= index < n for index in served):
             return self._welfare_loop(assignment)
+        count = len(served)
+        indices = np.fromiter(served.keys(), dtype=np.int64, count=count)
+        uploaders = np.fromiter(served.values(), dtype=np.int64, count=count)
+        return self.welfare_pairs(indices, uploaders)
+
+    def _matched_edge_mask(
+        self, indices: np.ndarray, uploaders: np.ndarray
+    ) -> np.ndarray:
+        """Mask over CSR edges hit by the served ``(request, uploader)`` pairs.
+
+        Each valid pair hits exactly one edge (candidate uploaders are
+        unique within a request); a pair assigned to a non-candidate
+        hits none, which callers detect by comparing counts.
+        """
+        csr = self.csr()
+        assigned = np.full(self.n_requests, np.iinfo(np.int64).min, dtype=np.int64)
+        assigned[indices] = uploaders
+        return csr.uploaders[csr.uploader_index] == assigned[csr.edge_rows()]
+
+    def welfare_pairs(self, indices, uploaders) -> float:
+        """Vectorized welfare of served ``(request index, uploader id)`` columns.
+
+        ``indices`` must be unique; out-of-range or non-candidate pairs
+        fall back to the per-edge loop, which raises the precise error.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        uploaders = np.asarray(uploaders, dtype=np.int64)
+        if len(indices) == 0:
+            return 0.0
+        n = self.n_requests
+        if indices.min() < 0 or indices.max() >= n:
+            return self._welfare_loop(dict(zip(indices.tolist(), uploaders.tolist())))
+        csr = self.csr()
+        matched = self._matched_edge_mask(indices, uploaders)
+        if int(matched.sum()) != len(indices):
+            return self._welfare_loop(dict(zip(indices.tolist(), uploaders.tolist())))
         return float(csr.values[matched].sum())
+
+    def edge_value_pairs(self, indices, uploaders) -> np.ndarray:
+        """Net utilities ``v − w`` of served pairs, aligned with ``indices``.
+
+        ``indices`` must be unique and in range; raises ``KeyError`` for
+        a pair whose uploader is not a candidate (like
+        :meth:`edge_value`).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        uploaders = np.asarray(uploaders, dtype=np.int64)
+        if len(indices) == 0:
+            return _EMPTY_FLOAT.copy()
+        csr = self.csr()
+        matched = self._matched_edge_mask(indices, uploaders)
+        values = csr.values[matched]
+        if len(values) != len(indices):
+            hit = np.isin(indices, csr.edge_rows()[matched])
+            where = int(np.nonzero(~hit)[0][0])
+            raise KeyError(
+                f"uploader {int(uploaders[where])!r} is not a candidate of "
+                f"request {int(indices[where])!r}"
+            )
+        # Matched edges come out in CSR (ascending request) order; undo
+        # that to align with the caller's order.
+        out = np.empty(len(indices), dtype=float)
+        out[np.argsort(indices, kind="stable")] = values
+        return out
+
+    def has_edge_pairs(self, indices, uploaders) -> np.ndarray:
+        """Bool per pair: is ``uploaders[i]`` a candidate of ``indices[i]``?
+
+        ``indices`` must be unique and in range.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        uploaders = np.asarray(uploaders, dtype=np.int64)
+        if len(indices) == 0:
+            return np.empty(0, dtype=bool)
+        csr = self.csr()
+        matched = self._matched_edge_mask(indices, uploaders)
+        return np.isin(indices, csr.edge_rows()[matched])
 
     def _welfare_loop(self, assignment: Dict[int, Optional[int]]) -> float:
         total = 0.0

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from .exact import solve_hungarian
 from .problem import SchedulingProblem
 from .result import ScheduleResult
@@ -57,14 +59,12 @@ def _others_welfare(
     problem: SchedulingProblem, result: ScheduleResult, peer: int
 ) -> float:
     """Welfare accruing to peers other than ``peer`` in ``result``."""
-    total = 0.0
-    for index, uploader in result.assignment.items():
-        if uploader is None:
-            continue
-        if problem.request(index).peer == peer:
-            continue
-        total += problem.edge_value(index, uploader)
-    return total
+    indices, uploaders = result.served_pairs()
+    if not len(indices):
+        return 0.0
+    owners = problem.request_peer_array()[indices]
+    values = problem.edge_value_pairs(indices, uploaders)
+    return float(values[owners != peer].sum())
 
 
 def vcg_payments(
@@ -90,12 +90,14 @@ def vcg_payments(
     solve = solver or solve_hungarian
     base = base_result if base_result is not None else solve(problem)
 
+    indices, uploaders = base.served_pairs()
     gross: Dict[int, float] = {}
-    for index, uploader in base.assignment.items():
-        if uploader is None:
-            continue
-        peer = problem.request(index).peer
-        gross[peer] = gross.get(peer, 0.0) + problem.edge_value(index, uploader)
+    if len(indices):
+        owners = problem.request_peer_array()[indices]
+        values = problem.edge_value_pairs(indices, uploaders)
+        uniq, inverse = np.unique(owners, return_inverse=True)
+        sums = np.bincount(inverse, weights=values)
+        gross = dict(zip(uniq.tolist(), sums.tolist()))
 
     payments: Dict[int, float] = {}
     for peer in gross:

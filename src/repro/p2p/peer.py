@@ -170,6 +170,13 @@ class Peer:
             self.chunks_downloaded += 1
         return added
 
+    def receive_chunks(self, indices) -> int:
+        """Batch :meth:`receive_chunk` over an index array; returns how many were new."""
+        position = self.session.position if self.session is not None else 0
+        added = self.buffer.add_batch(indices, protect_from=position)
+        self.chunks_downloaded += added
+        return added
+
     def record_upload(self, n: int = 1) -> None:
         self.chunks_uploaded += n
 

@@ -129,6 +129,11 @@ class P2PSystem:
         # unchanged; keyed by the (overlay, membership) version pair.
         self._candidate_cache: Dict[int, Tuple] = {}
         self._membership_version = 0
+        # Membership-versioned columnar caches over the peer population:
+        # (ids, upload capacities) for the per-round budget split and a
+        # peer-id-indexed ISP lookup for the transfer epilogue.
+        self._capacity_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._isp_cache: Optional[Tuple[int, np.ndarray]] = None
         self._ids = itertools.count(1)
         self.now = 0.0
         self.slot_index = 0
@@ -286,17 +291,22 @@ class P2PSystem:
         inter = intra = 0
         n_requests = n_served = sched_rounds = 0
         due = missed = 0
-        # The peer population is stable within a slot (churn is handled at
-        # the boundary above), so snapshot the list once; zero-budget
-        # peers are skipped — build_problem treats absent entries as 0.
-        slot_peers = list(self.peers.values())
+        # The peer population is stable within a slot (churn is handled
+        # at the boundary above), so the cached capacity columns cover
+        # the whole slot; zero-budget peers are skipped — build_problem
+        # treats absent entries as 0.
+        slot_ids, slot_caps = self._capacity_arrays()
         for r in range(rounds):
             now_r = t + r * slot / rounds
-            budgets = {}
-            for peer in slot_peers:
-                budget = self._round_budget(peer.upload_capacity_chunks, r, rounds)
-                if budget > 0:
-                    budgets[peer.peer_id] = budget
+            shares = (
+                slot_caps
+                if rounds == 1
+                else slot_caps * (r + 1) // rounds - slot_caps * r // rounds
+            )
+            positive = shares > 0
+            budgets = dict(
+                zip(slot_ids[positive].tolist(), shares[positive].tolist())
+            )
             problem, _ = self.build_problem(now_r, capacities=budgets)
             result = self.scheduler.schedule(problem)
             welfare += result.welfare(problem)
@@ -502,6 +512,14 @@ class P2PSystem:
                 values_matrix,
             )
 
+        # Chunk-key columns mirroring the tuple keys handed to the
+        # builder, so the finished problem can be primed with its
+        # (video, index) array without re-tupling (the transfer epilogue
+        # reads that column every slot).
+        chunk_vids: List[int] = []
+        chunk_sizes: List[int] = []
+        chunk_blocks: List[np.ndarray] = []
+
         for peer in peers:
             if peer.session is None:
                 continue  # seeds never request
@@ -553,18 +571,30 @@ class P2PSystem:
             requested = counts > 0  # nobody caches it: cannot even be requested
             if not requested.any():
                 continue
+            requested_chunks = wanted[requested]
             builder.add_block(
                 peers=peer.peer_id,
-                chunks=[(vid, int(c)) for c in wanted[requested].tolist()],
+                chunks=[(vid, int(c)) for c in requested_chunks.tolist()],
                 valuations=values[requested],
                 cand_uploaders=nb_ids[nb_pos],
                 cand_costs=nb_costs[nb_pos],
                 counts=counts[requested],
             )
+            chunk_vids.append(vid)
+            chunk_sizes.append(len(requested_chunks))
+            chunk_blocks.append(requested_chunks)
 
         # validate=False: this producer is pinned against the per-request
         # reference by the construction-equivalence tests.
         problem = builder.build(validate=False)
+        if chunk_blocks:
+            pairs = np.empty((problem.n_requests, 2), dtype=np.int64)
+            pairs[:, 0] = np.repeat(
+                np.asarray(chunk_vids, dtype=np.int64),
+                np.asarray(chunk_sizes, dtype=np.int64),
+            )
+            pairs[:, 1] = np.concatenate(chunk_blocks)
+            problem.prime_chunk_pairs(pairs)
         request_owner = dict(enumerate(builder.request_peers().tolist()))
         return problem, request_owner
 
@@ -632,10 +662,98 @@ class P2PSystem:
                 request_owner[r] = peer.peer_id
         return problem, request_owner
 
+    def _capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(peer_ids, upload capacities)`` columns (do not mutate).
+
+        Rebuilt only when the membership changes; iteration order is the
+        ``peers`` dict order, like the per-peer loops it replaces.
+        """
+        cached = self._capacity_cache
+        if cached is None or cached[0] != self._membership_version:
+            n = len(self.peers)
+            ids = np.fromiter(self.peers.keys(), dtype=np.int64, count=n)
+            caps = np.fromiter(
+                (p.upload_capacity_chunks for p in self.peers.values()),
+                dtype=np.int64,
+                count=n,
+            )
+            cached = (self._membership_version, ids, caps)
+            self._capacity_cache = cached
+        return cached[1], cached[2]
+
+    def _isp_id_array(self) -> np.ndarray:
+        """Cached peer-id-indexed ISP lookup table (do not mutate).
+
+        ``arr[peer_id]`` is the peer's ISP index (−1 for ids not online);
+        peer ids are small consecutive ints from the admission counter,
+        so a flat table beats a dict probe per transfer by orders of
+        magnitude.
+        """
+        cached = self._isp_cache
+        if cached is None or cached[0] != self._membership_version:
+            n = len(self.peers)
+            ids = np.fromiter(self.peers.keys(), dtype=np.int64, count=n)
+            arr = np.full(int(ids.max()) + 1 if n else 1, -1, dtype=np.int64)
+            arr[ids] = np.fromiter(
+                (p.isp for p in self.peers.values()), dtype=np.int64, count=n
+            )
+            cached = (self._membership_version, arr)
+            self._isp_cache = cached
+        return cached[1]
+
     def _apply_transfers(
         self, problem: SchedulingProblem, result: ScheduleResult
     ) -> Tuple[int, int]:
-        """Deliver scheduled chunks; returns (inter-ISP, intra-ISP) counts."""
+        """Deliver scheduled chunks; returns (inter-ISP, intra-ISP) counts.
+
+        Vectorized epilogue over the result's served columns: inter- vs
+        intra-ISP classification via the cached ISP lookup table, the
+        traffic matrix as one bincount, deliveries as one grouped bitmap
+        write per receiving peer, and upload counters from one unique
+        pass over the uploader column.  Produces exactly the state
+        changes of :meth:`_apply_transfers_reference` (equivalence-
+        tested), which also remains the fallback for problems whose
+        chunk keys are not ``(video, index)`` pairs.
+        """
+        indices, uploaders = result.served_pairs()
+        if not len(indices):
+            return 0, 0
+        try:
+            chunk_indices = problem.chunk_pair_array()[:, 1]
+        except (TypeError, ValueError):
+            return self._apply_transfers_reference(problem, result)
+        downstream = problem.request_peer_array()[indices]
+        chunks = chunk_indices[indices]
+        isp_of = self._isp_id_array()
+        up_isps = isp_of[uploaders]
+        down_isps = isp_of[downstream]
+        inter = int((up_isps != down_isps).sum())
+        intra = len(indices) - inter
+        self.traffic_matrix.record_batch(up_isps, down_isps)
+        # Requests arrive grouped by downloader (one builder block per
+        # peer), so run boundaries are one diff — no sort.  A problem
+        # that interleaves owners just yields more (still correct) runs.
+        starts = np.concatenate(([0], np.nonzero(np.diff(downstream))[0] + 1))
+        stops = np.concatenate((starts[1:], [len(downstream)]))
+        peers = self.peers
+        for s, e in zip(starts.tolist(), stops.tolist()):
+            peer = peers[int(downstream[s])]
+            idx = chunks[s:e]
+            if peer.buffer.capacity_chunks is None:
+                # Served chunks are unique and validated per request, so
+                # the trusted write skips add_batch's guards.
+                peer.chunks_downloaded += peer.buffer.receive_batch_trusted(idx)
+            else:
+                peer.receive_chunks(idx)
+        upload_counts = np.bincount(uploaders)
+        for u in np.nonzero(upload_counts)[0].tolist():
+            peers[u].record_upload(int(upload_counts[u]))
+        return inter, intra
+
+    def _apply_transfers_reference(
+        self, problem: SchedulingProblem, result: ScheduleResult
+    ) -> Tuple[int, int]:
+        """Per-edge loop implementation of :meth:`_apply_transfers` (pin)."""
         inter = 0
         intra = 0
         for _, downstream, chunk, uploader, _ in result.served_edges(problem):

@@ -82,6 +82,40 @@ class ChunkBuffer:
         """Insert several chunks; returns how many were new."""
         return sum(1 for index in indices if self.add(index, protect_from))
 
+    def add_batch(self, indices, protect_from: int = 0) -> int:
+        """Insert an array of chunks with one bitmap write; returns how many were new.
+
+        Same outcome as calling :meth:`add` per index (duplicates within
+        the batch count once).  Buffers with a capacity cap fall back to
+        the per-chunk loop — eviction order depends on the running
+        count, which a grouped write cannot reproduce.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        bad = idx[(idx < 0) | (idx >= self.video.n_chunks)]
+        if bad.size:
+            raise IndexError(
+                f"chunk {int(bad[0])!r} out of range [0, {self.video.n_chunks})"
+            )
+        if self.capacity_chunks is not None:
+            return self.add_many(idx.tolist(), protect_from)
+        uniq = np.unique(idx)
+        return self.receive_batch_trusted(uniq)
+
+    def receive_batch_trusted(self, idx: np.ndarray) -> int:
+        """:meth:`add_batch` minus the guards, for the slot delivery path.
+
+        Caller contract: ``idx`` is an in-range, duplicate-free int64
+        array and the buffer has no capacity cap (the scheduler only
+        delivers unique validated chunk indices, so the per-call guard
+        cost would be pure overhead at one call per receiving peer).
+        """
+        added = int(idx.size - np.count_nonzero(self._mask[idx]))
+        self._mask[idx] = True
+        self._count += added
+        return added
+
     def fill_range(self, start: int, stop: int) -> None:
         """Mark ``[start, stop)`` as held — used to pre-seed buffers."""
         if start < 0 or stop > self.video.n_chunks or start > stop:

@@ -114,7 +114,32 @@ class PlaybackSession:
 
         Held chunks count as played; absent ones as missed and are
         recorded in :attr:`missed` so the request window skips them.
+        Batched: one bitmap slice counts held-vs-missing over the whole
+        due range instead of one buffer probe per chunk
+        (:meth:`advance_to_reference` keeps the per-chunk loop as the
+        semantics pin).
         """
+        if now < self._last_advance:
+            raise ValueError(
+                f"time went backwards: {now!r} < {self._last_advance!r}"
+            )
+        self._last_advance = float(now)
+        target = self.due_position(now)
+        start = self.position
+        if target <= start:
+            return SlotPlaybackStats(due=0, missed=0)
+        held = self.buffer.mask[start:target]
+        due = target - start
+        played = int(held.sum())
+        missed = due - played
+        if missed:
+            self.missed.update((np.nonzero(~held)[0] + start).tolist())
+        self.played += played
+        self.position = target
+        return SlotPlaybackStats(due=due, missed=missed)
+
+    def advance_to_reference(self, now: float) -> SlotPlaybackStats:
+        """Per-chunk loop implementation of :meth:`advance_to` (semantics pin)."""
         if now < self._last_advance:
             raise ValueError(
                 f"time went backwards: {now!r} < {self._last_advance!r}"

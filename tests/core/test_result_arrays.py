@@ -1,0 +1,182 @@
+"""Array-native ScheduleResult: dict views round-trip the arrays exactly.
+
+The result's source of truth is numpy columns; the historical dict API
+is a lazy view.  These tests pin the round trip both ways (dicts →
+arrays → dict views, arrays → dict views → arrays), the array
+accessors, and the mutation write-back that keeps in-place edits of a
+dict view (used by some tests and tooling) visible to the array paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import AuctionSolver
+from repro.core.problem import random_problem
+from repro.core.result import ScheduleResult, SolverStats
+
+assignments = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+    max_size=40,
+)
+price_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=500),
+    st.floats(min_value=0.0, max_value=100.0),
+    max_size=20,
+)
+
+
+class TestDictRoundTrip:
+    @given(uploads=assignments, prices=price_maps)
+    @settings(max_examples=150, deadline=None)
+    def test_dict_constructor_round_trips(self, uploads, prices):
+        assignment = dict(enumerate(uploads))
+        etas = {r: float(r) * 0.5 for r in assignment}
+        result = ScheduleResult(assignment=assignment, prices=prices, etas=etas)
+        # Dict views reproduce the inputs exactly (values and order).
+        assert result.assignment == assignment
+        assert list(result.assignment) == list(assignment)
+        assert result.prices == prices
+        assert result.etas == etas
+        # Arrays agree with the dicts.
+        ids = result.request_indices()
+        arr = result.assignment_array()
+        mask = result.served_mask()
+        for r, u, s in zip(ids.tolist(), arr.tolist(), mask.tolist()):
+            assert s == (assignment[r] is not None)
+            if s:
+                assert u == assignment[r]
+        assert result.n_served() == sum(u is not None for u in uploads)
+
+    @given(uploads=assignments)
+    @settings(max_examples=80, deadline=None)
+    def test_served_pairs_match_dict(self, uploads):
+        result = ScheduleResult(assignment=dict(enumerate(uploads)))
+        indices, uploaders = result.served_pairs()
+        expected = [(r, u) for r, u in enumerate(uploads) if u is not None]
+        assert list(zip(indices.tolist(), uploaders.tolist())) == expected
+
+    def test_from_arrays_round_trips(self):
+        uploaders = np.array([50, 60, 70], dtype=np.int64)
+        assigned = np.array([1, -1, 0, 2, -1], dtype=np.int64)
+        lam = np.array([0.5, 0.0, 2.5])
+        etas = np.array([1.0, 0.0, 3.0, 0.0, 0.25])
+        result = ScheduleResult.from_arrays(
+            assigned, uploaders, lam, etas, SolverStats(rounds=3)
+        )
+        assert result.assignment == {0: 60, 1: None, 2: 50, 3: 70, 4: None}
+        assert result.prices == {50: 0.5, 60: 0.0, 70: 2.5}
+        assert result.etas == {0: 1.0, 1: 0.0, 2: 3.0, 3: 0.0, 4: 0.25}
+        assert result.n_served() == 3
+        assert result.uploader_loads() == {50: 1, 60: 1, 70: 1}
+        assert result.stats.rounds == 3
+        # Round trip: rebuild from the dict views and compare arrays.
+        rebuilt = ScheduleResult(
+            assignment=dict(result.assignment),
+            prices=dict(result.prices),
+            etas=dict(result.etas),
+        )
+        assert np.array_equal(
+            rebuilt.assignment_array(), result.assignment_array()
+        )
+        assert np.array_equal(rebuilt.served_mask(), result.served_mask())
+
+    def test_from_arrays_no_uploaders(self):
+        """Requests with no declared uploaders must yield an all-None result."""
+        result = ScheduleResult.from_arrays(
+            np.full(3, -1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert result.assignment == {0: None, 1: None, 2: None}
+        assert result.n_served() == 0
+        assert result.prices == {}
+
+    def test_solver_handles_request_only_problem(self):
+        from repro.core.problem import SchedulingProblem
+
+        p = SchedulingProblem()
+        p.add_request(peer=1, chunk="a", valuation=2.0, candidates={})
+        p.add_request(peer=2, chunk="b", valuation=3.0, candidates={})
+        for mode in ("jacobi", "jacobi-dense", "gauss-seidel"):
+            result = AuctionSolver(epsilon=1e-6, mode=mode).solve(p)
+            assert result.assignment == {0: None, 1: None}
+
+    def test_from_assignment_ids_round_trips(self):
+        assigned = np.array([7, -1, 9], dtype=np.int64)
+        result = ScheduleResult.from_assignment_ids(assigned, prices={7: 1.0})
+        assert result.assignment == {0: 7, 1: None, 2: 9}
+        assert result.prices == {7: 1.0}
+        assert result.etas == {}
+        assert np.array_equal(result.assignment_array(), assigned)
+
+    def test_solver_results_identical_dicts_across_backings(self):
+        """Auction results (array-backed) equal dict-backed reconstructions."""
+        p = random_problem(np.random.default_rng(4), n_requests=40)
+        result = AuctionSolver(epsilon=1e-6, mode="jacobi").solve(p)
+        clone = ScheduleResult(
+            assignment=dict(result.assignment),
+            prices=dict(result.prices),
+            etas=dict(result.etas),
+            stats=result.stats,
+        )
+        assert clone.assignment == result.assignment
+        assert clone.welfare(p) == pytest.approx(result.welfare(p))
+        assert clone.uploader_loads() == result.uploader_loads()
+        assert clone.n_served() == result.n_served()
+
+
+class TestMutationWriteBack:
+    def test_assignment_mutation_reaches_arrays(self):
+        result = ScheduleResult(assignment={0: 10, 1: None, 2: 20})
+        result.assignment[1] = 30
+        assert result.n_served() == 3
+        assert result.assignment_array().tolist() == [10, 30, 20]
+        result.assignment[0] = None
+        assert result.n_served() == 2
+        indices, uploaders = result.served_pairs()
+        assert indices.tolist() == [1, 2]
+        assert uploaders.tolist() == [30, 20]
+
+    def test_price_mutation_reaches_arrays(self):
+        result = ScheduleResult(assignment={0: 10}, prices={10: 1.0})
+        result.prices[10] = 4.0
+        ids, vals = result.price_arrays()
+        assert dict(zip(ids.tolist(), vals.tolist())) == {10: 4.0}
+
+    def test_inplace_union_reaches_arrays(self):
+        result = ScheduleResult(assignment={0: 10, 1: None})
+        view = result.assignment
+        view |= {1: 20}
+        assert result.n_served() == 2
+        assert result.assignment_array().tolist() == [10, 20]
+
+    def test_check_feasible_sees_mutations(self, small_problem):
+        result = AuctionSolver(epsilon=1e-9).solve(small_problem)
+        result.check_feasible(small_problem)
+        result.assignment[1] = 200  # overloads uploader 200 (B = 1)
+        with pytest.raises(AssertionError):
+            result.check_feasible(small_problem)
+
+
+class TestServedColumns:
+    def test_columns_match_iterator(self, small_problem):
+        result = ScheduleResult(assignment={0: 100, 1: 100, 2: 200, 3: None})
+        indices, downstream, uploaders, values = result.served_columns(
+            small_problem
+        )
+        edges = list(result.served_edges(small_problem))
+        assert len(edges) == 3
+        for i, (r, d, chunk, u, v) in enumerate(edges):
+            assert r == indices[i]
+            assert d == downstream[i]
+            assert u == uploaders[i]
+            assert v == pytest.approx(values[i])
+            assert chunk == small_problem.chunk_of(r)
+            assert v == pytest.approx(small_problem.edge_value(r, u))
+
+    def test_non_candidate_raises_keyerror(self, small_problem):
+        result = ScheduleResult(assignment={0: 100, 1: 200, 2: None, 3: None})
+        with pytest.raises(KeyError):
+            result.served_columns(small_problem)

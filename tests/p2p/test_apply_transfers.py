@@ -1,0 +1,194 @@
+"""Vectorized transfer-apply epilogue vs the per-edge reference loop.
+
+``P2PSystem._apply_transfers`` (grouped bitmap writes, bincount traffic,
+ISP-table classification) must leave the system in the *identical* state
+as ``_apply_transfers_reference`` — same buffers, same upload/download
+counters, same traffic matrix, same inter/intra split — across static,
+churn and multi-video scenarios.  Likewise for the batched per-round
+budget split in ``run_slot``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.core.result import ScheduleResult
+from repro.p2p.config import SystemConfig
+from repro.p2p.system import P2PSystem
+from repro.vod.playback import PlaybackSession
+
+SCENARIOS = {
+    "static": dict(n_peers=50, churn=False, overrides={}),
+    "churn": dict(
+        n_peers=50, churn=True,
+        overrides=dict(arrival_rate_per_s=0.5, early_departure_prob=0.3),
+    ),
+    "multivideo": dict(n_peers=60, churn=False, overrides=dict(n_videos=8)),
+}
+
+
+def build_system(spec, seed=13):
+    system = P2PSystem(SystemConfig.tiny(seed=seed, **spec["overrides"]))
+    system.populate_static(spec["n_peers"])
+    return system
+
+
+def force_reference_epilogue(system):
+    """Make ``system`` run the per-edge apply loop instead of the new path."""
+    system._apply_transfers = (
+        lambda problem, result: P2PSystem._apply_transfers_reference(
+            system, problem, result
+        )
+    )
+
+
+def state_snapshot(system):
+    return dict(
+        masks={pid: p.buffer.mask.copy() for pid, p in system.peers.items()},
+        counts={pid: len(p.buffer) for pid, p in system.peers.items()},
+        uploaded={pid: p.chunks_uploaded for pid, p in system.peers.items()},
+        downloaded={pid: p.chunks_downloaded for pid, p in system.peers.items()},
+        traffic=system.traffic_matrix.matrix(),
+        sessions={
+            pid: (p.session.position, p.session.played, frozenset(p.session.missed))
+            for pid, p in system.peers.items()
+            if p.session is not None
+        },
+        slots=[
+            (
+                m.welfare, m.n_requests, m.n_served,
+                m.inter_isp_chunks, m.intra_isp_chunks,
+                m.chunks_due, m.chunks_missed,
+            )
+            for m in system.collector.slots
+        ],
+    )
+
+
+def assert_same_state(a, b):
+    sa, sb = state_snapshot(a), state_snapshot(b)
+    assert sa["slots"] == sb["slots"]
+    assert np.array_equal(sa["traffic"], sb["traffic"])
+    for key in ("counts", "uploaded", "downloaded", "sessions"):
+        assert sa[key] == sb[key], key
+    assert sa["masks"].keys() == sb["masks"].keys()
+    for pid in sa["masks"]:
+        assert np.array_equal(sa["masks"][pid], sb["masks"][pid]), pid
+
+
+class TestApplyEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_full_run_state_identical(self, name):
+        spec = SCENARIOS[name]
+        fast = build_system(spec)
+        slow = build_system(spec)
+        force_reference_epilogue(slow)
+        for _ in range(6):
+            fast.run_slot(churn=spec["churn"], remove_finished=spec["churn"])
+            slow.run_slot(churn=spec["churn"], remove_finished=spec["churn"])
+        assert_same_state(fast, slow)
+        # Non-vacuous: something was actually transferred.
+        assert fast.traffic_matrix.total() > 0
+
+    def test_single_slot_return_values_match(self):
+        spec = SCENARIOS["static"]
+        fast = build_system(spec)
+        slow = build_system(spec)
+        fast.run_slot()
+        slow.run_slot()
+        budgets = dict(zip(*map(np.ndarray.tolist, fast._capacity_arrays())))
+        problem_fast, _ = fast.build_problem(fast.now, capacities=budgets)
+        problem_slow, _ = slow.build_problem(slow.now, capacities=budgets)
+        result_fast = fast.scheduler.schedule(problem_fast)
+        result_slow = slow.scheduler.schedule(problem_slow)
+        assert result_fast.assignment == result_slow.assignment
+        pair_fast = fast._apply_transfers(problem_fast, result_fast)
+        pair_slow = slow._apply_transfers_reference(problem_slow, result_slow)
+        assert pair_fast == pair_slow
+        assert_same_state(fast, slow)
+
+    def test_non_pair_chunk_keys_fall_back_to_reference(self):
+        """Chunk keys the columnar path cannot columnize still apply."""
+        system = build_system(SCENARIOS["static"])
+        system.run_slot()
+        watcher = next(p for p in system.peers.values() if p.watching)
+        uploader = next(
+            p for p in system.peers.values()
+            if p.is_seed and p.video.video_id == watcher.video.video_id
+        )
+        index = int(np.nonzero(~watcher.buffer.mask)[0][0])  # not yet held
+        problem = SchedulingProblem()
+        problem.set_capacity(uploader.peer_id, 1)
+        problem.add_request(
+            peer=watcher.peer_id,
+            chunk=("chunk", index),  # not an int pair → no chunk_pair_array
+            valuation=5.0,
+            candidates={uploader.peer_id: 1.0},
+        )
+        with pytest.raises(ValueError):
+            problem.chunk_pair_array()
+        result = ScheduleResult(assignment={0: uploader.peer_id})
+        before = watcher.chunks_downloaded
+        inter, intra = system._apply_transfers(problem, result)
+        assert inter + intra == 1
+        assert watcher.chunks_downloaded == before + 1
+        assert watcher.buffer.holds(index)
+
+    def test_empty_result_is_noop(self):
+        system = build_system(SCENARIOS["static"])
+        problem, _ = system.build_problem(system.now)
+        empty = ScheduleResult(
+            assignment={r: None for r in range(problem.n_requests)}
+        )
+        before = system.traffic_matrix.total()
+        assert system._apply_transfers(problem, empty) == (0, 0)
+        assert system.traffic_matrix.total() == before
+
+
+class TestBudgetVectorization:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4, 7])
+    def test_shares_match_scalar_round_budget(self, rounds):
+        caps = np.array([0, 1, 2, 3, 5, 8, 13, 40, 41], dtype=np.int64)
+        for r in range(rounds):
+            shares = caps * (r + 1) // rounds - caps * r // rounds
+            expected = [
+                P2PSystem._round_budget(int(c), r, rounds) for c in caps
+            ]
+            assert shares.tolist() == expected
+
+    def test_run_slot_budget_split_preserved_under_subrounds(self):
+        spec = dict(n_peers=30, churn=False, overrides=dict(bid_rounds_per_slot=3))
+        fast = build_system(spec)
+        slow = build_system(spec)
+        force_reference_epilogue(slow)
+        for _ in range(4):
+            fast.run_slot()
+            slow.run_slot()
+        assert_same_state(fast, slow)
+
+
+class TestPlaybackBatchEquivalence:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_advance_batched_vs_loop_in_system(self, name):
+        spec = SCENARIOS[name]
+        fast = build_system(spec)
+        slow = build_system(spec)
+        slow_advance = PlaybackSession.advance_to_reference
+
+        def looped_playback(to_time):
+            due = missed = 0
+            for peer in slow.peers.values():
+                if peer.session is None or peer.session.start_time >= to_time:
+                    continue
+                stats = slow_advance(peer.session, to_time)
+                due += stats.due
+                missed += stats.missed
+            return due, missed
+
+        slow._advance_playback = looped_playback
+        for _ in range(6):
+            fast.run_slot(churn=spec["churn"], remove_finished=spec["churn"])
+            slow.run_slot(churn=spec["churn"], remove_finished=spec["churn"])
+        assert_same_state(fast, slow)
