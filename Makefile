@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-quick bench-all
+.PHONY: test test-props bench bench-quick bench-all
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Property-based store-equivalence suite (tests/properties).  Runs under
+# the fixed deterministic Hypothesis profile; REPRO_PROPS_EXAMPLES=n
+# deepens the soak locally (tier-1 runs the bounded default via `test`).
+test-props:
+	$(PYTHON) -m pytest tests/properties -q
 
 bench:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py

@@ -10,9 +10,10 @@ comparing:
   expansion + the ``jacobi-dense`` solver + the per-edge
   ``_apply_transfers_reference`` loop + the per-chunk
   ``advance_to_reference`` playback walk;
-* **columnar path**: ``P2PSystem.build_problem`` (CSR batch
-  construction) + the CSR ``jacobi`` solver + the vectorized
-  ``_apply_transfers`` epilogue + batched ``advance_to``.
+* **columnar path**: ``P2PSystem.build_problem`` (vectorized assembly
+  on the persistent peer-state store) + the CSR ``jacobi`` solver + the
+  vectorized ``_apply_transfers`` epilogue + the store's batched
+  ``_advance_playback`` sweep.
 
 Apply and playback mutate system state, so their min-of-N timing
 snapshots and restores the touched state between repeats (and keeps

@@ -54,11 +54,14 @@ def test_scenario_smoke(name, tiny_specs):
 
 
 def test_apply_phase_speedup_static_small():
-    """The vectorized transfer epilogue must stay ≥ 3× over the loop.
+    """Vectorized apply ≥ 3× and store playback ≥ 2× over the loops.
 
     Runs the real ``static-small`` scenario (200 peers — big enough for
     a stable ratio, small enough for tier-1) with min-of-3 timings and
-    asserts the acceptance bar of the array-native epilogue PR.
+    asserts the acceptance bars of the array-native epilogue PR and,
+    conservatively, of the peer-state-store PR (the full ≥3× playback
+    bar is checked at 2k peers by ``make bench``, where the batch is
+    large enough to be noise-free).
     """
     summary = bench.bench_scenario(
         "static-small", bench.SCENARIOS["static-small"], seed=0,
@@ -66,9 +69,8 @@ def test_apply_phase_speedup_static_small():
     )
     assert summary["apply_old_s"] > 0 and summary["apply_s"] > 0
     assert summary["apply_speedup"] >= 3.0, summary["apply_speedup"]
-    # Playback keys are present and the batched path is not slower than
-    # the per-chunk loop by more than noise.
     assert summary["playback_s"] > 0 and summary["playback_old_s"] > 0
+    assert summary["playback_speedup"] >= 2.0, summary["playback_speedup"]
 
 
 def test_run_writes_report(tmp_path, monkeypatch):

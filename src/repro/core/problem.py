@@ -202,6 +202,11 @@ class SchedulingProblem:
         # access so batch-built problems feed csr() without ever paying
         # for R slice objects.
         self._lazy_blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        # (m, 2) int chunk-key blocks whose tuple forms have not been
+        # materialized into _chunks yet — batch producers hand chunk
+        # keys as arrays and most consumers (solvers, the transfer
+        # epilogue) only ever read the array form.
+        self._chunk_pending: List[np.ndarray] = []
         self._capacity: Dict[int, int] = {}
         self._edge_count = 0
         self._dense: Optional[DenseView] = None
@@ -317,18 +322,36 @@ class SchedulingProblem:
         against the per-request reference, so it does not pay for
         re-validating what the tests already guarantee.  Untrusted or
         hand-built input must keep ``validate=True``.
+
+        ``chunks`` may be an ``(m, 2)`` int array of
+        ``(video_id, chunk_index)`` pairs instead of a tuple sequence;
+        the tuple keys are then materialized lazily, only if a
+        per-request accessor asks for them (the slot pipeline and the
+        solvers never do — they read :meth:`chunk_pair_array`).
         """
         peers_arr = np.ascontiguousarray(peers, dtype=np.int64)
         valuations_arr = np.ascontiguousarray(valuations, dtype=float)
         uploaders_arr = np.ascontiguousarray(cand_uploaders, dtype=np.int64)
         costs_arr = np.ascontiguousarray(cand_costs, dtype=float)
         indptr_arr = np.ascontiguousarray(indptr, dtype=np.int64)
-        chunk_list = list(chunks)
         m = len(peers_arr)
         start = len(self._peers)
-        if len(chunk_list) != m or len(valuations_arr) != m:
+        chunk_block: Optional[np.ndarray] = None
+        if isinstance(chunks, np.ndarray):
+            chunk_block = np.ascontiguousarray(chunks, dtype=np.int64)
+            if chunk_block.ndim != 2 or chunk_block.shape[1] != 2:
+                raise ValueError(
+                    f"array chunks must have shape (m, 2), got "
+                    f"{chunk_block.shape}"
+                )
+            n_chunks = len(chunk_block)
+            chunk_list: List[Hashable] = []
+        else:
+            chunk_list = list(chunks)
+            n_chunks = len(chunk_list)
+        if n_chunks != m or len(valuations_arr) != m:
             raise ValueError(
-                f"peers ({m}), chunks ({len(chunk_list)}) and valuations "
+                f"peers ({m}), chunks ({n_chunks}) and valuations "
                 f"({len(valuations_arr)}) must be aligned"
             )
         if len(costs_arr) != len(uploaders_arr):
@@ -350,6 +373,9 @@ class SchedulingProblem:
         if m == 0:
             return range(start, start)
         if validate:
+            if chunk_block is not None:
+                chunk_list = list(map(tuple, chunk_block.tolist()))
+                chunk_block = None
             self._validate_batch(
                 peers_arr, valuations_arr, uploaders_arr, costs_arr, counts, m
             )
@@ -373,7 +399,11 @@ class SchedulingProblem:
             # per-request or validated add needs duplicate detection.
             self._keys_stale = True
         self._peers.extend(peers_arr.tolist())
-        self._chunks.extend(chunk_list)
+        if chunk_block is not None:
+            self._chunk_pending.append(chunk_block)
+        else:
+            self._materialize_chunks()
+            self._chunks.extend(chunk_list)
         self._valuations.extend(valuations_arr.tolist())
         self._lazy_blocks.append((uploaders_arr, costs_arr, indptr_arr))
         self._edge_count += len(uploaders_arr)
@@ -450,9 +480,21 @@ class SchedulingProblem:
                 f"for request {int(rows[1:][where])!r} of the batch"
             )
 
+    def _materialize_chunks(self) -> None:
+        """Convert pending chunk-pair blocks into the tuple-key list.
+
+        Deferred until a per-request accessor (or key validation) needs
+        the tuple form — the slot pipeline and the solvers never do.
+        """
+        if self._chunk_pending:
+            for block in self._chunk_pending:
+                self._chunks.extend(map(tuple, block.tolist()))
+            self._chunk_pending.clear()
+
     def _ensure_keys(self) -> None:
         """Rebuild the duplicate-detection key set after trusted batches."""
         if self._keys_stale:
+            self._materialize_chunks()
             self._request_keys = set(zip(self._peers, self._chunks))
             self._keys_stale = False
 
@@ -468,6 +510,7 @@ class SchedulingProblem:
         return tuple(self.request(i) for i in range(len(self._peers)))
 
     def request(self, index: int) -> ChunkRequest:
+        self._materialize_chunks()
         return ChunkRequest(
             peer=self._peers[index],
             chunk=self._chunks[index],
@@ -476,6 +519,7 @@ class SchedulingProblem:
 
     def chunk_of(self, index: int) -> Hashable:
         """Chunk key of request ``index`` (no :class:`ChunkRequest` built)."""
+        self._materialize_chunks()
         return self._chunks[index]
 
     def request_peer_array(self) -> np.ndarray:
@@ -493,7 +537,13 @@ class SchedulingProblem:
         consumers can fall back to the generic per-request path.
         """
         if self._chunk_arr is None:
-            arr = np.asarray(self._chunks, dtype=np.int64)
+            if self._chunk_pending and not self._chunks:
+                # Pure array-batch construction: reuse the blocks.
+                blocks = self._chunk_pending
+                arr = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+            else:
+                self._materialize_chunks()
+                arr = np.asarray(self._chunks, dtype=np.int64)
             if arr.ndim != 2 or arr.shape[1] != 2:
                 raise ValueError(
                     "chunk keys are not (video_id, chunk_index) pairs"
@@ -765,6 +815,7 @@ class SchedulingProblem:
         (welfare without one peer's requests) and by scenario tooling.
         """
         self._materialize_views()
+        self._materialize_chunks()
         sub = SchedulingProblem()
         for uploader, capacity in self._capacity.items():
             sub.set_capacity(uploader, capacity)
@@ -799,6 +850,7 @@ class SchedulingProblem:
         tooling uses this to model manipulation.
         """
         self._materialize_views()
+        self._materialize_chunks()
         sub = SchedulingProblem()
         for uploader, capacity in self._capacity.items():
             sub.set_capacity(uploader, capacity)

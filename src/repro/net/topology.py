@@ -89,22 +89,37 @@ class OverlayGraph:
         #: Monotone counter bumped on every link/node mutation; cheap
         #: cache key for derived per-peer structures (slot pipeline).
         self.version = 0
+        #: Peers whose link set changed since the last
+        #: :meth:`consume_dirty` — the peer-state store invalidates only
+        #: these candidate entries instead of sweeping every peer.
+        self._dirty: Set[int] = set()
+        #: Nodes currently below the degree target, maintained
+        #: incrementally so the refill pass can skip a full scan.
+        self._deficient: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Node management
     # ------------------------------------------------------------------
     def add_node(self, peer_id: int) -> None:
         """Register a peer with no neighbors yet (idempotent)."""
-        self._adj.setdefault(peer_id, set())
+        if peer_id not in self._adj:
+            self._adj[peer_id] = set()
+            if self.degree_target > 0:
+                self._deficient.add(peer_id)
 
     def remove_node(self, peer_id: int) -> Set[int]:
         """Remove a peer; returns the set of ex-neighbors that lost a link."""
         neighbors = self._adj.pop(peer_id, set())
         self._adj_arrays.pop(peer_id, None)
+        self._dirty.add(peer_id)
+        self._deficient.discard(peer_id)
         self.version += 1
         for other in neighbors:
             self._adj[other].discard(peer_id)
             self._adj_arrays.pop(other, None)
+            self._dirty.add(other)
+            if len(self._adj[other]) < self.degree_target:
+                self._deficient.add(other)
         return neighbors
 
     def __contains__(self, peer_id: int) -> bool:
@@ -129,17 +144,33 @@ class OverlayGraph:
         self._adj[b].add(a)
         self._adj_arrays.pop(a, None)
         self._adj_arrays.pop(b, None)
+        self._dirty.add(a)
+        self._dirty.add(b)
+        for node in (a, b):
+            if len(self._adj[node]) >= self.degree_target:
+                self._deficient.discard(node)
         self.version += 1
 
     def disconnect(self, a: int, b: int) -> None:
         """Remove the link a—b if present."""
-        if a in self._adj:
-            self._adj[a].discard(b)
-            self._adj_arrays.pop(a, None)
-        if b in self._adj:
-            self._adj[b].discard(a)
-            self._adj_arrays.pop(b, None)
+        for node, other in ((a, b), (b, a)):
+            if node in self._adj:
+                self._adj[node].discard(other)
+                self._adj_arrays.pop(node, None)
+                self._dirty.add(node)
+                if len(self._adj[node]) < self.degree_target:
+                    self._deficient.add(node)
         self.version += 1
+
+    def consume_dirty(self) -> Set[int]:
+        """Drain and return peers whose link set changed since last call."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def deficient_nodes(self) -> Set[int]:
+        """Live set of nodes below the degree target (do not mutate)."""
+        return self._deficient
 
     def neighbors(self, peer_id: int) -> Set[int]:
         """A copy of the neighbor set of ``peer_id``."""

@@ -80,6 +80,12 @@ class Peer:
         self.departure_time = departure_time
         self.chunks_uploaded = 0
         self.chunks_downloaded = 0
+        #: Set by the peer-state store on admission: the per-video
+        #: :class:`~repro.p2p.state.VideoGroup` this peer occupies and
+        #: its row in the group's bitmap matrices (``None`` while the
+        #: peer is not registered with a store).
+        self.state_group = None
+        self.state_row: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Content queries

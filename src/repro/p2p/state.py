@@ -1,0 +1,875 @@
+"""Persistent columnar (SoA) peer-state store behind the slot pipeline.
+
+Before this module, every :meth:`~repro.p2p.system.P2PSystem.build_problem`
+call re-derived its columnar inputs from the Python object graph: it
+re-stacked every peer's buffer bitmap into per-video matrices, re-read
+every playback position, and walked a per-peer loop to assemble the
+candidate CSR — ~0.2 s of the ~0.23 s slot at 2 000 peers.  The store
+keeps those columns *alive across slots* and updates them incrementally
+at the few places state actually changes:
+
+* **Buffer bitmaps** are not copies at all: each online peer's
+  :class:`~repro.vod.buffer.ChunkBuffer` is *rebound* so its backing
+  storage is a row of a shared bitmap matrix
+  (:meth:`ChunkBuffer.rebind_storage`).  Chunk deliveries in
+  ``_apply_transfers`` therefore update the matrix in place — there is
+  one storage, so the matrix can never drift from the buffers.
+* **Layout**: rows live in :class:`StateBucket` matrices keyed by chunk
+  count, so every video of the paper's uniform catalog shares one
+  matrix and the batched playback pass is a *single* vectorized sweep,
+  not one per video.  :class:`VideoGroup` keeps the per-video sorted
+  member-id tables the candidate lookups binary-search; its rows index
+  into the bucket.
+* **Membership** (member tables, row assignments, capacity / ISP
+  columns in peer-dict order) is updated in :meth:`PeerStateStore.admit`
+  / :meth:`PeerStateStore.remove`, guarded by
+  :attr:`PeerStateStore.membership_version`.
+* **Candidate tables** (same-video neighbor rows/ids/costs per peer)
+  are invalidated per peer from the overlay's dirty set
+  (:meth:`OverlayGraph.consume_dirty`) instead of being version-swept
+  wholesale.  Missing entries are built in peer-dict order so the cost
+  model samples never-seen pairs in exactly the order the pre-store
+  pipeline did (trajectory preservation).
+* **Playback** columns (start time/position, last-advance, a
+  ``missed``-chunk bitmap matrix mirroring each session's ``missed``
+  set) feed both the batched :meth:`PeerStateStore.advance_playback`
+  and the window/valuation assembly in
+  :meth:`PeerStateStore.assemble_requests`.  Positions are cheaply
+  re-validated against the session objects every call (one ``fromiter``
+  per bucket), so state mutated outside the store — tests, benchmark
+  snapshot/restore — is detected and the affected rows resynced rather
+  than silently trusted.
+
+The assembly matches :meth:`P2PSystem.build_problem_reference` bit for
+bit (request order, valuations, candidate sets, costs) and the batched
+advance matches the per-session ``advance_to`` /
+``advance_to_reference`` pins; the property suite under
+``tests/properties/`` fuzzes whole scenarios against all three.
+
+Window gathers use :func:`numpy.lib.stride_tricks.sliding_window_view`
+over the matrices, which are padded with ``window`` always-False columns
+so a window starting at any playback position stays in bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..net.costs import CostModel
+from ..net.topology import OverlayGraph
+from ..vod.valuation import DeadlineValuation
+from ..vod.video import Video
+from .peer import Peer
+
+__all__ = ["PeerStateStore", "StateBucket", "VideoGroup"]
+
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_FLOAT = np.empty(0, dtype=float)
+
+#: Sessions this many chunks behind their due position are advanced
+#: individually (their catch-up window would blow up the batch gather).
+_BATCH_ADVANCE_LIMIT = 1024
+
+
+class StateBucket:
+    """Row storage shared by every video with the same chunk count.
+
+    Rows are assigned on admission and stay stable until the peer
+    departs (freed rows are zeroed and recycled — possibly by a peer of
+    a *different* video with the same chunk count).  Holding all
+    same-shape videos in one matrix lets the batched playback advance
+    run as one vectorized sweep regardless of catalog size.
+    """
+
+    def __init__(self, n_chunks: int, window: int) -> None:
+        self.n_chunks = int(n_chunks)
+        self.window = max(1, int(window))
+        #: Matrix width: chunk columns plus ``window`` always-False pad
+        #: columns so window gathers starting at any position ≤ n_chunks
+        #: stay in bounds.
+        self.padded = self.n_chunks + self.window
+        cap = 8
+        self.masks = np.zeros((cap, self.padded), dtype=bool)
+        self.missed = np.zeros((cap, self.padded), dtype=bool)
+        self.free_rows: List[int] = []
+        self.n_rows = 0  # high-water mark of allocated rows
+        # Row-indexed columns (valid where a peer occupies the row).
+        self.peer_by_row: List[Optional[Peer]] = [None] * cap
+        self.start_time = np.zeros(cap, dtype=float)
+        self.start_pos = np.zeros(cap, dtype=np.int64)
+        self.position = np.zeros(cap, dtype=np.int64)
+        self.last_advance = np.zeros(cap, dtype=float)
+        self.cps = np.zeros(cap, dtype=float)  # chunks per second
+        self.has_session = np.zeros(cap, dtype=bool)
+        # Bucket-wide watcher view (rows with sessions, row order).
+        self._watchers_stale = True
+        self._watcher_rows = _EMPTY_INT
+        self._watcher_sessions: List = []
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old_cap = self.masks.shape[0]
+        new_cap = old_cap * 2
+        masks = np.zeros((new_cap, self.padded), dtype=bool)
+        missed = np.zeros((new_cap, self.padded), dtype=bool)
+        masks[:old_cap] = self.masks
+        missed[:old_cap] = self.missed
+        self.masks = masks
+        self.missed = missed
+        for arr_name in (
+            "start_time", "start_pos", "position", "last_advance",
+            "cps", "has_session",
+        ):
+            old = getattr(self, arr_name)
+            new = np.zeros(new_cap, dtype=old.dtype)
+            new[:old_cap] = old
+            setattr(self, arr_name, new)
+        self.peer_by_row.extend([None] * (new_cap - old_cap))
+        # Re-point every bound buffer at its (already copied) new row.
+        for row, peer in enumerate(self.peer_by_row[:old_cap]):
+            if peer is not None:
+                peer.buffer.rebind_storage(
+                    self.masks[row, : self.n_chunks], copy=False
+                )
+
+    def admit_row(self, peer: Peer) -> int:
+        """Assign ``peer`` a row, bind its buffer, fill its columns."""
+        if self.free_rows:
+            row = self.free_rows.pop()
+        else:
+            if self.n_rows >= self.masks.shape[0]:
+                self._grow()
+            row = self.n_rows
+            self.n_rows += 1
+        self.masks[row] = False
+        self.missed[row] = False
+        peer.buffer.rebind_storage(self.masks[row, : self.n_chunks])
+        self.peer_by_row[row] = peer
+        self.cps[row] = peer.video.chunks_per_second
+        session = peer.session
+        if session is not None:
+            self.start_time[row] = session.start_time
+            self.start_pos[row] = session.start_position
+            self.position[row] = session.position
+            self.last_advance[row] = session._last_advance
+            self.has_session[row] = True
+            if session.missed:
+                idx = np.fromiter(
+                    session.missed, dtype=np.int64, count=len(session.missed)
+                )
+                self.missed[row, idx] = True
+        else:
+            self.has_session[row] = False
+        self._watchers_stale = True
+        return row
+
+    def release_row(self, peer: Peer, row: int) -> None:
+        """Free ``row``; the peer's buffer takes back owned storage."""
+        peer.buffer.unbind_storage()
+        self.masks[row] = False
+        self.missed[row] = False
+        self.peer_by_row[row] = None
+        self.has_session[row] = False
+        self.free_rows.append(row)
+        self._watchers_stale = True
+
+    def watcher_arrays(self) -> Tuple[np.ndarray, List]:
+        """``(rows, sessions)`` of every occupied row with a session."""
+        if self._watchers_stale:
+            occupied = self.has_session[: self.n_rows]
+            rows = np.nonzero(occupied)[0].astype(np.int64)
+            self._watcher_rows = rows
+            self._watcher_sessions = [
+                self.peer_by_row[r].session for r in rows.tolist()
+            ]
+            self._watchers_stale = False
+        return self._watcher_rows, self._watcher_sessions
+
+    def resync_row(self, row: int, session) -> None:
+        """Rebuild one row's playback state from the session object."""
+        self.position[row] = session.position
+        self.last_advance[row] = session._last_advance
+        self.missed[row] = False
+        if session.missed:
+            idx = np.fromiter(
+                session.missed, dtype=np.int64, count=len(session.missed)
+            )
+            self.missed[row, idx] = True
+
+
+class VideoGroup:
+    """Per-video membership tables over a :class:`StateBucket`.
+
+    ``member_ids`` / ``member_rows`` keep the sorted-id view the
+    candidate lookups binary-search; rows index into :attr:`bucket`.
+    """
+
+    def __init__(self, video: Video, bucket: StateBucket) -> None:
+        self.video = video
+        self.bucket = bucket
+        self.n_chunks = int(video.n_chunks)
+        self.window = bucket.window
+        self.row_of: Dict[int, int] = {}
+        self.member_ids = _EMPTY_INT  # sorted peer ids
+        self.member_rows = _EMPTY_INT  # bucket rows aligned with member_ids
+        # Watcher view (members with playback sessions), member order.
+        self._watchers_stale = True
+        self._watcher_rows = _EMPTY_INT
+        self._watcher_ids = _EMPTY_INT
+
+    def admit(self, peer: Peer) -> int:
+        row = self.bucket.admit_row(peer)
+        self.row_of[peer.peer_id] = row
+        at = int(np.searchsorted(self.member_ids, peer.peer_id))
+        self.member_ids = np.insert(self.member_ids, at, peer.peer_id)
+        self.member_rows = np.insert(self.member_rows, at, row)
+        self._watchers_stale = True
+        return row
+
+    def remove(self, peer: Peer) -> None:
+        row = self.row_of.pop(peer.peer_id)
+        self.bucket.release_row(peer, row)
+        at = int(np.searchsorted(self.member_ids, peer.peer_id))
+        self.member_ids = np.delete(self.member_ids, at)
+        self.member_rows = np.delete(self.member_rows, at)
+        self._watchers_stale = True
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_ids)
+
+    def watcher_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, ids)`` of members with sessions, sorted-id order."""
+        if self._watchers_stale:
+            with_session = self.bucket.has_session[self.member_rows]
+            self._watcher_rows = self.member_rows[with_session]
+            self._watcher_ids = self.member_ids[with_session]
+            self._watchers_stale = False
+        return self._watcher_rows, self._watcher_ids
+
+
+class PeerStateStore:
+    """All columnar peer state, maintained incrementally across slots.
+
+    Owned by :class:`~repro.p2p.system.P2PSystem`; mutated only through
+    :meth:`admit` / :meth:`remove` plus the batched playback commit.
+    Buffer bitmaps need no hook at all — delivery writes go straight
+    into the matrices because the buffers are views into them.
+    """
+
+    def __init__(
+        self, overlay: OverlayGraph, costs: CostModel, window: int
+    ) -> None:
+        self.overlay = overlay
+        self.costs = costs
+        self.window = max(1, int(window))
+        self.buckets: Dict[int, StateBucket] = {}
+        self.groups: Dict[int, VideoGroup] = {}
+        #: Bumped on every admit/remove; keys membership-derived caches.
+        self.membership_version = 0
+        #: Bumped whenever any candidate entry is dropped; lets tests
+        #: (and future caches) observe candidate invalidation.
+        self.candidate_epoch = 0
+        self.seed_ids: Set[int] = set()
+        # Peer-dict-order columns (ids ascend because admission ids are
+        # monotone; an out-of-order admit flips the fast-path flag).
+        cap = 16
+        self._order_ids = np.zeros(cap, dtype=np.int64)
+        self._order_caps = np.zeros(cap, dtype=np.int64)
+        self._order_isps = np.zeros(cap, dtype=np.int64)
+        self._n = 0
+        self._ids_monotone = True
+        # Peer-id-indexed ISP lookup (−1 = offline).
+        self._isp_table = np.full(64, -1, dtype=np.int64)
+        # Per-peer candidate entries: pid -> (nb_rows, nb_ids, nb_costs).
+        self._cand: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._overlay_version_seen = overlay.version
+
+    # ------------------------------------------------------------------
+    # Membership hooks
+    # ------------------------------------------------------------------
+    def admit(self, peer: Peer) -> None:
+        vid = peer.video.video_id
+        group = self.groups.get(vid)
+        if group is None:
+            n_chunks = int(peer.video.n_chunks)
+            bucket = self.buckets.get(n_chunks)
+            if bucket is None:
+                bucket = StateBucket(n_chunks, self.window)
+                self.buckets[n_chunks] = bucket
+            group = VideoGroup(peer.video, bucket)
+            self.groups[vid] = group
+        row = group.admit(peer)
+        peer.state_group = group
+        peer.state_row = row
+        if peer.is_seed:
+            self.seed_ids.add(peer.peer_id)
+        n = self._n
+        if n >= len(self._order_ids):
+            for name in ("_order_ids", "_order_caps", "_order_isps"):
+                old = getattr(self, name)
+                new = np.zeros(len(old) * 2, dtype=np.int64)
+                new[:n] = old[:n]
+                setattr(self, name, new)
+        if n and peer.peer_id <= self._order_ids[n - 1]:
+            self._ids_monotone = False
+        self._order_ids[n] = peer.peer_id
+        self._order_caps[n] = peer.upload_capacity_chunks
+        self._order_isps[n] = peer.isp
+        self._n = n + 1
+        if peer.peer_id >= len(self._isp_table):
+            new_size = max(len(self._isp_table) * 2, peer.peer_id + 1)
+            table = np.full(new_size, -1, dtype=np.int64)
+            table[: len(self._isp_table)] = self._isp_table
+            self._isp_table = table
+        self._isp_table[peer.peer_id] = peer.isp
+        self.membership_version += 1
+
+    def remove(self, peer: Peer) -> None:
+        group = peer.state_group
+        if group is None:
+            raise KeyError(f"peer {peer.peer_id} is not in the store")
+        group.remove(peer)
+        peer.state_group = None
+        peer.state_row = None
+        self.seed_ids.discard(peer.peer_id)
+        idx = int(np.nonzero(self._order_ids[: self._n] == peer.peer_id)[0][0])
+        for name in ("_order_ids", "_order_caps", "_order_isps"):
+            arr = getattr(self, name)
+            arr[idx : self._n - 1] = arr[idx + 1 : self._n]
+        self._n -= 1
+        self._isp_table[peer.peer_id] = -1
+        if self._cand.pop(peer.peer_id, None) is not None:
+            self.candidate_epoch += 1
+        self.membership_version += 1
+
+    # ------------------------------------------------------------------
+    # Columns
+    # ------------------------------------------------------------------
+    def capacity_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(peer_ids, upload capacities)`` in peer-dict order (views)."""
+        return self._order_ids[: self._n], self._order_caps[: self._n]
+
+    def isp_table(self) -> np.ndarray:
+        """Peer-id-indexed ISP lookup table (−1 = offline; do not mutate)."""
+        return self._isp_table
+
+    # ------------------------------------------------------------------
+    # Candidate tables
+    # ------------------------------------------------------------------
+    def _drain_overlay(self) -> None:
+        """Invalidate candidate entries of peers whose links changed."""
+        if self.overlay.version == self._overlay_version_seen:
+            return
+        dirty = self.overlay.consume_dirty()
+        if dirty:
+            dropped = False
+            for pid in dirty:
+                if self._cand.pop(pid, None) is not None:
+                    dropped = True
+            if dropped:
+                self.candidate_epoch += 1
+        else:
+            # Version moved without dirty marks (defensive): full sweep.
+            if self._cand:
+                self._cand.clear()
+                self.candidate_epoch += 1
+        self._overlay_version_seen = self.overlay.version
+
+    def _candidate_entry(
+        self, pid: int, group: VideoGroup
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Same-video neighbor ``(rows, ids, costs)``, sorted by id."""
+        entry = self._cand.get(pid)
+        if entry is None:
+            members = group.member_ids
+            nb = self.overlay.neighbor_array(pid)
+            if nb.size and members.size:
+                pos = np.searchsorted(members, nb)
+                pos[pos >= members.size] = 0
+                hit = members[pos] == nb
+                mpos = pos[hit]
+                nb_ids = members[mpos]
+                nb_rows = group.member_rows[mpos]
+            else:
+                nb_ids = _EMPTY_INT
+                nb_rows = _EMPTY_INT
+            nb_costs = self.costs.costs_for_pairs(nb_ids, pid)
+            entry = (nb_rows, nb_ids, nb_costs)
+            self._cand[pid] = entry
+        return entry
+
+    def _flat_candidates(
+        self, group: VideoGroup, active_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat candidate CSR over ``active_ids`` (entries pre-built)."""
+        entries = [
+            self._candidate_entry(pid, group) for pid in active_ids.tolist()
+        ]
+        d = len(entries)
+        counts = np.fromiter(
+            (len(e[0]) for e in entries), dtype=np.int64, count=d
+        )
+        indptr = np.zeros(d + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if d and int(indptr[-1]):
+            rows = np.concatenate([e[0] for e in entries])
+            ids = np.concatenate([e[1] for e in entries])
+            costs = np.concatenate([e[2] for e in entries])
+        else:
+            rows, ids, costs = _EMPTY_INT, _EMPTY_INT, _EMPTY_FLOAT
+        return counts, indptr, rows, ids, costs
+
+    # ------------------------------------------------------------------
+    # Session sync
+    # ------------------------------------------------------------------
+    def _sync_bucket(self, bucket: StateBucket) -> np.ndarray:
+        """Fresh playback positions; resyncs rows mutated out-of-band.
+
+        Positions are read from the session objects (one ``fromiter``)
+        and compared to the stored column: a mismatch means the session
+        moved outside the batched path (direct ``advance_to`` calls,
+        benchmark snapshot/restore), so its row — position,
+        last-advance, the ``missed`` bitmap — is rebuilt from the
+        session before anything trusts it.
+        """
+        rows, sessions = bucket.watcher_arrays()
+        n = len(rows)
+        if not n:
+            return _EMPTY_INT
+        fresh = np.fromiter(
+            (s.position for s in sessions), dtype=np.int64, count=n
+        )
+        stored = bucket.position[rows]
+        if not np.array_equal(fresh, stored):
+            stale = np.nonzero(fresh != stored)[0]
+            for i in stale.tolist():
+                bucket.resync_row(int(rows[i]), sessions[i])
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Request assembly (build_problem hot path)
+    # ------------------------------------------------------------------
+    def assemble_requests(
+        self,
+        now: float,
+        valuation: DeadlineValuation,
+        lookahead: float = 0.0,
+    ):
+        """All slot requests as flat columns in reference request order.
+
+        Returns ``None`` when no peer requests anything, else
+        ``(peers, chunk_pairs, valuations, cand_ids, cand_costs,
+        indptr)`` where ``chunk_pairs`` is the ``(R, 2)``
+        ``(video_id, chunk_index)`` column and the CSR candidate arrays
+        are sorted by uploader id within each request — exactly the
+        problem :meth:`P2PSystem.build_problem_reference` constructs.
+        """
+        self._drain_overlay()
+        for bucket in self.buckets.values():
+            self._sync_bucket(bucket)
+        preps = []
+        need_entry: List[Tuple[int, VideoGroup]] = []
+        for group in self.groups.values():
+            prep = self._prepare_group(group, now)
+            if prep is None:
+                continue
+            preps.append(prep)
+            for pid in prep[1].tolist():
+                if pid not in self._cand:
+                    need_entry.append((pid, group))
+        if need_entry:
+            # Build missing candidate tables in peer-dict order so the
+            # cost model samples never-seen pairs in exactly the order
+            # the pre-store pipeline did (trajectory preservation).
+            need_entry.sort(key=self._dict_order_key())
+            for pid, group in need_entry:
+                self._candidate_entry(pid, group)
+        parts = []
+        for prep in preps:
+            part = self._finish_group(prep, now, valuation, lookahead)
+            if part is not None:
+                parts.append((prep[0].video.video_id,) + part)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            vid, peers, chunks, vals, counts, cand_ids, cand_costs = parts[0]
+            vids = np.full(len(peers), vid, dtype=np.int64)
+        else:
+            peers = np.concatenate([p[1] for p in parts])
+            chunks = np.concatenate([p[2] for p in parts])
+            vals = np.concatenate([p[3] for p in parts])
+            counts = np.concatenate([p[4] for p in parts])
+            cand_ids = np.concatenate([p[5] for p in parts])
+            cand_costs = np.concatenate([p[6] for p in parts])
+            vids = np.repeat(
+                np.fromiter((p[0] for p in parts), dtype=np.int64, count=len(parts)),
+                np.fromiter((len(p[1]) for p in parts), dtype=np.int64, count=len(parts)),
+            )
+        n_req = len(peers)
+        # The permutation may only be skipped when ascending id *is*
+        # peer-dict order; with out-of-order admissions an incidentally
+        # sorted column must still be permuted into dict order.
+        if not (self._ids_monotone and np.all(peers[1:] >= peers[:-1])):
+            perm = self._request_permutation(peers)
+            old_indptr = np.zeros(n_req + 1, dtype=np.int64)
+            np.cumsum(counts, out=old_indptr[1:])
+            lens = counts[perm]
+            indptr = np.zeros(n_req + 1, dtype=np.int64)
+            np.cumsum(lens, out=indptr[1:])
+            edge_idx = np.repeat(
+                old_indptr[:-1][perm] - indptr[:-1], lens
+            ) + np.arange(len(cand_ids), dtype=np.int64)
+            peers = peers[perm]
+            chunks = chunks[perm]
+            vals = vals[perm]
+            vids = vids[perm]
+            cand_ids = cand_ids[edge_idx]
+            cand_costs = cand_costs[edge_idx]
+        else:
+            indptr = np.zeros(n_req + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+        pairs = np.empty((n_req, 2), dtype=np.int64)
+        pairs[:, 0] = vids
+        pairs[:, 1] = chunks
+        return peers, pairs, vals, cand_ids, cand_costs, indptr
+
+    def _request_permutation(self, peers: np.ndarray) -> np.ndarray:
+        """Permutation restoring peer-dict request order."""
+        if self._ids_monotone:
+            # Dict order == ascending id; stable sort keeps each peer's
+            # window-ordered block intact.
+            return np.argsort(peers, kind="stable")
+        rank = {
+            pid: i for i, pid in enumerate(self._order_ids[: self._n].tolist())
+        }
+        key = np.fromiter(
+            (rank[pid] for pid in peers.tolist()),
+            dtype=np.int64,
+            count=len(peers),
+        )
+        return np.argsort(key, kind="stable")
+
+    def _dict_order_key(self):
+        """Sort key putting ``(pid, group)`` items in peer-dict order."""
+        if self._ids_monotone:
+            return lambda item: item[0]
+        rank = {
+            pid: i for i, pid in enumerate(self._order_ids[: self._n].tolist())
+        }
+        return lambda item: rank[item[0]]
+
+    def _prepare_group(self, group: VideoGroup, now: float):
+        """Window/availability stage: which watchers can request what.
+
+        Returns ``(group, gated_ids, gated_rows, due, avail)`` for the
+        watchers that are unfinished *and* have a non-empty available
+        window (the gate the reference applies before touching the cost
+        model), or ``None`` when the group cannot produce requests.
+        The bucket's positions must already be synced.
+        """
+        rows, ids = group.watcher_arrays()
+        if not len(rows):
+            return None
+        bucket = group.bucket
+        n_chunks = group.n_chunks
+        positions = bucket.position[rows]
+        active = positions < n_chunks
+        if not active.any():
+            return None
+        act_rows = rows[active]
+        st = bucket.start_time[act_rows]
+        sp = bucket.start_pos[act_rows]
+        cps = group.video.chunks_per_second
+        # due_position(now), vectorized with the same float ops.
+        due = sp + (np.maximum(0.0, now - st) * cps).astype(np.int64)
+        np.minimum(due, n_chunks, out=due)
+        W = group.window
+        offs = np.arange(W, dtype=np.int64)
+        in_range = (due[:, None] + offs[None, :]) < n_chunks
+        swv_masks = sliding_window_view(bucket.masks, W, axis=1)
+        swv_missed = sliding_window_view(bucket.missed, W, axis=1)
+        held = swv_masks[act_rows, due]
+        missed_win = swv_missed[act_rows, due]
+        avail = in_range & ~held & ~missed_win
+        gated = avail.any(axis=1)
+        if not gated.any():
+            return None
+        return (
+            group,
+            ids[active][gated],
+            act_rows[gated],
+            due[gated],
+            avail[gated],
+        )
+
+    def _finish_group(
+        self,
+        prep,
+        now: float,
+        valuation: DeadlineValuation,
+        lookahead: float,
+    ):
+        group, act_ids, act_rows, due, avail = prep
+        bucket = group.bucket
+        n_chunks = group.n_chunks
+        W = group.window
+        nb_counts, nb_indptr, nb_rows, nb_ids, nb_costs = self._flat_candidates(
+            group, act_ids
+        )
+        sel = nb_counts > 0
+        if not sel.any():
+            return None
+        if not sel.all():
+            # Restrict every per-watcher array to watchers with at least
+            # one same-video neighbor (the only ones that can request).
+            keep_edges = np.repeat(sel, nb_counts)
+            nb_rows = nb_rows[keep_edges]
+            nb_ids = nb_ids[keep_edges]
+            nb_costs = nb_costs[keep_edges]
+            nb_counts = nb_counts[sel]
+            nb_indptr = np.zeros(len(nb_counts) + 1, dtype=np.int64)
+            np.cumsum(nb_counts, out=nb_indptr[1:])
+            act_rows = act_rows[sel]
+            act_ids = act_ids[sel]
+            due = due[sel]
+            avail = avail[sel]
+        d = len(act_rows)
+        st = bucket.start_time[act_rows]
+        sp = bucket.start_pos[act_rows]
+        cps = group.video.chunks_per_second
+        cols = due[:, None] + np.arange(W, dtype=np.int64)[None, :]
+        # Valuations: identical formula (and op order) to
+        # Peer.build_request_arrays, evaluated on the whole window.
+        deadlines = (st[:, None] + (cols - sp[:, None]) / cps) - now
+        to_deadline = np.maximum(0.0, deadlines - lookahead)
+        values = valuation.values(to_deadline)
+        swv_masks = sliding_window_view(bucket.masks, W, axis=1)
+        owner = np.repeat(np.arange(d, dtype=np.int64), nb_counts)
+        have = swv_masks[nb_rows, due[owner]]
+        have &= avail[owner]
+        # Candidate counts per (watcher, chunk): segment sums over the
+        # neighbor rows.  int8 is safe while no peer has ≥128 same-video
+        # neighbors; fall back to a wide dtype otherwise.
+        if int(nb_counts.max(initial=0)) < 128:
+            counts = np.add.reduceat(have.view(np.int8), nb_indptr[:-1], axis=0)
+        else:
+            counts = np.add.reduceat(
+                have.astype(np.int64), nb_indptr[:-1], axis=0
+            )
+        requested = counts > 0
+        rd, rc = np.nonzero(requested)
+        if not len(rd):
+            return None
+        req_peers = act_ids[rd]
+        req_chunks = due[rd] + rc
+        req_vals = values[rd, rc]
+        req_counts = counts[rd, rc].astype(np.int64)
+        # Edges: nonzero of `have` is (neighbor-major, chunk) per
+        # watcher; the problem wants (chunk-major, neighbor-sorted), so
+        # reorder by the composite (watcher, chunk, neighbor) key.
+        nzr, nzc = np.nonzero(have)
+        key = (owner[nzr] * np.int64(W) + nzc) * np.int64(len(nb_rows)) + nzr
+        order = np.argsort(key, kind="stable")
+        cand_ids = nb_ids[nzr[order]]
+        cand_costs = nb_costs[nzr[order]]
+        return req_peers, req_chunks, req_vals, req_counts, cand_ids, cand_costs
+
+    # ------------------------------------------------------------------
+    # Batched playback
+    # ------------------------------------------------------------------
+    def advance_playback(self, to_time: float) -> Tuple[int, int]:
+        """Advance every eligible session; returns ``(due, missed)``.
+
+        One vectorized pass per bucket (a single pass for uniform
+        catalogs) replaces the per-session ``advance_to`` loop: targets
+        from the immutable session columns, held counts from one window
+        gather on the bitmap matrix, miss recording into both the
+        ``missed`` matrix and each session's (lazily materialized) set.
+        Sessions whose ``start_time >= to_time`` are untouched — they
+        have nothing due yet; mid-slot admissions advance from their
+        *own* start time on the first boundary after it.  Per-session
+        results are committed back to the :class:`PlaybackSession`
+        objects, which remain the reference (``advance_to`` /
+        ``advance_to_reference`` pin the semantics).  Unlike the
+        reference loop, a backwards ``to_time`` raises *before* any
+        session (in any bucket) is advanced.
+        """
+        preps = []
+        for bucket in self.buckets.values():
+            rows, sessions = bucket.watcher_arrays()
+            if not len(rows):
+                continue
+            st = bucket.start_time[rows]
+            eligible = st < to_time
+            if not eligible.any():
+                continue
+            positions = self._sync_bucket(bucket)
+            # Backwards-time validation reads the session objects, not
+            # the column: a snapshot/restore can rewind _last_advance
+            # without moving the position the sync check keys on.
+            last = np.fromiter(
+                (s._last_advance for s in sessions),
+                dtype=float,
+                count=len(sessions),
+            )
+            bucket.last_advance[rows] = last
+            bad = eligible & (last > to_time)
+            if bad.any():
+                first = float(last[np.nonzero(bad)[0][0]])
+                raise ValueError(
+                    f"time went backwards: {to_time!r} < {first!r}"
+                )
+            preps.append((bucket, rows, sessions, st, eligible, positions))
+        due_total = 0
+        missed_total = 0
+        for prep in preps:
+            due, missed = self._advance_prepared(prep, to_time)
+            due_total += due
+            missed_total += missed
+        return due_total, missed_total
+
+    def _advance_prepared(self, prep, to_time: float) -> Tuple[int, int]:
+        bucket, rows, sessions, st, eligible, positions = prep
+        n_chunks = bucket.n_chunks
+        target = bucket.start_pos[rows] + (
+            np.maximum(0.0, to_time - st) * bucket.cps[rows]
+        ).astype(np.int64)
+        np.minimum(target, n_chunks, out=target)
+        width = np.where(eligible, target - positions, 0)
+        np.maximum(width, 0, out=width)
+        due_total = int(width.sum())
+        missed_total = 0
+        if int(width.max()) > _BATCH_ADVANCE_LIMIT:
+            # Far-behind sessions (fresh joiners catching up a whole
+            # video) advance individually; the batch window stays small.
+            big = width > _BATCH_ADVANCE_LIMIT
+            for i in np.nonzero(big)[0].tolist():
+                session = sessions[i]
+                stats = session.advance_to(to_time)
+                missed_total += stats.missed
+                bucket.resync_row(int(rows[i]), session)
+            width = np.where(big, 0, width)
+        batch = width > 0
+        all_move = bool(batch.all())
+        if all_move or batch.any():
+            b_idx = np.nonzero(batch)[0]
+            rows_b = rows[b_idx]
+            pos_b = positions[b_idx]
+            tgt_b = target[b_idx]
+            widths_b = tgt_b - pos_b
+            w_max = int(widths_b.max())
+            uniform = bool(widths_b.min() == w_max)
+            cols = pos_b[:, None] + np.arange(w_max, dtype=np.int64)[None, :]
+            if w_max > bucket.window:
+                # Catch-up windows can overrun the padded columns.
+                cols = np.minimum(cols, n_chunks)
+            held = bucket.masks[rows_b[:, None], cols]
+            if uniform:
+                # Steady state: every session consumes the same number of
+                # chunks, so no per-cell validity mask is needed.
+                mm = ~held
+                played = w_max - mm.sum(axis=1)
+            else:
+                valid = (
+                    np.arange(w_max, dtype=np.int64)[None, :]
+                    < widths_b[:, None]
+                )
+                mm = valid & ~held
+                played = widths_b - mm.sum(axis=1)
+            batch_missed = int(widths_b.sum() - played.sum())
+            missed_total += batch_missed
+            if batch_missed:
+                mr, mc = np.nonzero(mm)
+                missed_chunks = pos_b[mr] + mc
+                bucket.missed[rows_b[mr], missed_chunks] = True
+                # Per-session miss batches, one deferred run per session.
+                run_starts = np.flatnonzero(
+                    np.concatenate(([True], mr[1:] != mr[:-1]))
+                )
+                owners = b_idx[mr[run_starts]]
+                bounds = np.append(run_starts, len(mr))
+                for oi, s0, e0 in zip(
+                    owners.tolist(), bounds[:-1].tolist(), bounds[1:].tolist()
+                ):
+                    sessions[oi].defer_missed(missed_chunks[s0:e0])
+            bucket.position[rows_b] = tgt_b
+            bucket.last_advance[rows[eligible]] = to_time
+            if all_move and bool(eligible.all()):
+                # One fused commit pass over every session.
+                for session, tgt, plays in zip(
+                    sessions, tgt_b.tolist(), played.tolist()
+                ):
+                    session.position = tgt
+                    session.played += plays
+                    session._last_advance = to_time
+                return due_total, missed_total
+            for i, tgt, plays in zip(
+                b_idx.tolist(), tgt_b.tolist(), played.tolist()
+            ):
+                session = sessions[i]
+                session.position = tgt
+                session.played += plays
+        else:
+            bucket.last_advance[rows[eligible]] = to_time
+        for session, ok in zip(sessions, eligible.tolist()):
+            if ok:
+                session._last_advance = to_time
+        return due_total, missed_total
+
+    # ------------------------------------------------------------------
+    # Introspection / invariants (used by the staleness tests)
+    # ------------------------------------------------------------------
+    def check_consistency(self, peers: Dict[int, Peer], tracker=None) -> None:
+        """Assert the store mirrors the authoritative object graph.
+
+        Cheap enough for tests to call after every mutation: membership
+        tables, row bindings, capacity/ISP columns and the missed
+        bitmaps must all agree with the ``peers`` dict (and, when a
+        ``tracker`` is given, with its per-video registry).
+        """
+        ids = sorted(peers)
+        if tracker is not None:
+            for vid, group in self.groups.items():
+                assert set(group.member_ids.tolist()) == set(
+                    tracker.members_view(vid)
+                ), f"store/tracker membership drifted for video {vid}"
+        all_members = sorted(
+            int(pid) for g in self.groups.values() for pid in g.member_ids.tolist()
+        )
+        assert all_members == ids, "store membership drifted from peers dict"
+        order_ids = self._order_ids[: self._n].tolist()
+        assert sorted(order_ids) == ids, "capacity column ids drifted"
+        assert order_ids == list(peers), "capacity column order drifted"
+        for pid, peer in peers.items():
+            group = self.groups[peer.video.video_id]
+            bucket = group.bucket
+            row = group.row_of[pid]
+            assert peer.state_group is group and peer.state_row == row
+            assert bucket.peer_by_row[row] is peer
+            assert (
+                peer.buffer.mask.base is bucket.masks
+                or peer.buffer.mask.base is bucket.masks.base
+            ), f"buffer of peer {pid} is not bound to the store"
+            assert self._isp_table[pid] == peer.isp
+            if peer.session is not None:
+                missed_row = set(
+                    np.nonzero(bucket.missed[row, : group.n_chunks])[0].tolist()
+                )
+                synced = bucket.position[row] == peer.session.position
+                if synced:
+                    assert missed_row == peer.session.missed, (
+                        f"missed bitmap of peer {pid} drifted"
+                    )
+        caps = self._order_caps[: self._n]
+        expect = np.fromiter(
+            (peers[pid].upload_capacity_chunks for pid in order_ids),
+            dtype=np.int64,
+            count=self._n,
+        )
+        assert np.array_equal(caps, expect), "capacity column drifted"

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.problem import ProblemBuilder, SchedulingProblem
+from ..core.problem import SchedulingProblem
 from ..core.result import ScheduleResult
 from ..core.scheduler import AuctionScheduler, ChunkScheduler, make_scheduler
 from ..metrics.collectors import MetricsCollector, SlotMetrics
@@ -50,6 +50,7 @@ from .churn import ArrivalPlan, ChurnModel
 from .config import SystemConfig
 from .peer import Peer
 from .seeding import create_seeds
+from .state import PeerStateStore
 from .tracker import Tracker
 
 __all__ = ["P2PSystem"]
@@ -124,16 +125,14 @@ class P2PSystem:
         self.collector = MetricsCollector()
         self.traffic_matrix = TrafficMatrix(config.n_isps)
         self.peers: Dict[int, Peer] = {}
-        # Per-peer candidate tables (same-video neighbor rows/ids/costs)
-        # reused across slots while the overlay and population are
-        # unchanged; keyed by the (overlay, membership) version pair.
-        self._candidate_cache: Dict[int, Tuple] = {}
-        self._membership_version = 0
-        # Membership-versioned columnar caches over the peer population:
-        # (ids, upload capacities) for the per-round budget split and a
-        # peer-id-indexed ISP lookup for the transfer epilogue.
-        self._capacity_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
-        self._isp_cache: Optional[Tuple[int, np.ndarray]] = None
+        # Persistent columnar peer state: per-video member tables,
+        # buffer-bitmap matrices (the buffers' actual storage), playback
+        # and capacity/ISP columns, candidate tables — maintained
+        # incrementally at admit/remove/transfer/refresh instead of
+        # being rebuilt from the object graph every build_problem call.
+        self.store = PeerStateStore(
+            self.overlay, self.costs, window=config.prefetch_chunks
+        )
         self._ids = itertools.count(1)
         self.now = 0.0
         self.slot_index = 0
@@ -231,19 +230,19 @@ class P2PSystem:
         self.tracker.register(peer)
         self.overlay.bootstrap(peer.peer_id, candidates)
         self.peers[peer.peer_id] = peer
-        self._membership_version += 1
+        self.store.admit(peer)
 
     def remove_peer(self, peer_id: int) -> None:
-        """Depart a peer: drop from overlay, tracker, topology and caches."""
-        if peer_id not in self.peers:
+        """Depart a peer: drop from overlay, tracker, topology and store."""
+        peer = self.peers.get(peer_id)
+        if peer is None:
             raise KeyError(f"peer {peer_id} is not online")
         del self.peers[peer_id]
+        self.store.remove(peer)
         self.tracker.unregister(peer_id)
         self.overlay.remove_node(peer_id)
         self.topology.remove_peer(peer_id)
         self.costs.forget_peer(peer_id)
-        self._candidate_cache.pop(peer_id, None)
-        self._membership_version += 1
         self.departures += 1
 
     # ------------------------------------------------------------------
@@ -292,10 +291,10 @@ class P2PSystem:
         n_requests = n_served = sched_rounds = 0
         due = missed = 0
         # The peer population is stable within a slot (churn is handled
-        # at the boundary above), so the cached capacity columns cover
-        # the whole slot; zero-budget peers are skipped — build_problem
-        # treats absent entries as 0.
-        slot_ids, slot_caps = self._capacity_arrays()
+        # at the boundary above), so the store's capacity columns cover
+        # the whole slot; the per-round share array is passed straight
+        # to build_problem — no per-peer budget dict.
+        _, slot_caps = self._capacity_arrays()
         for r in range(rounds):
             now_r = t + r * slot / rounds
             shares = (
@@ -303,11 +302,7 @@ class P2PSystem:
                 if rounds == 1
                 else slot_caps * (r + 1) // rounds - slot_caps * r // rounds
             )
-            positive = shares > 0
-            budgets = dict(
-                zip(slot_ids[positive].tolist(), shares[positive].tolist())
-            )
-            problem, _ = self.build_problem(now_r, capacities=budgets)
+            problem, _ = self.build_problem(now_r, capacity_array=shares)
             result = self.scheduler.schedule(problem)
             welfare += result.welfare(problem)
             round_inter, round_intra = self._apply_transfers(problem, result)
@@ -386,9 +381,19 @@ class P2PSystem:
             self.remove_peer(peer_id)
 
     def _refill_neighbors(self) -> None:
-        """Top up peers that fell below their neighbor target (churn losses)."""
+        """Top up peers that fell below their neighbor target (churn losses).
+
+        The overlay's incrementally maintained deficient set makes the
+        common static case O(1): when no non-seed peer is below target,
+        the whole pass (and its per-peer tracker queries) is skipped.
+        When someone is, the scan runs in peer-dict order exactly as
+        before, so the tracker's ranking RNG is consumed identically.
+        """
+        deficient = self.overlay.deficient_nodes()
+        if not (deficient - self.store.seed_ids):
+            return
         for peer in self.peers.values():
-            if peer.is_seed or not self.overlay.wants_more(peer.peer_id):
+            if peer.is_seed or peer.peer_id not in deficient:
                 continue
             candidates = [
                 pid
@@ -404,198 +409,57 @@ class P2PSystem:
         self,
         now: float,
         capacities: Optional[Dict[int, int]] = None,
+        capacity_array: Optional[np.ndarray] = None,
     ) -> Tuple[SchedulingProblem, Dict[int, int]]:
-        """One (sub-)round's assignment problem from buffers and windows.
+        """One (sub-)round's assignment problem from the peer-state store.
 
-        Columnar construction: buffers are read through their zero-copy
-        bool bitmaps, stacked into one availability matrix per video, and
-        the candidate structure is assembled as flat CSR arrays handed to
-        :meth:`SchedulingProblem.add_requests_batch` in a single
-        vectorized call.  Produces the same problem (same request order,
-        same candidate edges and costs; candidates sorted by uploader id)
-        as the per-request :meth:`build_problem_reference`, which tests
-        pin it against.
+        Fully vectorized construction on the persistent columnar store:
+        window availability and valuations come from sliding-window
+        gathers over the per-video bitmap matrices, candidate edges from
+        the cached per-video neighbor CSR, and the whole request block is
+        handed to :meth:`SchedulingProblem.add_requests_batch` in one
+        call — no per-peer Python loop, no per-slot re-stacking.
+        Produces the same problem (same request order, same candidate
+        edges and costs; candidates sorted by uploader id) as the
+        per-request :meth:`build_problem_reference`, which the property
+        suite pins byte-for-byte.
 
-        ``capacities`` overrides per-peer upload budgets (used by the
-        sub-round split); default is each peer's full slot capacity.
-        Returns the problem plus a map request-index → downstream peer id
-        (also recoverable from the problem's requests; kept for
-        convenience).
+        ``capacities`` overrides per-peer upload budgets as a dict
+        (missing entries mean 0); ``capacity_array`` is the loop-free
+        variant aligned with the store's peer-dict-order id column (used
+        by ``run_slot``'s sub-round split).  Returns the problem plus a
+        map request-index → downstream peer id.
         """
-        peers = list(self.peers.values())
-        n_peers = len(peers)
-        cap_ids = np.fromiter((p.peer_id for p in peers), dtype=np.int64, count=n_peers)
-        if capacities is None:
+        store = self.store
+        ids, caps = store.capacity_columns()
+        if capacity_array is not None:
+            caps = np.ascontiguousarray(capacity_array, dtype=np.int64)
+            if len(caps) != len(ids):
+                raise ValueError(
+                    f"capacity_array must align with the {len(ids)} online "
+                    f"peers, got {len(caps)} entries"
+                )
+        elif capacities is not None:
             caps = np.fromiter(
-                (p.upload_capacity_chunks for p in peers), dtype=np.int64, count=n_peers
-            )
-        else:
-            caps = np.fromiter(
-                (capacities.get(p.peer_id, 0) for p in peers),
+                (capacities.get(pid, 0) for pid in ids.tolist()),
                 dtype=np.int64,
-                count=n_peers,
+                count=len(ids),
             )
-        builder = ProblemBuilder()
-        builder.set_capacities(cap_ids, caps)
-
-        # Per-slot per-video tables: sorted member ids and the stacked
-        # buffer bitmaps (zero-copy views), so neighbor availability is
-        # one row gather + one fancy index instead of per-chunk set probes.
-        by_video: Dict[int, List[Peer]] = {}
-        for peer in peers:
-            by_video.setdefault(peer.video.video_id, []).append(peer)
-        video_ids: Dict[int, np.ndarray] = {}
-        video_masks: Dict[int, np.ndarray] = {}
-        for vid, members in by_video.items():
-            ids = np.fromiter((p.peer_id for p in members), dtype=np.int64, count=len(members))
-            order = np.argsort(ids, kind="stable")
-            video_ids[vid] = ids[order]
-            video_masks[vid] = np.stack(
-                [members[int(i)].buffer.mask for i in order]
-            )
-
         rounds = self.config.bid_rounds_per_slot
         lookahead = self.config.slot_seconds / rounds if rounds > 1 else 0.0
-        prefetch = self.config.prefetch_chunks
-        cache_version = (self.overlay.version, self._membership_version)
-        candidate_cache = self._candidate_cache
-
-        # Window-of-interest and valuations, batched per video: one
-        # (watchers, window) matrix pass replaces per-peer window scans
-        # and scalar-ish valuation calls (bitwise-equal to
-        # Peer.build_request_arrays, which tests pin).
-        window_tables: Dict[int, Tuple[Dict[int, int], np.ndarray, np.ndarray, np.ndarray]] = {}
-        offsets = np.arange(prefetch, dtype=np.int64)
-        for vid, members in by_video.items():
-            active = [
-                p for p in members
-                if p.session is not None and not p.session.finished
-            ]
-            if not active:
-                continue
-            video = active[0].video
-            n_chunks = video.n_chunks
-            cps = video.chunks_per_second
-            d_count = len(active)
-            pos = np.fromiter(
-                (p.session.due_position(now) for p in active), np.int64, count=d_count
-            )
-            cols = pos[:, None] + offsets[None, :]  # (watchers, window)
-            in_range = cols < n_chunks
-            cols_clipped = np.minimum(cols, n_chunks - 1)
-            # Rows of video_masks follow the sorted member ids.
-            own_rows = np.searchsorted(
-                video_ids[vid],
-                np.fromiter((p.peer_id for p in active), np.int64, count=d_count),
-            )
-            held = video_masks[vid][own_rows[:, None], cols_clipped]
-            avail = in_range & ~held
-            for i, p in enumerate(active):
-                missed = p.session.missed
-                if missed:
-                    skip = np.fromiter(missed, np.int64, count=len(missed))
-                    local = skip - pos[i]
-                    local = local[(local >= 0) & (local < prefetch)]
-                    avail[i, local] = False
-            deadlines = (
-                np.fromiter((p.session.start_time for p in active), float, count=d_count)[:, None]
-                + (cols - np.fromiter(
-                    (p.session.start_position for p in active), np.int64, count=d_count
-                )[:, None]) / cps
-            ) - now
-            to_deadline = np.maximum(0.0, deadlines - lookahead)
-            values_matrix = self.valuation.values(to_deadline)
-            window_tables[vid] = (
-                {p.peer_id: i for i, p in enumerate(active)},
-                cols,
-                avail,
-                values_matrix,
-            )
-
-        # Chunk-key columns mirroring the tuple keys handed to the
-        # builder, so the finished problem can be primed with its
-        # (video, index) array without re-tupling (the transfer epilogue
-        # reads that column every slot).
-        chunk_vids: List[int] = []
-        chunk_sizes: List[int] = []
-        chunk_blocks: List[np.ndarray] = []
-
-        for peer in peers:
-            if peer.session is None:
-                continue  # seeds never request
-            vid = peer.video.video_id
-            # Peers in their startup delay do bid: they are pre-fetching
-            # ahead of the (future) playback start.  With sub-slot
-            # re-bidding, valuations anticipate the urgency reached by
-            # the end of the bid interval (see Peer.build_requests).
-            table = window_tables.get(vid)
-            if table is None:
-                continue
-            row_of, cols, avail, values_matrix = table
-            row = row_of.get(peer.peer_id)
-            if row is None:
-                continue  # finished session: nothing to prefetch
-            row_avail = avail[row]
-            if not row_avail.any():
-                continue
-            wanted = cols[row][row_avail]
-            values = values_matrix[row][row_avail]
-            # Same-video neighbor rows/ids/costs: stable while overlay
-            # and population are unchanged, so cached across slots.
-            entry = candidate_cache.get(peer.peer_id)
-            if entry is None or entry[0] != cache_version:
-                members = video_ids[vid]
-                nb = self.overlay.neighbor_array(peer.peer_id)
-                if nb.size and members.size:
-                    pos = np.searchsorted(members, nb)
-                    pos[pos >= len(members)] = 0
-                    nb_rows = pos[members[pos] == nb]
-                else:
-                    nb_rows = np.empty(0, dtype=np.int64)
-                nb_ids = members[nb_rows]
-                nb_costs = self.costs.costs_for_pairs(nb_ids, peer.peer_id)
-                entry = (cache_version, nb_rows, nb_ids, nb_costs)
-                candidate_cache[peer.peer_id] = entry
-            _, nb_rows, nb_ids, nb_costs = entry
-            if not nb_rows.size:
-                continue
-            # (wanted, neighbors) availability: nonzero groups by chunk.
-            # take+take gathers only the needed block (measurably faster
-            # than slice-then-column or open-mesh at both bench and
-            # paper scale).
-            have_per_chunk = (
-                video_masks[vid].take(nb_rows, axis=0).take(wanted, axis=1).T
-            )
-            _, nb_pos = np.nonzero(have_per_chunk)
-            counts = have_per_chunk.sum(axis=1, dtype=np.int64)
-            requested = counts > 0  # nobody caches it: cannot even be requested
-            if not requested.any():
-                continue
-            requested_chunks = wanted[requested]
-            builder.add_block(
-                peers=peer.peer_id,
-                chunks=[(vid, int(c)) for c in requested_chunks.tolist()],
-                valuations=values[requested],
-                cand_uploaders=nb_ids[nb_pos],
-                cand_costs=nb_costs[nb_pos],
-                counts=counts[requested],
-            )
-            chunk_vids.append(vid)
-            chunk_sizes.append(len(requested_chunks))
-            chunk_blocks.append(requested_chunks)
-
+        problem = SchedulingProblem()
+        problem.set_capacities_batch(ids, caps)
+        parts = store.assemble_requests(now, self.valuation, lookahead)
+        if parts is None:
+            return problem, {}
+        req_peers, pairs, vals, cand_ids, cand_costs, indptr = parts
         # validate=False: this producer is pinned against the per-request
-        # reference by the construction-equivalence tests.
-        problem = builder.build(validate=False)
-        if chunk_blocks:
-            pairs = np.empty((problem.n_requests, 2), dtype=np.int64)
-            pairs[:, 0] = np.repeat(
-                np.asarray(chunk_vids, dtype=np.int64),
-                np.asarray(chunk_sizes, dtype=np.int64),
-            )
-            pairs[:, 1] = np.concatenate(chunk_blocks)
-            problem.prime_chunk_pairs(pairs)
-        request_owner = dict(enumerate(builder.request_peers().tolist()))
+        # reference by the construction-equivalence/property tests.
+        problem.add_requests_batch(
+            req_peers, pairs, vals, cand_ids, cand_costs, indptr,
+            validate=False,
+        )
+        request_owner = dict(enumerate(req_peers.tolist()))
         return problem, request_owner
 
     def build_problem_reference(
@@ -663,43 +527,21 @@ class P2PSystem:
         return problem, request_owner
 
     def _capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Cached ``(peer_ids, upload capacities)`` columns (do not mutate).
+        """``(peer_ids, upload capacities)`` columns (do not mutate).
 
-        Rebuilt only when the membership changes; iteration order is the
-        ``peers`` dict order, like the per-peer loops it replaces.
+        Maintained incrementally by the peer-state store in ``peers``
+        dict order — reading them is O(1), no rebuild on access.
         """
-        cached = self._capacity_cache
-        if cached is None or cached[0] != self._membership_version:
-            n = len(self.peers)
-            ids = np.fromiter(self.peers.keys(), dtype=np.int64, count=n)
-            caps = np.fromiter(
-                (p.upload_capacity_chunks for p in self.peers.values()),
-                dtype=np.int64,
-                count=n,
-            )
-            cached = (self._membership_version, ids, caps)
-            self._capacity_cache = cached
-        return cached[1], cached[2]
+        return self.store.capacity_columns()
 
     def _isp_id_array(self) -> np.ndarray:
-        """Cached peer-id-indexed ISP lookup table (do not mutate).
+        """Peer-id-indexed ISP lookup table (do not mutate).
 
         ``arr[peer_id]`` is the peer's ISP index (−1 for ids not online);
-        peer ids are small consecutive ints from the admission counter,
-        so a flat table beats a dict probe per transfer by orders of
-        magnitude.
+        maintained incrementally by the peer-state store — a flat table
+        beats a dict probe per transfer by orders of magnitude.
         """
-        cached = self._isp_cache
-        if cached is None or cached[0] != self._membership_version:
-            n = len(self.peers)
-            ids = np.fromiter(self.peers.keys(), dtype=np.int64, count=n)
-            arr = np.full(int(ids.max()) + 1 if n else 1, -1, dtype=np.int64)
-            arr[ids] = np.fromiter(
-                (p.isp for p in self.peers.values()), dtype=np.int64, count=n
-            )
-            cached = (self._membership_version, arr)
-            self._isp_cache = cached
-        return cached[1]
+        return self.store.isp_table()
 
     def _apply_transfers(
         self, problem: SchedulingProblem, result: ScheduleResult
@@ -770,13 +612,25 @@ class P2PSystem:
         return inter, intra
 
     def _advance_playback(self, to_time: float) -> Tuple[int, int]:
-        """Advance every session; returns (due, missed) chunk totals."""
+        """Advance every session; returns (due, missed) chunk totals.
+
+        One batched pass over the store's position/bitmap columns per
+        video instead of a per-session loop; sessions whose
+        ``start_time >= to_time`` are skipped (nothing due yet), and
+        sessions admitted mid-slot advance from their own start time.
+        Equivalent to :meth:`_advance_playback_reference`, which the
+        property suite pins it against.
+        """
+        return self.store.advance_playback(to_time)
+
+    def _advance_playback_reference(self, to_time: float) -> Tuple[int, int]:
+        """Per-session/per-chunk loop implementation (semantics pin)."""
         due = 0
         missed = 0
         for peer in self.peers.values():
             if peer.session is None or peer.session.start_time >= to_time:
                 continue
-            stats = peer.session.advance_to(to_time)
+            stats = peer.session.advance_to_reference(to_time)
             due += stats.due
             missed += stats.missed
         return due, missed

@@ -27,6 +27,8 @@ class Tracker:
     position rank; see :func:`repro.net.topology.rank_candidates`.
     """
 
+    _NO_MEMBERS: frozenset = frozenset()
+
     def __init__(
         self,
         rng: Optional[np.random.Generator] = None,
@@ -36,6 +38,10 @@ class Tracker:
         self._by_video: Dict[int, Set[int]] = {}
         self.rng = rng
         self.seed_rank = seed_rank
+        #: Monotone counter bumped on every register/unregister; lets
+        #: membership-derived caches (the peer-state store's tables, the
+        #: staleness tests) key on tracker state without copying it.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -45,6 +51,7 @@ class Tracker:
             raise ValueError(f"peer {peer.peer_id} already registered")
         self._peers[peer.peer_id] = peer
         self._by_video.setdefault(peer.video.video_id, set()).add(peer.peer_id)
+        self.version += 1
 
     def unregister(self, peer_id: int) -> None:
         peer = self._peers.pop(peer_id, None)
@@ -55,6 +62,7 @@ class Tracker:
             members.discard(peer_id)
             if not members:
                 del self._by_video[peer.video.video_id]
+        self.version += 1
 
     def __contains__(self, peer_id: int) -> bool:
         return peer_id in self._peers
@@ -68,6 +76,15 @@ class Tracker:
     def peers_watching(self, video_id: int) -> Set[int]:
         """Online peers (incl. seeds) holding content of ``video_id``."""
         return set(self._by_video.get(video_id, set()))
+
+    def members_view(self, video_id: int):
+        """Zero-copy view of ``video_id``'s member set (do not mutate).
+
+        The peer-state store's consistency checks compare their member
+        tables against this on every mutation path; returning the live
+        set keeps that comparison O(members) with no allocation.
+        """
+        return self._by_video.get(video_id, self._NO_MEMBERS)
 
     # ------------------------------------------------------------------
     # Bootstrap

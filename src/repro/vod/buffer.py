@@ -48,6 +48,37 @@ class ChunkBuffer:
         self._count = 0
 
     # ------------------------------------------------------------------
+    # Storage binding (peer-state store integration)
+    # ------------------------------------------------------------------
+    def rebind_storage(self, view: np.ndarray, copy: bool = True) -> None:
+        """Swap the backing bitmap storage to ``view``.
+
+        The peer-state store binds each online buffer to a row of its
+        per-video bitmap matrix, so every write through this buffer
+        lands in the shared columnar state with no synchronization step.
+        ``copy=True`` carries the current content into the new storage;
+        ``copy=False`` is for re-pointing after the store already
+        block-copied the matrix (growth).
+        """
+        if view.shape != self._mask.shape or view.dtype != np.bool_:
+            raise ValueError(
+                f"storage view must be bool of shape {self._mask.shape}, "
+                f"got {view.dtype} {view.shape}"
+            )
+        if copy:
+            np.copyto(view, self._mask)
+        self._mask = view
+
+    def unbind_storage(self) -> None:
+        """Take back privately owned storage (a copy of the bound row).
+
+        Called when the peer departs: the store frees and zeroes its
+        row, and the buffer must keep its content for any code still
+        holding the departed peer.
+        """
+        self._mask = self._mask.copy()
+
+    # ------------------------------------------------------------------
     # Content management
     # ------------------------------------------------------------------
     def __len__(self) -> int:

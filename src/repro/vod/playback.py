@@ -66,9 +66,36 @@ class PlaybackSession:
         self.start_time = float(start_time)
         self.start_position = int(start_position)
         self.position = int(start_position)
-        self.missed: Set[int] = set()
+        self._missed: Set[int] = set()
+        # Miss batches queued by the store's batched advance, folded
+        # into the set only when someone actually reads it — the slot
+        # loop tracks misses through the store's bitmap matrix and never
+        # does, so steady-state slots skip ~all per-chunk set inserts.
+        self._missed_pending: list = []
         self.played = 0
         self._last_advance = float(start_time)
+
+    @property
+    def missed(self) -> Set[int]:
+        """Chunk indices that missed their deadline (materialized view)."""
+        if self._missed_pending:
+            for chunk in self._missed_pending:
+                self._missed.update(chunk.tolist())
+            self._missed_pending.clear()
+        return self._missed
+
+    @missed.setter
+    def missed(self, value) -> None:
+        self._missed = set(value)
+        self._missed_pending.clear()
+
+    def defer_missed(self, chunks) -> None:
+        """Queue an int64 array of missed chunks without touching the set.
+
+        Used by the batched playback path; the indices join
+        :attr:`missed` lazily on the next read.
+        """
+        self._missed_pending.append(chunks)
 
     # ------------------------------------------------------------------
     # Timing
@@ -148,13 +175,14 @@ class PlaybackSession:
         target = self.due_position(now)
         due = 0
         missed = 0
+        missed_set = self.missed
         while self.position < target:
             index = self.position
             due += 1
             if self.buffer.holds(index):
                 self.played += 1
             else:
-                self.missed.add(index)
+                missed_set.add(index)
                 missed += 1
             self.position += 1
         return SlotPlaybackStats(due=due, missed=missed)

@@ -1,0 +1,78 @@
+"""Archived ablation results must regenerate from the live pipeline.
+
+``results/ablation_solvers.txt`` and ``results/ablation_epsilon.txt``
+are produced by the benchmark harness from the array-native problem
+pipeline.  These smoke tests re-run the exact generating configuration
+and assert the deterministic columns (welfare, served counts, bid/round
+work) match the archived text byte for byte — the timing column is the
+only thing allowed to drift.  A mismatch means the pipeline's numeric
+behaviour changed and the archives (and any conclusions drawn from
+them) are stale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    epsilon_sweep,
+    render_epsilon_sweep,
+    render_solver_comparison,
+    solver_comparison,
+)
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent.parent / "results"
+
+#: Column names whose values are wall-clock measurements.
+TIMING_COLUMNS = {"seconds"}
+
+
+def table_without_timing(text: str):
+    """Parse a rendered results table into rows of non-timing cells."""
+    lines = [line for line in text.strip().splitlines() if line.strip()]
+    header = lines[0].split()
+    keep = [i for i, name in enumerate(header) if name not in TIMING_COLUMNS]
+    rows = [[header[i] for i in keep]]
+    for line in lines[2:]:  # skip the rule line
+        cells = line.split()
+        assert len(cells) == len(header), line
+        rows.append([cells[i] for i in keep])
+    return rows
+
+
+@pytest.mark.skipif(
+    not (RESULTS / "ablation_solvers.txt").exists(),
+    reason="archive not generated yet",
+)
+def test_ablation_solvers_regenerates_identically():
+    archived = (RESULTS / "ablation_solvers.txt").read_text(encoding="utf-8")
+    rows = solver_comparison(
+        rng=np.random.default_rng(1),
+        n_requests=800,
+        n_uploaders=40,
+        max_candidates=8,
+        epsilon=0.01,
+    )
+    regenerated = render_solver_comparison(rows)
+    assert table_without_timing(regenerated) == table_without_timing(archived)
+
+
+@pytest.mark.skipif(
+    not (RESULTS / "ablation_epsilon.txt").exists(),
+    reason="archive not generated yet",
+)
+def test_ablation_epsilon_regenerates_identically():
+    archived = (RESULTS / "ablation_epsilon.txt").read_text(encoding="utf-8")
+    rows = epsilon_sweep(
+        [10.0, 1.0, 0.1, 0.01, 0.001],
+        rng=np.random.default_rng(0),
+        n_requests=600,
+        n_uploaders=30,
+        max_candidates=8,
+        mode="jacobi",
+    )
+    regenerated = render_epsilon_sweep(rows)
+    assert table_without_timing(regenerated) == table_without_timing(archived)

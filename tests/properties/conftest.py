@@ -1,0 +1,31 @@
+"""Hypothesis profile and shared machinery for the equivalence suite.
+
+The ``repro-props`` profile keeps the fuzzing deterministic and bounded
+so tier-1 stays fast and reproducible: ``derandomize=True`` makes
+Hypothesis derive examples from the test function itself (no ambient
+random seed, no example database growth), and the example budget is
+fixed (override with ``REPRO_PROPS_EXAMPLES=n`` for a deeper local
+soak).  Run the suite with ``make test-props`` or
+``pytest tests/properties -q``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-props",
+    settings(
+        max_examples=int(os.environ.get("REPRO_PROPS_EXAMPLES", "70")),
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.data_too_large,
+            HealthCheck.filter_too_much,
+        ],
+    ),
+)
+settings.load_profile("repro-props")

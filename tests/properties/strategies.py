@@ -1,0 +1,70 @@
+"""Scenario strategies for the store-equivalence property suite.
+
+A *scenario* is everything that shapes a slot problem: the RNG seed,
+population size and stagger, catalog size, churn intensity, sub-slot
+bidding rounds and how many slots have already elapsed.  Scenarios are
+realized exclusively through the official system APIs (``P2PSystem``,
+``populate_static``, ``run``), so every store code path — admission,
+removal, transfers, neighbor refill, batched playback — runs before the
+equivalence assertions fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import strategies as st
+
+from repro.p2p.config import SystemConfig
+from repro.p2p.system import P2PSystem
+
+
+@dataclass(frozen=True)
+class Scenario:
+    seed: int
+    n_peers: int
+    n_videos: int
+    stagger: bool
+    churn: bool
+    arrival_rate: float
+    early_departure_prob: float
+    bid_rounds: int
+    slots: int
+    neighbor_target: int
+
+    def config(self) -> SystemConfig:
+        return SystemConfig.tiny(
+            seed=self.seed,
+            n_videos=self.n_videos,
+            bid_rounds_per_slot=self.bid_rounds,
+            neighbor_target=self.neighbor_target,
+            arrival_rate_per_s=self.arrival_rate,
+            early_departure_prob=self.early_departure_prob,
+        )
+
+    def build_system(self) -> P2PSystem:
+        """Realize the scenario through the official system APIs only."""
+        system = P2PSystem(self.config())
+        system.populate_static(self.n_peers, stagger=self.stagger)
+        if self.slots:
+            system.run(
+                self.slots * system.config.slot_seconds,
+                churn=self.churn,
+                remove_finished=self.churn,
+            )
+        return system
+
+
+scenarios = st.builds(
+    Scenario,
+    seed=st.integers(0, 10_000),
+    n_peers=st.integers(3, 16),
+    n_videos=st.integers(1, 3),
+    stagger=st.booleans(),
+    churn=st.booleans(),
+    arrival_rate=st.floats(0.2, 2.0),
+    early_departure_prob=st.floats(0.0, 0.6),
+    bid_rounds=st.integers(1, 3),
+    slots=st.integers(0, 3),
+    neighbor_target=st.integers(3, 10),
+)

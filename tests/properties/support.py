@@ -1,0 +1,76 @@
+"""Byte-level comparison helpers for the equivalence suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.p2p.system import P2PSystem
+
+
+def canonical_edges(problem: SchedulingProblem):
+    """CSR edge columns with candidates canonicalized by uploader id.
+
+    The columnar path sorts candidates by uploader id; the per-request
+    reference emits them in neighbor-set iteration order.  Sorting both
+    within each request row makes the flat columns directly comparable
+    byte for byte.
+    """
+    csr = problem.csr()
+    rows = csr.edge_rows()
+    uploader_ids = csr.uploaders[csr.uploader_index]
+    perm = np.lexsort((uploader_ids, rows))
+    return rows[perm], uploader_ids[perm], csr.values[perm], csr.indptr
+
+
+def assert_same_problem(
+    ref: SchedulingProblem, new: SchedulingProblem
+) -> None:
+    """Byte-for-byte equality of two slot problems' CSR columns."""
+    assert ref.n_requests == new.n_requests
+    assert ref.n_edges() == new.n_edges()
+    # Uploader declarations: same peers, same order, same capacities.
+    assert ref.uploaders() == new.uploaders()
+    ref_csr, new_csr = ref.csr(), new.csr()
+    assert np.array_equal(ref_csr.uploaders, new_csr.uploaders)
+    assert np.array_equal(ref_csr.capacity, new_csr.capacity)
+    # Request identity columns.
+    assert np.array_equal(ref.request_peer_array(), new.request_peer_array())
+    if ref.n_requests:
+        assert np.array_equal(ref.chunk_pair_array(), new.chunk_pair_array())
+    ref_vals = np.fromiter(
+        (ref.request(r).valuation for r in range(ref.n_requests)),
+        dtype=float,
+        count=ref.n_requests,
+    )
+    new_vals = np.fromiter(
+        (new.request(r).valuation for r in range(new.n_requests)),
+        dtype=float,
+        count=new.n_requests,
+    )
+    assert np.array_equal(ref_vals, new_vals)  # exact, no tolerance
+    # Candidate edges: rows, uploader ids, net utilities — exact.
+    r_rows, r_ups, r_values, r_indptr = canonical_edges(ref)
+    n_rows, n_ups, n_values, n_indptr = canonical_edges(new)
+    assert np.array_equal(r_indptr, n_indptr)
+    assert np.array_equal(r_rows, n_rows)
+    assert np.array_equal(r_ups, n_ups)
+    assert np.array_equal(r_values, n_values)  # exact float equality
+
+
+def assert_same_peer_state(a: P2PSystem, b: P2PSystem) -> None:
+    """Full peer/session/traffic state equality between twin systems."""
+    assert a.peers.keys() == b.peers.keys()
+    for pid, pa in a.peers.items():
+        pb = b.peers[pid]
+        assert len(pa.buffer) == len(pb.buffer), pid
+        assert np.array_equal(pa.buffer.mask, pb.buffer.mask), pid
+        assert pa.chunks_uploaded == pb.chunks_uploaded, pid
+        assert pa.chunks_downloaded == pb.chunks_downloaded, pid
+        assert (pa.session is None) == (pb.session is None), pid
+        if pa.session is not None:
+            assert pa.session.position == pb.session.position, pid
+            assert pa.session.played == pb.session.played, pid
+            assert pa.session.missed == pb.session.missed, pid
+            assert pa.session._last_advance == pb.session._last_advance, pid
+    assert np.array_equal(a.traffic_matrix.matrix(), b.traffic_matrix.matrix())
