@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all
+.PHONY: test test-props bench bench-quick bench-all bench-xl
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,3 +20,9 @@ bench-quick:
 
 bench-all:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py --all
+
+# The 5k/10k-peer tier: static-large re-measures with the reference
+# paths, static-xlarge (10k) records columnar+warm columns only.
+# Written to its own JSON so `make bench`'s committed matrix is kept.
+bench-xl:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge --output BENCH_slot_pipeline_xl.json

@@ -11,9 +11,14 @@ comparing:
   ``_apply_transfers_reference`` loop + the per-chunk
   ``advance_to_reference`` playback walk;
 * **columnar path**: ``P2PSystem.build_problem`` (vectorized assembly
-  on the persistent peer-state store) + the CSR ``jacobi`` solver + the
-  vectorized ``_apply_transfers`` epilogue + the store's batched
+  on the persistent peer-state store) + the event-driven price-frontier
+  ``jacobi`` solver (also re-timed warm-started from the previous
+  slot's λ — the ``warm_solve_s`` column) + the vectorized
+  ``_apply_transfers`` epilogue + the store's batched
   ``_advance_playback`` sweep.
+
+Scenarios with ``reference=False`` (the 10k tier) skip every seed-path
+timing; see benchmarks/README.md for the tier caveats.
 
 Apply and playback mutate system state, so their min-of-N timing
 snapshots and restores the touched state between repeats (and keeps
@@ -58,10 +63,18 @@ EPSILON = 0.01  # the system config's default bidding increment
 #: arrival/departure path; ``overrides`` go into SystemConfig.bench.
 #: ``gauss_seidel`` additionally runs the sequential reference solver
 #: (only at scales where its Python loop stays reasonable).
+#: ``reference=False`` skips every seed-path ("old") timing — the
+#: 10k-peer tier would otherwise spend minutes in the per-request /
+#: per-edge reference loops just to reproduce a known ratio; its rows
+#: carry the columnar-path and warm-start columns only.
 SCENARIOS: Dict[str, dict] = {
     "static-small": dict(n_peers=200, slots=3, churn=False, overrides={}, gauss_seidel=True),
     "static-medium": dict(n_peers=2000, slots=3, churn=False, overrides={}, gauss_seidel=True),
     "static-large": dict(n_peers=5000, slots=2, churn=False, overrides={}, gauss_seidel=False),
+    "static-xlarge": dict(
+        n_peers=10_000, slots=2, churn=False, overrides={},
+        gauss_seidel=False, reference=False,
+    ),
     "churn-medium": dict(
         n_peers=2000, slots=3, churn=True,
         overrides=dict(arrival_rate_per_s=1.0, early_departure_prob=0.3),
@@ -74,7 +87,11 @@ SCENARIOS: Dict[str, dict] = {
 }
 DEFAULT_SCENARIOS = [
     "static-small", "static-medium", "churn-medium", "multivideo-medium",
+    "static-large",
 ]
+#: The 5k/10k tier (``make bench-xl``); static-large also runs in the
+#: default set so the committed JSON always carries a 5k-peer row.
+XL_SCENARIOS = ["static-large", "static-xlarge"]
 
 
 def legacy_dense(problem: SchedulingProblem) -> DenseView:
@@ -246,6 +263,39 @@ def advance_playback_reference(system: P2PSystem, to_time: float):
     return due, missed
 
 
+def timed_apply_new_only(system: P2PSystem, problem, result, repeats: int):
+    """Min-of-N timing of the vectorized apply alone (reference-free tier).
+
+    Returns ``(apply_new_s, (inter, intra))``; the effect is left
+    applied exactly once.
+    """
+    snap = snapshot_transfer_state(system, problem, result)
+    apply_new = float("inf")
+    outcome = None
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        outcome = system._apply_transfers(problem, result)
+        t1 = time.perf_counter()
+        apply_new = min(apply_new, t1 - t0)
+        if rep < repeats - 1:
+            restore_transfer_state(system, snap)
+    return apply_new, outcome
+
+
+def timed_playback_new_only(system: P2PSystem, to_time: float, repeats: int):
+    """Min-of-N timing of the batched playback alone (reference-free tier)."""
+    snap = snapshot_playback_state(system)
+    playback_new = float("inf")
+    for rep in range(repeats):
+        t0 = time.perf_counter()
+        system._advance_playback(to_time)
+        t1 = time.perf_counter()
+        playback_new = min(playback_new, t1 - t0)
+        if rep < repeats - 1:
+            restore_playback_state(system, snap)
+    return playback_new
+
+
 def timed_apply(system: P2PSystem, problem, result, repeats: int):
     """Min-of-N timings of both apply paths on identical state.
 
@@ -317,7 +367,9 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
     # buffers so the measured slots look like steady state.
     system.run_slot(churn=churn, remove_finished=churn)
 
+    reference = spec.get("reference", True)
     rows: List[dict] = []
+    prev_prices = None
     for _ in range(n_slots):
         t = system.now
         if churn:
@@ -332,34 +384,50 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
 
         # Min-of-N per phase suppresses scheduler noise; every repeat
         # rebuilds fresh problem objects so cached views never leak
-        # from one timing into another.
+        # from one timing into another.  The warm-started solve gets its
+        # own fresh problem per repeat for the same reason — its timing
+        # is directly comparable to solve_new_s (both pay the CSR and
+        # reverse-index builds themselves).
         build_old = build_new = solve_old = solve_new = float("inf")
+        warm_solve = float("inf") if prev_prices is not None else None
+        result_old = None
         for _rep in range(repeats):
-            t0 = time.perf_counter()
-            problem_old, _ = system.build_problem_reference(t, capacities=budgets)
-            t1 = time.perf_counter()
-            problem_new, _ = system.build_problem(t, capacities=budgets)
+            if reference:
+                t0 = time.perf_counter()
+                problem_old, _ = system.build_problem_reference(t, capacities=budgets)
+                t1 = time.perf_counter()
+                build_old = min(build_old, t1 - t0)
             t2 = time.perf_counter()
-            assert problem_old.n_requests == problem_new.n_requests
-            assert problem_old.n_edges() == problem_new.n_edges()
-
-            # Seed solve: padded dense expansion (as the seed built it) +
-            # dense jacobi.  The expansion is timed because the seed
-            # solver paid for it on every fresh problem.
+            problem_new, _ = system.build_problem(t, capacities=budgets)
             t3 = time.perf_counter()
-            legacy_dense(problem_old)
-            solver_old = AuctionSolver(epsilon=EPSILON, mode="jacobi-dense")
-            result_old = solver_old.solve(problem_old)
-            t4 = time.perf_counter()
+            build_new = min(build_new, t3 - t2)
+            if reference:
+                assert problem_old.n_requests == problem_new.n_requests
+                assert problem_old.n_edges() == problem_new.n_edges()
+                # Seed solve: padded dense expansion (as the seed built
+                # it) + dense jacobi.  The expansion is timed because the
+                # seed solver paid for it on every fresh problem.
+                t4 = time.perf_counter()
+                legacy_dense(problem_old)
+                solver_old = AuctionSolver(epsilon=EPSILON, mode="jacobi-dense")
+                result_old = solver_old.solve(problem_old)
+                t5 = time.perf_counter()
+                solve_old = min(solve_old, t5 - t4)
+            t6 = time.perf_counter()
             solver_new = AuctionSolver(epsilon=EPSILON, mode="jacobi")
             result_new = solver_new.solve(problem_new)
-            t5 = time.perf_counter()
-            build_old = min(build_old, t1 - t0)
-            build_new = min(build_new, t2 - t1)
-            solve_old = min(solve_old, t4 - t3)
-            solve_new = min(solve_new, t5 - t4)
+            t7 = time.perf_counter()
+            solve_new = min(solve_new, t7 - t6)
+            if prev_prices is not None:
+                problem_warm, _ = system.build_problem(t, capacities=budgets)
+                t8 = time.perf_counter()
+                AuctionSolver(epsilon=EPSILON, mode="jacobi").solve(
+                    problem_warm, initial_prices=prev_prices
+                )
+                t9 = time.perf_counter()
+                warm_solve = min(warm_solve, t9 - t8)
 
-        welfare_old = result_old.welfare(problem_old)
+        welfare_old = result_old.welfare(problem_old) if reference else None
         welfare_new = result_new.welfare(problem_new)
         n_eps = problem_new.n_requests * EPSILON
 
@@ -368,21 +436,31 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             gs = AuctionSolver(epsilon=EPSILON, mode="gauss-seidel").solve(problem_new)
             gs_welfare = gs.welfare(problem_new)
 
-        apply_old, apply_new, (inter, intra) = timed_apply(
-            system, problem_new, result_new, repeats
-        )
-        playback_old, playback_new = timed_playback(
-            system, t + system.config.slot_seconds, repeats
-        )
+        if reference:
+            apply_old, apply_new, (inter, intra) = timed_apply(
+                system, problem_new, result_new, repeats
+            )
+            playback_old, playback_new = timed_playback(
+                system, t + system.config.slot_seconds, repeats
+            )
+        else:
+            apply_old = playback_old = None
+            apply_new, (inter, intra) = timed_apply_new_only(
+                system, problem_new, result_new, repeats
+            )
+            playback_new = timed_playback_new_only(
+                system, t + system.config.slot_seconds, repeats
+            )
 
         rows.append(dict(
             n_peers=len(system.peers),
             n_requests=problem_new.n_requests,
             n_edges=problem_new.n_edges(),
-            build_old_s=build_old,
+            build_old_s=build_old if reference else None,
             build_new_s=build_new,
-            solve_old_s=solve_old,
+            solve_old_s=solve_old if reference else None,
             solve_new_s=solve_new,
+            warm_solve_s=warm_solve,
             apply_old_s=apply_old,
             apply_s=apply_new,
             playback_old_s=playback_old,
@@ -394,75 +472,110 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             inter_isp=inter,
             intra_isp=intra,
         ))
+        # Next slot's warm start: this slot's converged prices.
+        prev_prices = result_new.price_arrays()
         system.now = t + system.config.slot_seconds
         system.slot_index += 1
 
     def total(key):
-        return float(sum(row[key] for row in rows))
+        vals = [row[key] for row in rows if row[key] is not None]
+        return float(sum(vals)) if vals else None
+
+    def ratio(old, new):
+        if old is None or new is None:
+            return None
+        return old / new if new else float("inf")
 
     build_old, build_new = total("build_old_s"), total("build_new_s")
     solve_old, solve_new = total("solve_old_s"), total("solve_new_s")
-    slot_old = build_old + solve_old
+    slot_old = build_old + solve_old if reference else None
     slot_new = build_new + solve_new
-    welfare_gap = max(
-        abs(row["welfare_old"] - row["welfare_new"]) for row in rows
+    welfare_gap = (
+        max(abs(row["welfare_old"] - row["welfare_new"]) for row in rows)
+        if reference
+        else None
     )
     gs_gap = None
     if spec["gauss_seidel"]:
         gs_gap = max(abs(row["gs_welfare"] - row["welfare_new"]) for row in rows)
+
+    # Warm rows exclude the first slot (nothing to warm-start from), so
+    # the speedup compares against the cold solve on the same slots.
+    warm_total = total("warm_solve_s")
+    cold_on_warm_slots = [
+        row["solve_new_s"] for row in rows if row["warm_solve_s"] is not None
+    ]
+    warm_speedup = (
+        float(sum(cold_on_warm_slots)) / warm_total
+        if warm_total
+        else None
+    )
 
     summary = dict(
         n_peers=rows[-1]["n_peers"],
         slots=len(rows),
         n_requests_mean=float(np.mean([r["n_requests"] for r in rows])),
         n_edges_mean=float(np.mean([r["n_edges"] for r in rows])),
+        reference_measured=reference,
         build_old_s=build_old,
         build_new_s=build_new,
-        build_speedup=build_old / build_new if build_new else float("inf"),
+        build_speedup=ratio(build_old, build_new),
         solve_old_s=solve_old,
         solve_new_s=solve_new,
-        solve_speedup=solve_old / solve_new if solve_new else float("inf"),
+        solve_speedup=ratio(solve_old, solve_new),
+        warm_solve_s=warm_total,
+        warm_speedup=warm_speedup,
         slot_old_s=slot_old,
         slot_new_s=slot_new,
-        slot_speedup=slot_old / slot_new if slot_new else float("inf"),
+        slot_speedup=ratio(slot_old, slot_new),
         apply_old_s=total("apply_old_s"),
         apply_s=total("apply_s"),
-        apply_speedup=(
-            total("apply_old_s") / total("apply_s")
-            if total("apply_s")
-            else float("inf")
-        ),
+        apply_speedup=ratio(total("apply_old_s"), total("apply_s")),
         playback_old_s=total("playback_old_s"),
         playback_s=total("playback_s"),
-        playback_speedup=(
-            total("playback_old_s") / total("playback_s")
-            if total("playback_s")
-            else float("inf")
-        ),
+        playback_speedup=ratio(total("playback_old_s"), total("playback_s")),
         welfare_gap_max=welfare_gap,
         n_eps_bound=float(max(row["n_eps_bound"] for row in rows)),
-        welfare_within_n_eps=bool(
-            welfare_gap <= max(row["n_eps_bound"] for row in rows) + 1e-6
+        welfare_within_n_eps=(
+            bool(welfare_gap <= max(row["n_eps_bound"] for row in rows) + 1e-6)
+            if reference
+            else None
         ),
         gauss_seidel_gap_max=gs_gap,
         slot_rows=rows,
     )
     if verbose:
+        def fmt(value, pattern="{:.3f}s"):
+            return pattern.format(value) if value is not None else "–"
+
+        def fmt_x(value):
+            return f"{value:.1f}×" if value is not None else "–"
+
+        warm_note = (
+            f" | warm solve {fmt(warm_total)} ({fmt_x(warm_speedup)})"
+            if warm_total is not None
+            else ""
+        )
+        gap_note = (
+            f" | welfare gap {welfare_gap:.2e} (n·ε = {summary['n_eps_bound']:.2f})"
+            if welfare_gap is not None
+            else ""
+        )
         print(
             f"[{name}] peers={summary['n_peers']} "
             f"requests≈{summary['n_requests_mean']:.0f} "
             f"edges≈{summary['n_edges_mean']:.0f} | "
-            f"build {build_old:.3f}s → {build_new:.3f}s "
-            f"({summary['build_speedup']:.1f}×) | "
-            f"solve {solve_old:.3f}s → {solve_new:.3f}s "
-            f"({summary['solve_speedup']:.1f}×) | "
-            f"slot {summary['slot_speedup']:.1f}× | "
-            f"apply {summary['apply_old_s']:.3f}s → {summary['apply_s']:.3f}s "
-            f"({summary['apply_speedup']:.1f}×) | "
-            f"playback {summary['playback_old_s']:.3f}s → "
-            f"{summary['playback_s']:.3f}s "
-            f"({summary['playback_speedup']:.1f}×) | "
-            f"welfare gap {welfare_gap:.2e} (n·ε = {summary['n_eps_bound']:.2f})"
+            f"build {fmt(build_old)} → {fmt(build_new)} "
+            f"({fmt_x(summary['build_speedup'])}) | "
+            f"solve {fmt(solve_old)} → {fmt(solve_new)} "
+            f"({fmt_x(summary['solve_speedup'])}) | "
+            f"slot {fmt_x(summary['slot_speedup'])} | "
+            f"apply {fmt(summary['apply_old_s'])} → {fmt(summary['apply_s'])} "
+            f"({fmt_x(summary['apply_speedup'])}) | "
+            f"playback {fmt(summary['playback_old_s'])} → "
+            f"{fmt(summary['playback_s'])} "
+            f"({fmt_x(summary['playback_speedup'])})"
+            f"{warm_note}{gap_note}"
         )
     return summary
 

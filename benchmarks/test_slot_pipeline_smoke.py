@@ -4,7 +4,10 @@ Runs every scenario of the matrix at tiny scale (few peers, one slot,
 one repeat) so the harness itself cannot rot: scenario configs must
 build, both construction paths must agree, the solvers must agree within
 ``n·ε``, and the report must carry every field the JSON consumers read.
-No file is written.
+No file is written.  Two real ``static-small`` runs additionally gate
+the acceptance bars of the performance PRs: vectorized apply ≥ 3×,
+batched playback ≥ 2×, and the event-driven frontier solve ≥ 2× over
+the padded-dense seed path.
 """
 
 from __future__ import annotations
@@ -15,8 +18,10 @@ import bench_slot_pipeline as bench
 
 TINY_SUMMARY_FIELDS = [
     "n_peers", "slots", "n_requests_mean", "n_edges_mean",
+    "reference_measured",
     "build_old_s", "build_new_s", "build_speedup",
     "solve_old_s", "solve_new_s", "solve_speedup",
+    "warm_solve_s", "warm_speedup",
     "slot_old_s", "slot_new_s", "slot_speedup",
     "apply_old_s", "apply_s", "apply_speedup",
     "playback_old_s", "playback_s", "playback_speedup",
@@ -36,24 +41,46 @@ def tiny_specs():
     return specs
 
 
+@pytest.fixture(scope="module")
+def static_small_summary():
+    """One real 200-peer static-small run shared by the gate tests."""
+    return bench.bench_scenario(
+        "static-small", bench.SCENARIOS["static-small"], seed=0,
+        slots=2, verbose=False, repeats=3,
+    )
+
+
 @pytest.mark.parametrize("name", sorted(bench.SCENARIOS))
 def test_scenario_smoke(name, tiny_specs):
-    summary = bench.bench_scenario(
-        name, tiny_specs[name], seed=1, verbose=False, repeats=1
-    )
+    spec = tiny_specs[name]
+    summary = bench.bench_scenario(name, spec, seed=1, verbose=False, repeats=1)
     for field in TINY_SUMMARY_FIELDS:
         assert field in summary, field
     assert summary["slots"] == 1
     assert summary["n_requests_mean"] > 0
-    assert summary["build_new_s"] > 0 and summary["build_old_s"] > 0
-    # Old and columnar paths agree within the theorem bound.
-    assert summary["welfare_within_n_eps"]
-    if tiny_specs[name]["gauss_seidel"]:
+    assert summary["build_new_s"] > 0 and summary["solve_new_s"] > 0
+    # A single measured slot has nothing to warm-start from.
+    assert summary["warm_solve_s"] is None
+    if spec.get("reference", True):
+        assert summary["reference_measured"]
+        assert summary["build_old_s"] > 0 and summary["solve_old_s"] > 0
+        # Old and columnar paths agree within the theorem bound.
+        assert summary["welfare_within_n_eps"]
+    else:
+        # Reference-free tier (the 10k scenarios): seed-path columns are
+        # absent by design, columnar columns must still be complete.
+        assert not summary["reference_measured"]
+        for field in ("build_old_s", "solve_old_s", "apply_old_s",
+                      "playback_old_s", "welfare_gap_max",
+                      "welfare_within_n_eps", "solve_speedup"):
+            assert summary[field] is None, field
+        assert summary["apply_s"] > 0 and summary["playback_s"] > 0
+    if spec["gauss_seidel"]:
         assert summary["gauss_seidel_gap_max"] is not None
         assert summary["gauss_seidel_gap_max"] <= summary["n_eps_bound"] + 1e-6
 
 
-def test_apply_phase_speedup_static_small():
+def test_apply_phase_speedup_static_small(static_small_summary):
     """Vectorized apply ≥ 3× and store playback ≥ 2× over the loops.
 
     Runs the real ``static-small`` scenario (200 peers — big enough for
@@ -63,14 +90,26 @@ def test_apply_phase_speedup_static_small():
     bar is checked at 2k peers by ``make bench``, where the batch is
     large enough to be noise-free).
     """
-    summary = bench.bench_scenario(
-        "static-small", bench.SCENARIOS["static-small"], seed=0,
-        slots=2, verbose=False, repeats=3,
-    )
+    summary = static_small_summary
     assert summary["apply_old_s"] > 0 and summary["apply_s"] > 0
     assert summary["apply_speedup"] >= 3.0, summary["apply_speedup"]
     assert summary["playback_s"] > 0 and summary["playback_old_s"] > 0
     assert summary["playback_speedup"] >= 2.0, summary["playback_speedup"]
+
+
+def test_solve_phase_speedup_static_small(static_small_summary):
+    """Event-driven frontier solve ≥ 2× over the seed's padded-dense path.
+
+    The acceptance bar of the frontier-solver PR, checked at tier-1
+    scale (the full bar at 2k peers is tracked by ``make bench``).  The
+    warm-started re-bid column must also be populated (slot 2 warms from
+    slot 1) and not regress the cold solve by more than noise.
+    """
+    summary = static_small_summary
+    assert summary["solve_old_s"] > 0 and summary["solve_new_s"] > 0
+    assert summary["solve_speedup"] >= 2.0, summary["solve_speedup"]
+    assert summary["warm_solve_s"] is not None and summary["warm_solve_s"] > 0
+    assert summary["warm_speedup"] is not None
 
 
 def test_run_writes_report(tmp_path, monkeypatch):
@@ -86,6 +125,15 @@ def test_run_writes_report(tmp_path, monkeypatch):
     assert out.exists()
     assert report["benchmark"] == "slot_pipeline"
     assert "static-small" in report["scenarios"]
+
+
+def test_xl_tier_listed():
+    """The 5k/10k tier names resolve to scenarios (make bench-xl)."""
+    for name in bench.XL_SCENARIOS:
+        assert name in bench.SCENARIOS
+    assert bench.SCENARIOS["static-xlarge"]["n_peers"] >= 10_000
+    assert not bench.SCENARIOS["static-xlarge"].get("reference", True)
+    assert "static-large" in bench.DEFAULT_SCENARIOS
 
 
 def test_legacy_dense_matches_library_dense():

@@ -28,8 +28,12 @@ Two execution modes:
 * ``"jacobi"`` — all unassigned requests bid each round against the
   round-start prices; numpy-vectorized over the problem's flat CSR view
   (segment maxima via ``np.maximum.reduceat``), used for paper-scale
-  instances.  Per-round cost is O(pending edges) with no ``(R, K_max)``
-  padding, so skewed candidate counts cost nothing.
+  instances.  The round loop is *event-driven*: per-row best surpluses
+  are cached and only rows incident to uploaders whose price
+  changed (plus evicted rows) are re-evaluated, via the problem's
+  reverse uploader→rows index — so a round costs O(edges touched by
+  last round's price changes), not O(pending edges), and there is no
+  ``(R, K_max)`` padding, so skewed candidate counts cost nothing.
 * ``"jacobi-dense"`` — the same synchronized semantics over the padded
   dense view; kept as the equivalence reference for the CSR port (the
   two produce identical assignments) and for benchmarking the padding
@@ -88,6 +92,30 @@ class PriceTrace:
     def series(self, uploader: int) -> Tuple[List[float], List[float]]:
         """(times, prices) for one uploader."""
         return self.times, self.prices.get(uploader, [])
+
+
+def _order_bids(bids: np.ndarray, target: np.ndarray, n_uploaders: int) -> np.ndarray:
+    """Commit order: by uploader ascending, bid descending, stable ties.
+
+    Exactly ``np.lexsort((-bids, target))``, but built from two cheaper
+    passes on large rounds: submitted bids are strictly positive IEEE
+    doubles, so their complemented bit patterns sort them descending
+    under an *integer* stable sort, and the grouping by uploader is a
+    stable counting sort (scipy's one-row csr→csc transpose).  Small
+    rounds and scipy-less installs keep the lexsort.
+    """
+    if len(bids) < 1024:
+        return np.lexsort((-bids, target))
+    try:
+        from scipy import sparse
+    except ImportError:  # pragma: no cover - scipy is a core dependency
+        return np.lexsort((-bids, target))
+    by_bid = np.argsort(~bids.view(np.uint64), kind="stable")
+    grouped = sparse.csr_matrix(
+        (by_bid, target[by_bid], np.array([0, len(bids)])),
+        shape=(1, n_uploaders),
+    ).tocsc()
+    return grouped.data
 
 
 def _segment_max(x: np.ndarray, indptr: np.ndarray) -> np.ndarray:
@@ -213,9 +241,12 @@ class AuctionSolver:
     ) -> ScheduleResult:
         """Run the auction to convergence and return the schedule + duals.
 
-        ``initial_prices`` warm-starts ``λ`` (used by ε-scaling).  Note
-        that a warm start can leave a positive price on an uploader that
-        ends up unsaturated, voiding the CS-1 certificate — the scaling
+        ``initial_prices`` warm-starts ``λ`` (used by ε-scaling and the
+        slot pipeline's warm-started re-bids) — either a
+        ``{uploader id: λ}`` dict or an ``(ids, values)`` array pair as
+        returned by :meth:`ScheduleResult.price_arrays`.  Note that a
+        warm start can leave a positive price on an uploader that ends
+        up unsaturated, voiding the CS-1 certificate — the scaling
         driver detects that via the duality gap and falls back to a cold
         run.
         """
@@ -305,6 +336,11 @@ class AuctionSolver:
     ) -> ScheduleResult:
         n = problem.n_requests
         stats = SolverStats()
+        if isinstance(initial_prices, tuple):
+            ids, vals = initial_prices
+            initial_prices = dict(
+                zip(np.asarray(ids).tolist(), np.asarray(vals).tolist())
+            )
         initial_prices = initial_prices or {}
         lam: Dict[int, float] = {
             u: max(0.0, float(initial_prices.get(u, 0.0))) for u in problem.uploaders()
@@ -426,9 +462,25 @@ class AuctionSolver:
 
     @staticmethod
     def _initial_lam(
-        uploaders: np.ndarray, initial_prices: Optional[Dict[int, float]]
+        uploaders: np.ndarray, initial_prices
     ) -> np.ndarray:
-        """Warm-start price vector aligned with ``uploaders``, clamped ≥ 0."""
+        """Warm-start price vector aligned with ``uploaders``, clamped ≥ 0.
+
+        ``initial_prices`` is either a ``{uploader id: λ}`` dict or an
+        ``(ids, values)`` array pair (the form
+        :meth:`~repro.core.result.ScheduleResult.price_arrays` returns).
+        When the id column matches ``uploaders`` exactly — the common
+        warm-started re-bid, where the uploader set is stable across
+        rounds — the vector is adopted without any per-uploader Python
+        work.
+        """
+        if isinstance(initial_prices, tuple):
+            ids, vals = initial_prices
+            ids = np.asarray(ids, dtype=np.int64)
+            vals = np.asarray(vals, dtype=float)
+            if np.array_equal(ids, uploaders):
+                return np.maximum(vals, 0.0)
+            initial_prices = dict(zip(ids.tolist(), vals.tolist()))
         if not initial_prices:
             return np.zeros(len(uploaders), dtype=float)
         return np.fromiter(
@@ -436,6 +488,27 @@ class AuctionSolver:
             dtype=float,
             count=len(uploaders),
         )
+
+    @staticmethod
+    def _concat_ranges(
+        starts: np.ndarray, lens: np.ndarray, iota: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Concatenation of ``[starts[i], starts[i]+lens[i])`` ranges.
+
+        The flat-gather primitive of the frontier solver: one cumsum +
+        repeat instead of a Python loop over slices.  ``iota`` is an
+        optional pre-built ``arange`` (at least total long) so the hot
+        path skips that per-round allocation.
+        """
+        offsets = np.zeros(len(lens) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        total = int(offsets[-1])
+        idx = np.repeat(starts - offsets[:-1], lens)
+        if iota is None:
+            idx += np.arange(total, dtype=np.int64)
+        else:
+            idx += iota[:total]
+        return idx
 
     # ------------------------------------------------------------------
     # Jacobi: synchronized rounds, vectorized (paper-scale instances)
@@ -445,11 +518,34 @@ class AuctionSolver:
         problem: SchedulingProblem,
         initial_prices: Optional[Dict[int, float]] = None,
     ) -> ScheduleResult:
-        """CSR-vectorized jacobi rounds: O(pending edges) per round.
+        """Event-driven (price-frontier) jacobi rounds over the CSR view.
 
         Produces exactly the assignment of :meth:`_solve_jacobi_dense`
-        (same bid order, same tie-breaks) without materializing the
-        padded ``(R, K_max)`` matrices.
+        (same bid order, same tie-breaks, same stats) without
+        materializing the padded ``(R, K_max)`` matrices — and, unlike
+        the dense reference, without re-scanning every pending edge
+        every round.  The key observation is classic auction-algorithm
+        practice: a request's best/second-best surplus (and hence its
+        bid) can only change when one of *its own* candidate uploaders
+        reprices, or when the request itself is evicted.  So the solver
+
+        * keeps a per-row ``phi1`` (best-surplus) column cached from
+          each row's last evaluation — the η duals read it directly,
+        * maintains a ``dirty`` frontier seeded with every row and, after
+          each round, re-armed only for rows incident to uploaders whose
+          ``λ`` rose (via the problem's reverse uploader→rows CSR index)
+          plus rows evicted by the contested-segment replay,
+        * evaluates only dirty pending rows each round: a clean pending
+          row is provably dormant (its last bid was ``≤ λ`` at prices
+          that have not moved), so the dense reference would re-compute
+          the identical non-submitting bid for it.
+
+        Rounds therefore cost O(edges incident to last round's price
+        changes), not O(pending edges); bulk rounds (the first, or a
+        warm re-bid wave touching most rows) run over the full CSR with
+        no sub-gather at all.  The final ``η`` duals come straight from
+        the ``phi1`` cache after a last sync of still-dirty rows — no
+        extra full-edge pass.
         """
         csr = problem.csr()
         n = csr.n_requests
@@ -462,7 +558,8 @@ class AuctionSolver:
         uidx = csr.uploader_index
         values = csr.values
         capacity = csr.capacity
-        if csr.n_edges and (capacity == 0).any():
+        n_edges = csr.n_edges
+        if n_edges and (capacity == 0).any():
             # Mask out uploaders with no capacity.
             values = values.copy()
             values[capacity[uidx] == 0] = -np.inf
@@ -479,54 +576,171 @@ class AuctionSolver:
         seq_of = np.zeros(n, dtype=np.int64)
         next_seq = np.zeros(n_uploaders, dtype=np.int64)
         load = np.zeros(n_uploaders, dtype=np.int64)
-        # Rows with no edge, or only zero-capacity candidates, can never bid.
-        retired = ~np.isfinite(_segment_max(values, indptr))
+        # Per-row best-surplus cache (read by the η epilogue; phi2 and
+        # the best edge are only needed within a round and recomputed on
+        # each evaluation).  When nothing is masked and no row is empty
+        # the up-front retirement scan is skipped entirely — the first
+        # (bulk) round writes every phi1 before anything reads it.
+        # Otherwise the λ=0 segment maxima
+        # double as the retirement scan (rows with no edge, or only
+        # zero-capacity candidates, can never bid) and are already final
+        # for those rows: every usable edge is -inf there.
+        no_empty = bool(counts.min(initial=1) > 0)
+        if values is csr.values and no_empty:
+            phi1_of = np.empty(n, dtype=float)
+            retired = np.zeros(n, dtype=bool)
+            dirty = np.ones(n, dtype=bool)
+        else:
+            phi1_of = _segment_max(values, indptr)
+            retired = ~np.isfinite(phi1_of)
+            # The frontier: rows whose cached surplus may be stale.
+            # Rows retired up front stay clean forever — their
+            # candidates never reprice (zero capacity ⇒ no bids ⇒ no
+            # λ updates).
+            dirty = ~retired
+        rev_indptr, rev_rows = csr.uploader_rows()
+        nonempty = nonempty_starts = None  # built lazily (masked problems)
+        # Round-persistent scratch (sized once, reused every round) so
+        # the sub-CSR gather never re-allocates edge-sized temporaries.
+        iota_e = np.arange(n_edges, dtype=np.int64)
+        phi_buf = np.empty(n_edges, dtype=float)
+        lam_e_buf = np.empty(n_edges, dtype=float)
+        edge_u_buf = np.empty(n_edges, dtype=np.int64)
+        sub_indptr_buf = np.empty(n + 1, dtype=np.int64)
 
         for round_no in range(1, self.max_rounds + 1):
             pending = (assigned_to < 0) & ~retired
             if not pending.any():
                 break
-            rows = np.nonzero(pending)[0]
-            # Gather the pending rows' edges into a compact sub-CSR.
-            starts = indptr[rows]
-            lens = counts[rows]
-            sub_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
-            np.cumsum(lens, out=sub_indptr[1:])
-            total = int(sub_indptr[-1])
-            eidx = np.arange(total, dtype=np.int64) + np.repeat(
-                starts - sub_indptr[:-1], lens
-            )
-            phi = values[eidx] - lam[uidx[eidx]]
-            # Pending rows are never empty (empty rows were retired up
-            # front), so plain reduceat is safe here.
-            phi1 = np.maximum.reduceat(phi, sub_indptr[:-1])
+            rows = np.nonzero(dirty & pending)[0]
+            if not len(rows):
+                # Every pending row is clean ⇒ dormant at prices that
+                # have not moved since its last evaluation; the dense
+                # reference would re-bid them all and submit nothing.
+                break
+            dirty[rows] = False
+            full_best2 = False
+            if 2 * len(rows) >= n:
+                # Bulk round (the first, or a warm re-bid wave): the
+                # best-surplus pass runs over the full CSR with no
+                # gather, refreshing the whole phi1 cache at the current
+                # prices.
+                if lam.any():
+                    np.take(lam, uidx, out=lam_e_buf)
+                    phi = np.subtract(values, lam_e_buf, out=phi_buf)
+                else:
+                    # Cold round: φ ≡ the (masked) values; read them
+                    # directly and copy only if the knockout pass below
+                    # needs to mutate the full-CSR φ.
+                    phi = values
+                if no_empty:
+                    phi1_of[:] = np.maximum.reduceat(phi, indptr[:-1])
+                else:
+                    phi1_of[:] = _segment_max(phi, indptr)
+                phi1 = phi1_of[rows]
+                newly_retired = phi1 <= 0.0
+                retired[rows[newly_retired]] = True
+                live = ~newly_retired
+                if not live.any():
+                    continue
+                rows = rows[live]
+                phi1 = phi1[live]
+                live_edges = int(counts[rows].sum())
+                full_best2 = 2 * live_edges >= n_edges
+                if full_best2:
+                    # Live bidders hold most edges: the best-edge /
+                    # second-best pass is cheaper over the full CSR than
+                    # through a gather.
+                    if phi is values:
+                        np.copyto(phi_buf, values)
+                        phi = phi_buf
+                    is_best = phi >= np.repeat(phi1_of, counts)
+                    if no_empty:
+                        loc_star_all = np.minimum.reduceat(
+                            np.where(is_best, iota_e, n_edges), indptr[:-1]
+                        )
+                        e_star = loc_star_all[rows]
+                        phi[loc_star_all] = -np.inf
+                        phi2 = np.maximum.reduceat(phi, indptr[:-1])[rows]
+                    else:
+                        if nonempty_starts is None:
+                            nonempty = counts > 0
+                            nonempty_starts = indptr[:-1][nonempty]
+                        loc_star_ne = np.minimum.reduceat(
+                            np.where(is_best, iota_e, n_edges), nonempty_starts
+                        )
+                        e_star_all = np.zeros(n, dtype=np.int64)
+                        e_star_all[nonempty] = loc_star_ne
+                        e_star = e_star_all[rows]
+                        phi[loc_star_ne] = -np.inf
+                        phi2 = _segment_max(phi, indptr)[rows]
+                else:
+                    starts = indptr[rows]
+                    lens = counts[rows]
+                    sub_indptr = sub_indptr_buf[: len(rows) + 1]
+                    sub_indptr[0] = 0
+                    np.cumsum(lens, out=sub_indptr[1:])
+                    total = int(sub_indptr[-1])
+                    eidx = self._concat_ranges(starts, lens, iota_e)
+                    # lam_e_buf is dead after the subtract; reuse it for
+                    # the live rows' phi gather.
+                    phi_sub = np.take(phi, eidx, out=lam_e_buf[:total])
+            else:
+                # Frontier round: gather only the dirty pending rows'
+                # edges into a compact sub-CSR over the scratch buffers.
+                starts = indptr[rows]
+                lens = counts[rows]
+                sub_indptr = sub_indptr_buf[: len(rows) + 1]
+                sub_indptr[0] = 0
+                np.cumsum(lens, out=sub_indptr[1:])
+                total = int(sub_indptr[-1])
+                eidx = self._concat_ranges(starts, lens, iota_e)
+                phi_sub = np.take(values, eidx, out=phi_buf[:total])
+                eu = np.take(uidx, eidx, out=edge_u_buf[:total])
+                np.take(lam, eu, out=lam_e_buf[:total])
+                phi_sub -= lam_e_buf[:total]
+                # Pending rows are never empty (empty rows were retired
+                # up front), so plain reduceat is safe here.
+                phi1 = np.maximum.reduceat(phi_sub, sub_indptr[:-1])
+                phi1_of[rows] = phi1
+                newly_retired = phi1 <= 0.0
+                retired[rows[newly_retired]] = True
+                live = ~newly_retired
+                if not live.any():
+                    continue
+                if not live.all():
+                    # Re-gather the live subset so the best-edge pass
+                    # below sees one contiguous sub-CSR in either path.
+                    rows = rows[live]
+                    phi1 = phi1[live]
+                    starts = indptr[rows]
+                    lens = counts[rows]
+                    sub_indptr = sub_indptr_buf[: len(rows) + 1]
+                    sub_indptr[0] = 0
+                    np.cumsum(lens, out=sub_indptr[1:])
+                    total = int(sub_indptr[-1])
+                    eidx = self._concat_ranges(starts, lens, iota_e)
+                    phi_sub = np.take(values, eidx, out=phi_buf[:total])
+                    eu = np.take(uidx, eidx, out=edge_u_buf[:total])
+                    np.take(lam, eu, out=lam_e_buf[:total])
+                    phi_sub -= lam_e_buf[:total]
 
-            newly_retired = phi1 <= 0.0
-            retired[rows[newly_retired]] = True
-            live = ~newly_retired
-            if not live.any():
-                continue
-            # First maximal edge per row (same tie-break as dense argmax).
-            loc = np.arange(total, dtype=np.int64)
-            is_best = phi >= np.repeat(phi1, lens)
-            loc_star = np.minimum.reduceat(
-                np.where(is_best, loc, total), sub_indptr[:-1]
-            )
-            # phi1/phi2 are the only reads of phi; it is dead from here
-            # on, so the second-best scan reuses its buffer in place
-            # instead of copying.  Invariant: nothing reads phi below.
-            phi_wo_best = phi
-            phi_wo_best[loc_star] = -np.inf
-            del phi
-            phi2 = np.maximum.reduceat(phi_wo_best, sub_indptr[:-1])
-
-            rows = rows[live]
-            phi1 = phi1[live]
-            e_star = eidx[loc_star[live]]
+            if not full_best2:
+                # First maximal edge per live row (same tie-break as the
+                # dense argmax), then knock it out in place for phi2 —
+                # the sub-buffer is dead after these two reductions.
+                is_best = phi_sub >= np.repeat(phi1, lens)
+                loc_star = np.minimum.reduceat(
+                    np.where(is_best, iota_e[:total], total), sub_indptr[:-1]
+                )
+                e_star = eidx[loc_star]
+                phi_sub[loc_star] = -np.inf
+                phi2 = np.maximum.reduceat(phi_sub, sub_indptr[:-1])
             target = uidx[e_star]
-            outside = np.maximum(phi2[live], 0.0)
-            bids = lam[target] + phi1 - outside + self.epsilon
-            submit = bids > lam[target]
+            outside = np.maximum(phi2, 0.0)
+            lam_t = lam[target]
+            bids = lam_t + phi1 - outside + self.epsilon
+            submit = bids > lam_t
             if not submit.any():
                 break  # all remaining bidders dormant (ε = 0 ties)
             rows = rows[submit]
@@ -540,12 +754,13 @@ class AuctionSolver:
             # with previously accepted members (the overwhelmingly
             # common case), replaying the exact heap walk only for the
             # contested auctioneers.
-            order = np.lexsort((-bids, target))
+            order = _order_bids(bids, target, n_uploaders)
             rows, bids, target = rows[order], bids[order], target[order]
             boundaries = np.nonzero(np.diff(target))[0] + 1
             seg_starts = np.concatenate(([0], boundaries))
             seg_len = np.diff(np.concatenate((seg_starts, [len(target)])))
             seg_u = target[seg_starts]
+            lam_seg_before = lam[seg_u]
             m = load[seg_u]
             cap = capacity[seg_u]
             # A segment can evict an *existing* member only when the
@@ -588,6 +803,8 @@ class AuctionSolver:
                         lam[seg_u[upd]] = new_price[upd]
                         stats.price_updates += int(upd.sum())
                         if self.on_price_update is not None:
+                            # Callback fast path: only a tracing run pays
+                            # for the index materialization + Python loop.
                             for i in np.nonzero(upd)[0].tolist():
                                 self.on_price_update(
                                     round_no,
@@ -598,8 +815,19 @@ class AuctionSolver:
                 self._commit_segments_mixed(
                     rows, bids, target, seg_starts, seg_len, seg_u, contested,
                     assigned_to, bid_of, seq_of, next_seq, load, lam, capacity,
-                    stats, round_no, csr.uploaders,
+                    stats, round_no, csr.uploaders, dirty,
                 )
+            # Frontier propagation: every request incident to an
+            # uploader that repriced this round re-evaluates next round
+            # (this includes every bidder rejected above — a rejection
+            # always coincides with its target's λ rising).
+            repriced = seg_u[lam[seg_u] > lam_seg_before]
+            if len(repriced):
+                hit = self._concat_ranges(
+                    rev_indptr[repriced],
+                    rev_indptr[repriced + 1] - rev_indptr[repriced],
+                )
+                dirty[rev_rows[hit]] = True
             if self.trace is not None:
                 self.trace.record(
                     round_no,
@@ -611,11 +839,31 @@ class AuctionSolver:
                 f"{(assigned_to >= 0).sum()}/{n} assigned, epsilon={self.epsilon}"
             )
 
+        # η epilogue off the phi1 cache: rows whose candidates repriced
+        # after their last evaluation get one final sync at the final
+        # prices; every clean row's cache already equals the final
+        # surplus, so no full-edge _etas_array pass is needed.
+        sync = np.nonzero(dirty)[0]
+        if len(sync):
+            starts = indptr[sync]
+            lens = counts[sync]
+            sub_indptr = sub_indptr_buf[: len(sync) + 1]
+            sub_indptr[0] = 0
+            np.cumsum(lens, out=sub_indptr[1:])
+            total = int(sub_indptr[-1])
+            eidx = self._concat_ranges(starts, lens, iota_e)
+            phi = np.take(values, eidx, out=phi_buf[:total])
+            eu = np.take(uidx, eidx, out=edge_u_buf[:total])
+            np.take(lam, eu, out=lam_e_buf[:total])
+            phi -= lam_e_buf[:total]
+            # Dirty rows always hold at least one edge (only repriced
+            # uploaders and evictions mark rows, both require edges).
+            phi1_of[sync] = np.maximum.reduceat(phi, sub_indptr[:-1])
         return ScheduleResult.from_arrays(
             assigned_to,
             csr.uploaders,
             lam,
-            etas=self._etas_array(problem, lam),
+            etas=np.maximum(phi1_of, 0.0),
             stats=stats,
         )
 
@@ -664,6 +912,7 @@ class AuctionSolver:
         stats: SolverStats,
         round_no: int,
         uploader_ids: np.ndarray,
+        dirty: Optional[np.ndarray] = None,
     ) -> None:
         """Per-segment commit for a round with at least one contested batch.
 
@@ -671,6 +920,9 @@ class AuctionSolver:
         all-vectorized path (scalarized per segment); contested segments
         replay the reference heap walk over ``(bid, seq)`` so evictions
         and tie-breaks stay bit-for-bit identical to ``jacobi-dense``.
+        ``dirty`` is the frontier solver's re-evaluation mask: every
+        evicted request is marked so it re-bids next round even when the
+        eviction did not move the auctioneer's price (a min-bid tie).
         """
         # One batched member-min pass covers every uncontested segment
         # that will fill up: an uploader's member set is only modified
@@ -733,6 +985,8 @@ class AuctionSolver:
                     _, _, evicted = heapq.heappop(heap)
                     assigned_to[evicted] = -1
                     stats.evictions += 1
+                    if dirty is not None:
+                        dirty[evicted] = True
                 seq = int(next_seq[u])
                 next_seq[u] += 1
                 heapq.heappush(heap, (b, seq, r))

@@ -51,6 +51,9 @@ class AuctionScheduler:
     """The paper's primal-dual auction as a :class:`ChunkScheduler`."""
 
     name = "auction"
+    #: The slot pipeline may pass ``initial_prices`` (warm-started
+    #: re-bids); schedulers without this attribute are always run cold.
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -62,11 +65,19 @@ class AuctionScheduler:
         self.mode = mode
         self.solver_kwargs = solver_kwargs
 
-    def schedule(self, problem: SchedulingProblem) -> ScheduleResult:
+    def schedule(
+        self, problem: SchedulingProblem, initial_prices=None
+    ) -> ScheduleResult:
+        """Solve one slot; ``initial_prices`` warm-starts ``λ``.
+
+        ``initial_prices`` takes either price form accepted by
+        :meth:`AuctionSolver.solve` — a dict or an ``(ids, values)``
+        pair (:meth:`~repro.core.result.ScheduleResult.price_arrays`).
+        """
         solver = AuctionSolver(
             epsilon=self.epsilon, mode=self.mode, **self.solver_kwargs
         )
-        return solver.solve(problem)
+        return solver.solve(problem, initial_prices=initial_prices)
 
 
 class DistributedAuctionScheduler:

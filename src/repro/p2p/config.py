@@ -89,6 +89,16 @@ class SystemConfig:
     # matches the Hungarian optimum exactly (tests assert this).
     scheduler: str = "auction"
     epsilon: float = 0.01
+    # Warm-started prices: feed each bid round's final λ into the next
+    # round's auction (the paper's peers "keep bidding" against posted
+    # prices, and price continuity across re-bids is what game-based
+    # ISP-friendly control exploits).  Off by default: a warm start can
+    # leave a positive λ on an unsaturated uploader, voiding the CS-1
+    # certificate, and all archived experiment outputs were produced
+    # cold.  ``warm_start_across_slots`` additionally carries the last
+    # round's λ over the slot boundary into the next slot's first round.
+    warm_start_prices: bool = False
+    warm_start_across_slots: bool = False
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -131,6 +141,10 @@ class SystemConfig:
             raise ValueError("upload multiple range is inverted")
         if self.bid_rounds_per_slot < 1:
             raise ValueError("bid_rounds_per_slot must be >= 1")
+        if self.warm_start_across_slots and not self.warm_start_prices:
+            raise ValueError(
+                "warm_start_across_slots requires warm_start_prices"
+            )
 
     # ------------------------------------------------------------------
     # Presets

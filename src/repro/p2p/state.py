@@ -53,7 +53,7 @@ so a window starting at any playback position stays in bounds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -282,6 +282,8 @@ class PeerStateStore:
         self._order_ids = np.zeros(cap, dtype=np.int64)
         self._order_caps = np.zeros(cap, dtype=np.int64)
         self._order_isps = np.zeros(cap, dtype=np.int64)
+        self._order_departure = np.full(cap, np.inf, dtype=float)
+        self._order_seed = np.zeros(cap, dtype=bool)
         self._n = 0
         self._ids_monotone = True
         # Peer-id-indexed ISP lookup (−1 = offline).
@@ -293,7 +295,13 @@ class PeerStateStore:
     # ------------------------------------------------------------------
     # Membership hooks
     # ------------------------------------------------------------------
-    def admit(self, peer: Peer) -> None:
+    _ORDER_COLUMNS = (
+        "_order_ids", "_order_caps", "_order_isps",
+        "_order_departure", "_order_seed",
+    )
+
+    def _ensure_group(self, peer: Peer) -> VideoGroup:
+        """The peer's :class:`VideoGroup`, creating group/bucket on demand."""
         vid = peer.video.video_id
         group = self.groups.get(vid)
         if group is None:
@@ -304,16 +312,17 @@ class PeerStateStore:
                 self.buckets[n_chunks] = bucket
             group = VideoGroup(peer.video, bucket)
             self.groups[vid] = group
-        row = group.admit(peer)
-        peer.state_group = group
-        peer.state_row = row
+        return group
+
+    def _append_order(self, peer: Peer) -> None:
+        """Append one peer to the dict-order columns and id-indexed tables."""
         if peer.is_seed:
             self.seed_ids.add(peer.peer_id)
         n = self._n
         if n >= len(self._order_ids):
-            for name in ("_order_ids", "_order_caps", "_order_isps"):
+            for name in self._ORDER_COLUMNS:
                 old = getattr(self, name)
-                new = np.zeros(len(old) * 2, dtype=np.int64)
+                new = np.zeros(len(old) * 2, dtype=old.dtype)
                 new[:n] = old[:n]
                 setattr(self, name, new)
         if n and peer.peer_id <= self._order_ids[n - 1]:
@@ -321,6 +330,10 @@ class PeerStateStore:
         self._order_ids[n] = peer.peer_id
         self._order_caps[n] = peer.upload_capacity_chunks
         self._order_isps[n] = peer.isp
+        self._order_departure[n] = (
+            np.inf if peer.departure_time is None else peer.departure_time
+        )
+        self._order_seed[n] = peer.is_seed
         self._n = n + 1
         if peer.peer_id >= len(self._isp_table):
             new_size = max(len(self._isp_table) * 2, peer.peer_id + 1)
@@ -328,7 +341,47 @@ class PeerStateStore:
             table[: len(self._isp_table)] = self._isp_table
             self._isp_table = table
         self._isp_table[peer.peer_id] = peer.isp
+
+    def admit(self, peer: Peer) -> None:
+        group = self._ensure_group(peer)
+        row = group.admit(peer)
+        peer.state_group = group
+        peer.state_row = row
+        self._append_order(peer)
         self.membership_version += 1
+
+    def admit_batch(self, peers: Sequence[Peer]) -> None:
+        """Admit many peers at once (batched :meth:`admit`).
+
+        Final store state is identical to admitting the peers one by one
+        in order, but each touched video's sorted member table is merged
+        once instead of paying one ``np.insert`` rebuild per peer — the
+        arrival-burst path of the churn slot boundary.
+        """
+        if not peers:
+            return
+        per_group: Dict[int, Tuple[List[int], List[int]]] = {}
+        for peer in peers:
+            group = self._ensure_group(peer)
+            row = group.bucket.admit_row(peer)
+            group.row_of[peer.peer_id] = row
+            peer.state_group = group
+            peer.state_row = row
+            ids, rows = per_group.setdefault(peer.video.video_id, ([], []))
+            ids.append(peer.peer_id)
+            rows.append(row)
+            self._append_order(peer)
+        for vid, (id_list, row_list) in per_group.items():
+            group = self.groups[vid]
+            add_ids = np.asarray(id_list, dtype=np.int64)
+            add_rows = np.asarray(row_list, dtype=np.int64)
+            order = np.argsort(add_ids, kind="stable")  # ids are unique
+            add_ids, add_rows = add_ids[order], add_rows[order]
+            at = np.searchsorted(group.member_ids, add_ids)
+            group.member_ids = np.insert(group.member_ids, at, add_ids)
+            group.member_rows = np.insert(group.member_rows, at, add_rows)
+            group._watchers_stale = True
+        self.membership_version += len(peers)
 
     def remove(self, peer: Peer) -> None:
         group = peer.state_group
@@ -339,7 +392,7 @@ class PeerStateStore:
         peer.state_row = None
         self.seed_ids.discard(peer.peer_id)
         idx = int(np.nonzero(self._order_ids[: self._n] == peer.peer_id)[0][0])
-        for name in ("_order_ids", "_order_caps", "_order_isps"):
+        for name in self._ORDER_COLUMNS:
             arr = getattr(self, name)
             arr[idx : self._n - 1] = arr[idx + 1 : self._n]
         self._n -= 1
@@ -347,6 +400,51 @@ class PeerStateStore:
         if self._cand.pop(peer.peer_id, None) is not None:
             self.candidate_epoch += 1
         self.membership_version += 1
+
+    def remove_batch(self, peers: Sequence[Peer]) -> None:
+        """Remove many peers at once (batched :meth:`remove`).
+
+        One mask compaction over the order columns and one per touched
+        member table, instead of an O(online) shift per departure — the
+        departure path of the churn slot boundary.
+        """
+        if not peers:
+            return
+        per_group: Dict[int, List[Peer]] = {}
+        for peer in peers:
+            if peer.state_group is None:
+                raise KeyError(f"peer {peer.peer_id} is not in the store")
+            per_group.setdefault(peer.video.video_id, []).append(peer)
+        for vid, members in per_group.items():
+            group = self.groups[vid]
+            for peer in members:
+                row = group.row_of.pop(peer.peer_id)
+                group.bucket.release_row(peer, row)
+                peer.state_group = None
+                peer.state_row = None
+            gone = np.fromiter(
+                (p.peer_id for p in members), dtype=np.int64, count=len(members)
+            )
+            keep = ~np.isin(group.member_ids, gone)
+            group.member_ids = group.member_ids[keep]
+            group.member_rows = group.member_rows[keep]
+            group._watchers_stale = True
+        ids = np.fromiter(
+            (p.peer_id for p in peers), dtype=np.int64, count=len(peers)
+        )
+        n = self._n
+        keep_order = ~np.isin(self._order_ids[:n], ids)
+        kept = int(keep_order.sum())
+        for name in self._ORDER_COLUMNS:
+            arr = getattr(self, name)
+            arr[:kept] = arr[:n][keep_order]
+        self._n = kept
+        self._isp_table[ids] = -1
+        for peer in peers:
+            self.seed_ids.discard(peer.peer_id)
+            if self._cand.pop(peer.peer_id, None) is not None:
+                self.candidate_epoch += 1
+        self.membership_version += len(peers)
 
     # ------------------------------------------------------------------
     # Columns
@@ -358,6 +456,38 @@ class PeerStateStore:
     def isp_table(self) -> np.ndarray:
         """Peer-id-indexed ISP lookup table (−1 = offline; do not mutate)."""
         return self._isp_table
+
+    def departure_scan(self, t: float, remove_finished: bool) -> List[int]:
+        """Non-seed peers due to leave at slot boundary ``t``, dict order.
+
+        One mask over the departure-time column (``inf`` = stays), plus
+        — when ``remove_finished`` — a per-bucket finished check on the
+        synced playback positions.  Matches the reference loop over
+        ``peers.values()`` (``departure_time <= t`` or
+        ``session.finished``) including its dict iteration order, which
+        the batched removal preserves.
+        """
+        n = self._n
+        if not n:
+            return []
+        ids = self._order_ids[:n]
+        doomed = (self._order_departure[:n] <= t) & ~self._order_seed[:n]
+        if remove_finished:
+            for bucket in self.buckets.values():
+                self._sync_bucket(bucket)
+            finished: List[np.ndarray] = []
+            for group in self.groups.values():
+                rows, g_ids = group.watcher_arrays()
+                if not len(rows):
+                    continue
+                done = group.bucket.position[rows] >= group.n_chunks
+                if done.any():
+                    finished.append(g_ids[done])
+            if finished:
+                doomed |= np.isin(ids, np.concatenate(finished))
+        if not doomed.any():
+            return []
+        return ids[doomed].tolist()
 
     # ------------------------------------------------------------------
     # Candidate tables
@@ -873,3 +1003,24 @@ class PeerStateStore:
             count=self._n,
         )
         assert np.array_equal(caps, expect), "capacity column drifted"
+        seed_col = self._order_seed[: self._n]
+        expect_seed = np.fromiter(
+            (peers[pid].is_seed for pid in order_ids),
+            dtype=bool,
+            count=self._n,
+        )
+        assert np.array_equal(seed_col, expect_seed), "seed column drifted"
+        departures = self._order_departure[: self._n]
+        expect_dep = np.fromiter(
+            (
+                np.inf
+                if peers[pid].departure_time is None
+                else peers[pid].departure_time
+                for pid in order_ids
+            ),
+            dtype=float,
+            count=self._n,
+        )
+        assert np.array_equal(departures, expect_dep), (
+            "departure column drifted"
+        )

@@ -136,6 +136,9 @@ class P2PSystem:
         self._ids = itertools.count(1)
         self.now = 0.0
         self.slot_index = 0
+        # Final λ of the last warm-started bid round, carried across the
+        # slot boundary when ``warm_start_across_slots`` is on.
+        self._carry_prices = None
         self._pending_arrivals: List[ArrivalPlan] = []
         self._next_arrival_time: Optional[float] = None
         self.departures = 0
@@ -193,8 +196,15 @@ class P2PSystem:
         start_time: Optional[float] = None,
         departure_time: Optional[float] = None,
         prefill_history: bool = False,
+        defer_store: bool = False,
     ) -> Peer:
-        """Create, register and wire a watching peer; returns it."""
+        """Create, register and wire a watching peer; returns it.
+
+        ``defer_store=True`` skips the peer-state-store registration —
+        the caller takes responsibility for a subsequent
+        :meth:`PeerStateStore.admit_batch` covering the peer (the
+        arrival-burst path).
+        """
         video = self.catalog[video_id]
         buffer = ChunkBuffer(video)
         if prefill_history and start_position > 0:
@@ -215,10 +225,10 @@ class P2PSystem:
             joined_at=self.now,
             departure_time=departure_time,
         )
-        self._admit(peer)
+        self._admit(peer, defer_store=defer_store)
         return peer
 
-    def _admit(self, peer: Peer) -> None:
+    def _admit(self, peer: Peer, defer_store: bool = False) -> None:
         # Seeds come with a fixed ISP (the paper places 2 per ISP per
         # video); watchers (isp < 0) go to the least-populated ISP,
         # realizing "distributed in the 5 ISPs evenly".
@@ -230,7 +240,8 @@ class P2PSystem:
         self.tracker.register(peer)
         self.overlay.bootstrap(peer.peer_id, candidates)
         self.peers[peer.peer_id] = peer
-        self.store.admit(peer)
+        if not defer_store:
+            self.store.admit(peer)
 
     def remove_peer(self, peer_id: int) -> None:
         """Depart a peer: drop from overlay, tracker, topology and store."""
@@ -275,6 +286,13 @@ class P2PSystem:
         re-bid rounds: each round re-evaluates the window with refreshed
         deadlines (urgency grows, as in the paper's within-slot bidding)
         and gives every uploader a 1/R share of its slot bandwidth.
+
+        With ``config.warm_start_prices`` each re-bid round's auction is
+        warm-started from the previous round's final λ (the paper's
+        peers bid against *posted* prices, which persist between
+        rounds); ``config.warm_start_across_slots`` additionally carries
+        λ over the slot boundary.  Both default off, reproducing the
+        cold-start trajectories of every archived experiment.
         """
         t = self.now
         slot = self.config.slot_seconds
@@ -295,6 +313,10 @@ class P2PSystem:
         # the whole slot; the per-round share array is passed straight
         # to build_problem — no per-peer budget dict.
         _, slot_caps = self._capacity_arrays()
+        warm = self.config.warm_start_prices and getattr(
+            self.scheduler, "supports_warm_start", False
+        )
+        prices = self._carry_prices if warm else None
         for r in range(rounds):
             now_r = t + r * slot / rounds
             shares = (
@@ -303,7 +325,11 @@ class P2PSystem:
                 else slot_caps * (r + 1) // rounds - slot_caps * r // rounds
             )
             problem, _ = self.build_problem(now_r, capacity_array=shares)
-            result = self.scheduler.schedule(problem)
+            if warm:
+                result = self.scheduler.schedule(problem, initial_prices=prices)
+                prices = result.price_arrays()
+            else:
+                result = self.scheduler.schedule(problem)
             welfare += result.welfare(problem)
             round_inter, round_intra = self._apply_transfers(problem, result)
             inter += round_inter
@@ -328,6 +354,9 @@ class P2PSystem:
             auction_rounds=sched_rounds,
         )
         self.collector.record(metrics)
+        self._carry_prices = (
+            prices if warm and self.config.warm_start_across_slots else None
+        )
         self.now = t + slot
         self.slot_index += 1
         return metrics
@@ -353,22 +382,53 @@ class P2PSystem:
             self._next_arrival_time += self.churn.next_interarrival()
 
     def _admit_arrivals(self, t: float) -> None:
-        """Admit peers that arrived before ``t`` (paper: delayed to slot start)."""
+        """Admit peers that arrived before ``t`` (paper: delayed to slot start).
+
+        Tracker/overlay wiring stays per-peer (the bootstrap RNG must be
+        consumed in arrival order), but the store registration of the
+        whole burst is one :meth:`PeerStateStore.admit_batch` call.
+        """
         ready = [p for p in self._pending_arrivals if p.time < t]
         self._pending_arrivals = [p for p in self._pending_arrivals if p.time >= t]
         startup = self.config.startup_delay_slots * self.config.slot_seconds
+        batch: List[Peer] = []
         for plan in ready:
             departure = plan.departure_time
-            self.add_watching_peer(
-                video_id=plan.video_id,
-                upload_multiple=plan.upload_multiple,
-                start_position=0,
-                start_time=t + startup,
-                departure_time=departure,
+            batch.append(
+                self.add_watching_peer(
+                    video_id=plan.video_id,
+                    upload_multiple=plan.upload_multiple,
+                    start_position=0,
+                    start_time=t + startup,
+                    departure_time=departure,
+                    defer_store=True,
+                )
             )
             self.arrivals += 1
+        self.store.admit_batch(batch)
 
     def _process_departures(self, t: float, remove_finished: bool) -> None:
+        """Depart due/finished peers — columnar scan + batched removal.
+
+        The doomed set comes from one mask over the store's departure
+        and playback columns instead of a Python pass over every online
+        peer; :meth:`_process_departures_reference` keeps the per-peer
+        loop this is pinned against.
+        """
+        doomed = self.store.departure_scan(t, remove_finished)
+        if not doomed:
+            return
+        peers = [self.peers.pop(pid) for pid in doomed]
+        self.store.remove_batch(peers)
+        for peer in peers:
+            self.tracker.unregister(peer.peer_id)
+            self.overlay.remove_node(peer.peer_id)
+            self.topology.remove_peer(peer.peer_id)
+            self.costs.forget_peer(peer.peer_id)
+        self.departures += len(peers)
+
+    def _process_departures_reference(self, t: float, remove_finished: bool) -> None:
+        """Per-peer loop implementation of :meth:`_process_departures` (pin)."""
         doomed = []
         for peer in self.peers.values():
             if peer.is_seed:
@@ -386,21 +446,31 @@ class P2PSystem:
         The overlay's incrementally maintained deficient set makes the
         common static case O(1): when no non-seed peer is below target,
         the whole pass (and its per-peer tracker queries) is skipped.
-        When someone is, the scan runs in peer-dict order exactly as
-        before, so the tracker's ranking RNG is consumed identically.
+        When someone is, only the deficient peers are visited — ordered
+        by one mask over the store's dict-order id column, so the
+        tracker's ranking RNG is consumed exactly as the historical
+        full-dict walk did.
         """
         deficient = self.overlay.deficient_nodes()
-        if not (deficient - self.store.seed_ids):
+        needy = deficient - self.store.seed_ids
+        if not needy:
             return
-        for peer in self.peers.values():
-            if peer.is_seed or peer.peer_id not in deficient:
+        ids, _ = self._capacity_arrays()
+        needy_arr = np.fromiter(needy, dtype=np.int64, count=len(needy))
+        for pid in ids[np.isin(ids, needy_arr)].tolist():
+            if pid not in deficient:
+                # Refilled as a side effect of an earlier bootstrap in
+                # this very pass (links are undirected and `deficient`
+                # is the overlay's live set) — the historical full-dict
+                # walk skipped these, so the tracker RNG must too.
                 continue
+            peer = self.peers[pid]
             candidates = [
-                pid
-                for pid in self.tracker.bootstrap_candidates(peer)
-                if pid not in self.overlay.neighbors(peer.peer_id)
+                nb
+                for nb in self.tracker.bootstrap_candidates(peer)
+                if nb not in self.overlay.neighbors(pid)
             ]
-            self.overlay.bootstrap(peer.peer_id, candidates)
+            self.overlay.bootstrap(pid, candidates)
 
     # ------------------------------------------------------------------
     # Problem construction / transfer application
