@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all bench-xl
+.PHONY: test test-props bench bench-quick bench-all bench-xl scenarios scenarios-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,3 +26,14 @@ bench-all:
 # Written to its own JSON so `make bench`'s committed matrix is kept.
 bench-xl:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge --output BENCH_slot_pipeline_xl.json
+
+# Fast scenario-engine gate: every registered scenario runs a few tiny
+# slots end to end (tier-1 runs the same tests via `make test`).
+scenarios-smoke:
+	$(PYTHON) -m pytest tests/scenarios/test_smoke.py -q
+
+# Regenerate every catalog scenario's bench-scale report under results/.
+scenarios:
+	for name in $$($(PYTHON) -c "from repro.scenarios import scenario_names; print(' '.join(scenario_names()))"); do \
+		$(PYTHON) -m repro scenario run $$name || exit 1; \
+	done

@@ -55,6 +55,13 @@ from repro.core.auction import AuctionSolver  # noqa: E402
 from repro.core.problem import DenseView, SchedulingProblem  # noqa: E402
 from repro.p2p.config import SystemConfig  # noqa: E402
 from repro.p2p.system import P2PSystem  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    CostShock,
+    FlashCrowd,
+    ScenarioSpec,
+    apply_event,
+    compile_timeline,
+)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_slot_pipeline.json"
 EPSILON = 0.01  # the system config's default bidding increment
@@ -84,10 +91,41 @@ SCENARIOS: Dict[str, dict] = {
         n_peers=2000, slots=3, churn=False,
         overrides=dict(n_videos=60), gauss_seidel=False,
     ),
+    # Scenario rows: a scenario-engine timeline reshapes the workload
+    # *between* measured slots (events due by a boundary are applied
+    # there, as ScenarioRunner does), so the pipeline is timed on
+    # regime-change slots instead of steady state.  The spec below only
+    # contributes its compiled event trace; population/config come from
+    # the row, like every other bench scenario.
+    "flashcrowd-medium": dict(
+        n_peers=2000, slots=3, churn=False, overrides={},
+        gauss_seidel=False,
+        scenario_spec=ScenarioSpec(
+            name="bench-flash-crowd",
+            description="400-peer burst onto one title mid-measurement",
+            scale="bench",
+            events=(
+                FlashCrowd(
+                    time=15.0, n_peers=400, over_seconds=5.0, video_id=0
+                ),
+            ),
+        ),
+    ),
+    "priceshock-medium": dict(
+        n_peers=2000, slots=3, churn=False, overrides={},
+        gauss_seidel=False,
+        scenario_spec=ScenarioSpec(
+            name="bench-price-shock",
+            description="inter-ISP transit ×3 mid-measurement "
+            "(candidate-cost caches invalidated)",
+            scale="bench",
+            events=(CostShock(time=15.0, factor=3.0),),
+        ),
+    ),
 }
 DEFAULT_SCENARIOS = [
     "static-small", "static-medium", "churn-medium", "multivideo-medium",
-    "static-large",
+    "flashcrowd-medium", "priceshock-medium", "static-large",
 ]
 #: The 5k/10k tier (``make bench-xl``); static-large also runs in the
 #: default set so the committed JSON always carries a 5k-peer row.
@@ -368,6 +406,12 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
     system.run_slot(churn=churn, remove_finished=churn)
 
     reference = spec.get("reference", True)
+    scenario_spec = spec.get("scenario_spec")
+    timeline = (
+        compile_timeline(scenario_spec, seed) if scenario_spec is not None else []
+    )
+    next_event = 0
+    outage_caps: Dict[int, List[int]] = {}
     rows: List[dict] = []
     prev_prices = None
     for _ in range(n_slots):
@@ -376,6 +420,9 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             system._process_departures(t, remove_finished=True)
             system._admit_arrivals(t)
             system._collect_arrivals_during(t, t + system.config.slot_seconds)
+        while next_event < len(timeline) and timeline[next_event].time <= t:
+            apply_event(system, timeline[next_event], outage_caps)
+            next_event += 1
         system._refill_neighbors()
         budgets = {
             p.peer_id: p.upload_capacity_chunks for p in system.peers.values()

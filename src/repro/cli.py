@@ -7,11 +7,14 @@ Usage::
     python -m repro sweep-epsilon
     python -m repro solvers
     python -m repro shootout
+    python -m repro scenario list
+    python -m repro scenario run flash-crowd --seed 3
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -115,6 +118,55 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from .scenarios import build_scenario, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        spec = build_scenario(name, scale="bench")
+        rows.append(
+            [
+                name,
+                len(spec.events),
+                "yes" if spec.churn else "no",
+                spec.n_static_peers,
+                spec.description,
+            ]
+        )
+    print(render_table(
+        ["scenario", "event specs", "churn", "base peers", "description"], rows
+    ))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .scenarios import ScenarioRunner, build_scenario, load_scenario
+
+    if args.name.endswith((".yaml", ".yml", ".json")):
+        spec = load_scenario(args.name)
+        if args.scale is not None and args.scale != spec.scale:
+            # Rescale only — population, horizon and warm-up stay the
+            # spec file's own.
+            spec = dataclasses.replace(spec, scale=args.scale)
+            spec.validate()
+    else:
+        spec = build_scenario(args.name, scale=args.scale or "bench")
+    if args.duration is not None:
+        spec = spec.abridged(args.duration)
+    result = ScenarioRunner(spec, seed=args.seed).run()
+    report = result.render_report()
+    print(report)
+    if not args.no_save:
+        out = args.output or pathlib.Path("results") / f"scenario_{spec.name}.txt"
+        out = pathlib.Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-p2p",
@@ -149,6 +201,37 @@ def build_parser() -> argparse.ArgumentParser:
         "strategic", help="manipulation study + VCG fix (paper's future work)"
     )
     strategic.set_defaults(func=_cmd_strategic)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario engine (catalog + custom specs)"
+    )
+    scn_sub = scenario.add_subparsers(dest="scenario_action", required=True)
+    scn_list = scn_sub.add_parser("list", help="list the registered scenarios")
+    scn_list.set_defaults(func=_cmd_scenario_list)
+    scn_run = scn_sub.add_parser(
+        "run", help="run one scenario (catalog name or a .yaml/.json spec file)"
+    )
+    scn_run.add_argument(
+        "name", help="registered scenario name, or path to a spec file"
+    )
+    scn_run.add_argument(
+        "--scale",
+        choices=("tiny", "bench", "paper"),
+        default=None,
+        help="workload scale (default: bench, or the spec file's own)",
+    )
+    scn_run.add_argument(
+        "--duration", type=float, default=None,
+        help="override the measured horizon in seconds (drops warm-up)",
+    )
+    scn_run.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="report path (default results/scenario_<name>.txt)",
+    )
+    scn_run.add_argument(
+        "--no-save", action="store_true", help="print the report only"
+    )
+    scn_run.set_defaults(func=_cmd_scenario_run)
     return parser
 
 

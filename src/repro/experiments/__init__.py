@@ -13,9 +13,12 @@ from .figures import (
 from .runner import PriceTraceResult, run_comparison, run_price_trace
 from .sweep import (
     EpsilonSweepRow,
+    RebidRow,
     SolverRow,
     epsilon_sweep,
+    rebid_study,
     render_epsilon_sweep,
+    render_rebid_study,
     render_solver_comparison,
     scheduler_shootout,
     solver_comparison,
@@ -27,6 +30,7 @@ __all__ = [
     "FigureConfig",
     "FigureResult",
     "PriceTraceResult",
+    "RebidRow",
     "SolverRow",
     "epsilon_sweep",
     "fig2_price_convergence",
@@ -35,7 +39,9 @@ __all__ = [
     "fig5_miss_rate",
     "fig6_peer_dynamics",
     "figure_config",
+    "rebid_study",
     "render_epsilon_sweep",
+    "render_rebid_study",
     "render_solver_comparison",
     "run_comparison",
     "run_figure",

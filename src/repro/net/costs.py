@@ -57,6 +57,13 @@ class CostModel:
         self.intra = intra
         self.symmetric = symmetric
         self._cache: Dict[Tuple[int, int], float] = {}
+        # Per-ISP-pair price multipliers (scenario engine: transit-price
+        # shocks, asymmetric transit regimes).  Keyed by the sorted
+        # (isp_a, isp_b) pair — (i, i) scales ISP i's intra-ISP costs.
+        # Applied at sample time; setting a scale also rescales the
+        # already-cached pair costs, so both the lazy per-pair path and
+        # the bulk path keep returning consistent values.
+        self._isp_scale: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # Cost queries
@@ -71,6 +78,8 @@ class CostModel:
             return cached
         dist = self.intra if self.topology.same_isp(src, dst) else self.inter
         value = dist.sample_one(self.rng)
+        if self._isp_scale:
+            value *= self._pair_scale(src, dst)
         self._cache[key] = value
         return value
 
@@ -117,9 +126,82 @@ class CostModel:
                 value = cache.get(key)  # duplicate source in this batch
                 if value is None:
                     value = float(next(intra_draws if intra else inter_draws))
+                    if self._isp_scale:
+                        value *= self._pair_scale(key[0], key[1])
                     cache[key] = value
                 out[i] = value
         return out
+
+    # ------------------------------------------------------------------
+    # Mid-run price regimes (scenario engine hooks)
+    # ------------------------------------------------------------------
+    def _pair_scale(self, src: int, dst: int) -> float:
+        """Current price multiplier for the peer pair ``(src, dst)``."""
+        a = self.topology.isp_of(src)
+        b = self.topology.isp_of(dst)
+        if a > b:
+            a, b = b, a
+        return self._isp_scale.get((a, b), 1.0)
+
+    def isp_pair_scale(self, isp_a: int, isp_b: int) -> float:
+        """Current multiplier on costs between ``isp_a`` and ``isp_b``."""
+        key = (isp_a, isp_b) if isp_a <= isp_b else (isp_b, isp_a)
+        return self._isp_scale.get(key, 1.0)
+
+    def set_isp_pair_scale(self, isp_a: int, isp_b: int, scale: float) -> None:
+        """Set the price multiplier between two ISPs (``a == b``: intra).
+
+        Models an ISP transit-price change: *future* samples of matching
+        pairs are multiplied by ``scale``, and already-cached pair costs
+        are rescaled in place from their previous multiplier — so the
+        whole cost surface jumps consistently at the instant of the
+        change, with no random draws consumed (determinism: a price
+        shock never perturbs the cost trajectory of unrelated pairs).
+        """
+        if scale <= 0:
+            raise ValueError(f"cost scale must be positive, got {scale!r}")
+        key = (isp_a, isp_b) if isp_a <= isp_b else (isp_b, isp_a)
+        old = self._isp_scale.get(key, 1.0)
+        if scale == old:
+            return
+        if scale == 1.0:
+            del self._isp_scale[key]
+        else:
+            self._isp_scale[key] = float(scale)
+        self._rescale_cached({key: scale / old})
+
+    def scale_inter_costs(self, factor: float) -> None:
+        """Multiply every cross-ISP price by ``factor`` (global shock)."""
+        if factor <= 0:
+            raise ValueError(f"cost scale must be positive, got {factor!r}")
+        if factor == 1.0:
+            return
+        n = self.topology.n_isps
+        ratios: Dict[Tuple[int, int], float] = {}
+        for a in range(n):
+            for b in range(a + 1, n):
+                old = self._isp_scale.get((a, b), 1.0)
+                new = old * factor
+                if new == 1.0:
+                    self._isp_scale.pop((a, b), None)
+                else:
+                    self._isp_scale[(a, b)] = new
+                ratios[(a, b)] = factor
+        self._rescale_cached(ratios)
+
+    def _rescale_cached(self, ratios: Dict[Tuple[int, int], float]) -> None:
+        """Multiply cached pair costs whose ISP pair appears in ``ratios``."""
+        if not self._cache or not ratios:
+            return
+        isp_of = self.topology.isp_of
+        for pair, value in self._cache.items():
+            a = isp_of(pair[0])
+            b = isp_of(pair[1])
+            if a > b:
+                a, b = b, a
+            ratio = ratios.get((a, b))
+            if ratio is not None:
+                self._cache[pair] = value * ratio
 
     def is_inter_isp(self, src: int, dst: int) -> bool:
         """Whether a transfer src→dst crosses an ISP boundary."""

@@ -162,6 +162,25 @@ class OverlayGraph:
                     self._deficient.add(node)
         self.version += 1
 
+    def set_degree_target(self, target: int) -> None:
+        """Change the soft degree target mid-run (scenario locality cap).
+
+        Links are untouched (so cached candidate tables stay valid); the
+        deficient set is recomputed against the new target, which is what
+        drives the next refill pass — raising the target makes peers
+        hungry for more neighbors, lowering it stops further bootstraps
+        without pruning existing links (churn thins them out, as in real
+        mesh overlays).
+        """
+        if target < 1:
+            raise ValueError(f"degree_target must be >= 1, got {target!r}")
+        if target == self.degree_target:
+            return
+        self.degree_target = int(target)
+        self._deficient = {
+            node for node, adj in self._adj.items() if len(adj) < target
+        }
+
     def consume_dirty(self) -> Set[int]:
         """Drain and return peers whose link set changed since last call."""
         dirty = self._dirty

@@ -71,6 +71,27 @@ class ChurnModel:
         self.upload_range = upload_range
         self.early_departure_prob = float(early_departure_prob)
 
+    def set_arrival_rate(self, rate_per_s: float) -> None:
+        """Change the Poisson intensity λ mid-run (scenario engine hook).
+
+        Takes effect from the *next* inter-arrival draw; the gap already
+        sampled at the old rate stands, which is the standard piecewise
+        approximation of a non-homogeneous Poisson process at slot
+        granularity (diurnal waves, flash-crowd ramps).
+        """
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s!r}")
+        self.arrival_rate_per_s = float(rate_per_s)
+
+    def set_popularity(self, popularity: ZipfMandelbrot) -> None:
+        """Swap the video selector mid-run (popularity drift / new release).
+
+        Future arrivals sample from the new law; each draw still consumes
+        exactly one uniform from the churn stream, so the arrival *times*
+        of a run are unchanged by the swap.
+        """
+        self.popularity = popularity
+
     def next_interarrival(self) -> float:
         """Exponential gap to the next arrival."""
         return float(self.rng.exponential(1.0 / self.arrival_rate_per_s))

@@ -446,6 +446,47 @@ class PeerStateStore:
                 self.candidate_epoch += 1
         self.membership_version += len(peers)
 
+    def update_capacity(self, peer: Peer) -> None:
+        """Re-read one online peer's upload capacity into the column.
+
+        Scenario-engine hook (capacity ramps, seeder outage/recovery):
+        the caller mutates ``peer.upload_capacity_chunks`` and this
+        re-syncs the dict-order capacity column so the next
+        ``build_problem`` sees the new budget.
+        """
+        self.update_capacities([peer])
+
+    def update_capacities(self, peers: Sequence[Peer]) -> None:
+        """Batched :meth:`update_capacity` (one pass over the column)."""
+        if not peers:
+            return
+        by_id = {p.peer_id: p for p in peers}
+        n = self._n
+        ids = self._order_ids[:n]
+        hit = np.isin(ids, np.fromiter(by_id, dtype=np.int64, count=len(by_id)))
+        idx = np.nonzero(hit)[0]
+        if len(idx) != len(by_id):
+            missing = set(by_id) - set(ids[idx].tolist())
+            raise KeyError(f"peers {sorted(missing)} are not in the store")
+        self._order_caps[idx] = np.fromiter(
+            (by_id[pid].upload_capacity_chunks for pid in ids[idx].tolist()),
+            dtype=np.int64,
+            count=len(idx),
+        )
+
+    def invalidate_costs(self) -> None:
+        """Drop every cached candidate-cost table (cost-regime change).
+
+        Scenario-engine hook: after a mid-run ISP price shock the cached
+        per-peer ``(rows, ids, costs)`` entries hold stale costs; this
+        forces them to be rebuilt from the cost model on next use (reads
+        only the model's pair cache — no random draws are consumed, so
+        the run's cost trajectory is unperturbed).
+        """
+        if self._cand:
+            self._cand.clear()
+            self.candidate_epoch += 1
+
     # ------------------------------------------------------------------
     # Columns
     # ------------------------------------------------------------------
@@ -554,6 +595,72 @@ class PeerStateStore:
         else:
             rows, ids, costs = _EMPTY_INT, _EMPTY_INT, _EMPTY_FLOAT
         return counts, indptr, rows, ids, costs
+
+    # ------------------------------------------------------------------
+    # Batched delivery (transfer-apply hot path)
+    # ------------------------------------------------------------------
+    def deliver_runs(
+        self,
+        run_peers: Sequence[Peer],
+        starts: np.ndarray,
+        stops: np.ndarray,
+        chunks: np.ndarray,
+    ) -> np.ndarray:
+        """Write per-peer chunk runs into the bucket matrices; returns
+        the number of newly held chunks per run.
+
+        ``chunks[starts[i]:stops[i]]`` is the (unique, in-range) chunk
+        batch for ``run_peers[i]`` — the downloader-grouped runs
+        ``_apply_transfers`` derives from the served columns.  Instead
+        of one small bitmap write per receiving buffer, runs are grouped
+        by state bucket and each bucket takes *one* fancy-indexed
+        read-then-write over its shared mask matrix (the buffers are
+        views into it, so they observe the delivery with no extra sync).
+        Caller contract matches :meth:`ChunkBuffer.receive_batch_trusted`:
+        every peer is store-bound with an uncapped buffer, and no
+        (peer, chunk) pair repeats within the batch.
+        """
+        n_runs = len(run_peers)
+        lens = stops - starts
+        added = np.zeros(n_runs, dtype=np.int64)
+        per_bucket: Dict[int, List[int]] = {}
+        buckets: Dict[int, StateBucket] = {}
+        for i, peer in enumerate(run_peers):
+            bucket = peer.state_group.bucket
+            per_bucket.setdefault(id(bucket), []).append(i)
+            buckets[id(bucket)] = bucket
+        for key, run_list in per_bucket.items():
+            bucket = buckets[key]
+            run_idx = np.asarray(run_list, dtype=np.int64)
+            s = starts[run_idx]
+            l = lens[run_idx]
+            total = int(l.sum())
+            offs = np.zeros(len(run_idx), dtype=np.int64)
+            np.cumsum(l[:-1], out=offs[1:])
+            edge_idx = np.repeat(s - offs, l) + np.arange(total, dtype=np.int64)
+            rows_e = np.repeat(
+                np.fromiter(
+                    (run_peers[i].state_row for i in run_list),
+                    dtype=np.int64,
+                    count=len(run_list),
+                ),
+                l,
+            )
+            ch = chunks[edge_idx]
+            held = bucket.masks[rows_e, ch]
+            bucket.masks[rows_e, ch] = True
+            new = ~held
+            if bool(new.all()):
+                added[run_idx] = l
+            else:
+                rid = np.repeat(np.arange(len(run_idx), dtype=np.int64), l)
+                added[run_idx] = np.bincount(
+                    rid, weights=new, minlength=len(run_idx)
+                ).astype(np.int64)
+        for peer, add in zip(run_peers, added.tolist()):
+            if add:
+                peer.buffer.note_external_writes(add)
+        return added
 
     # ------------------------------------------------------------------
     # Session sync

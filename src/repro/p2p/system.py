@@ -473,6 +473,95 @@ class P2PSystem:
             self.overlay.bootstrap(pid, candidates)
 
     # ------------------------------------------------------------------
+    # Scenario hooks (mid-run regime changes, driven by the scenario
+    # engine in repro.scenarios — each keeps the columnar store in sync)
+    # ------------------------------------------------------------------
+    def set_arrival_rate(self, rate_per_s: float) -> None:
+        """Change the Poisson arrival intensity from the next draw on."""
+        self.churn.set_arrival_rate(rate_per_s)
+
+    def set_popularity(self, popularity) -> None:
+        """Swap the video-popularity law for future arrivals.
+
+        Existing peers keep watching what they chose; only the churn
+        model's video selection changes (popularity drift / new-release
+        events).  Any object with ``sample(rng)`` qualifies.
+        """
+        self.popularity = popularity
+        self.churn.set_popularity(popularity)
+
+    def set_upload_capacities(self, updates: Dict[int, int]) -> int:
+        """Set per-peer upload budgets mid-run; returns peers updated.
+
+        ``updates`` maps peer id → new capacity in chunks/slot (0 takes
+        an uploader offline without departing it — a seeder outage).
+        Offline ids are ignored, so a scenario can target peers that may
+        have churned away.  Both the peer objects and the store's
+        capacity column are updated.
+        """
+        for pid, chunks in updates.items():
+            if chunks < 0:
+                raise ValueError(
+                    f"upload capacity must be >= 0, got {chunks!r} for peer {pid}"
+                )
+        touched = []
+        for pid, chunks in updates.items():
+            peer = self.peers.get(pid)
+            if peer is None:
+                continue
+            peer.upload_capacity_chunks = int(chunks)
+            touched.append(peer)
+        self.store.update_capacities(touched)
+        return len(touched)
+
+    def scale_upload_capacities(
+        self, factor: float, peer_ids: Optional[List[int]] = None
+    ) -> int:
+        """Multiply upload budgets by ``factor`` (capacity heterogeneity ramp).
+
+        ``peer_ids=None`` targets every online peer.  Capacities round to
+        int and floor at 1 chunk/slot for factors > 0 (matching
+        ``SystemConfig.peer_capacity_chunks``); ``factor=0`` zeroes them.
+        Peers already at zero stay at zero — a seeder outage survives a
+        concurrent ramp instead of being resurrected by the floor.
+        Returns the number of peers updated.
+        """
+        if factor < 0:
+            raise ValueError(f"capacity factor must be >= 0, got {factor!r}")
+        ids = list(self.peers) if peer_ids is None else peer_ids
+        updates = {}
+        for pid in ids:
+            peer = self.peers.get(pid)
+            if peer is None:
+                continue
+            current = peer.upload_capacity_chunks
+            if factor > 0 and current > 0:
+                updates[pid] = max(1, int(round(current * factor)))
+            else:
+                updates[pid] = 0
+        return self.set_upload_capacities(updates)
+
+    def scale_inter_isp_costs(self, factor: float) -> None:
+        """Multiply every cross-ISP link cost by ``factor`` (price shock).
+
+        Cached pair costs jump in place and future samples are scaled —
+        no random draws are consumed — and the store's candidate-cost
+        tables are invalidated so the next ``build_problem`` prices
+        candidate edges under the new regime.
+        """
+        self.costs.scale_inter_costs(factor)
+        self.store.invalidate_costs()
+
+    def set_isp_pair_cost_scale(self, isp_a: int, isp_b: int, scale: float) -> None:
+        """Set the cost multiplier between two ISPs (``a == b``: intra)."""
+        self.costs.set_isp_pair_scale(isp_a, isp_b, scale)
+        self.store.invalidate_costs()
+
+    def set_neighbor_target(self, target: int) -> None:
+        """Change the overlay's soft degree target (locality-cap change)."""
+        self.overlay.set_degree_target(target)
+
+    # ------------------------------------------------------------------
     # Problem construction / transfer application
     # ------------------------------------------------------------------
     def build_problem(
@@ -648,15 +737,28 @@ class P2PSystem:
         starts = np.concatenate(([0], np.nonzero(np.diff(downstream))[0] + 1))
         stops = np.concatenate((starts[1:], [len(downstream)]))
         peers = self.peers
-        for s, e in zip(starts.tolist(), stops.tolist()):
-            peer = peers[int(downstream[s])]
-            idx = chunks[s:e]
-            if peer.buffer.capacity_chunks is None:
-                # Served chunks are unique and validated per request, so
-                # the trusted write skips add_batch's guards.
-                peer.chunks_downloaded += peer.buffer.receive_batch_trusted(idx)
-            else:
-                peer.receive_chunks(idx)
+        run_peers = [peers[int(downstream[s])] for s in starts.tolist()]
+        if all(
+            p.state_row is not None and p.buffer.capacity_chunks is None
+            for p in run_peers
+        ):
+            # Grouped per-bucket column writes on the store matrices:
+            # one fancy-indexed read/write per bucket instead of one
+            # small bitmap write per receiving buffer.
+            delivered = self.store.deliver_runs(run_peers, starts, stops, chunks)
+            for peer, add in zip(run_peers, delivered.tolist()):
+                peer.chunks_downloaded += add
+        else:
+            # Capped or store-unbound buffers (tests, ad-hoc systems):
+            # the original per-peer path.
+            for peer, s, e in zip(run_peers, starts.tolist(), stops.tolist()):
+                idx = chunks[s:e]
+                if peer.buffer.capacity_chunks is None:
+                    # Served chunks are unique and validated per request,
+                    # so the trusted write skips add_batch's guards.
+                    peer.chunks_downloaded += peer.buffer.receive_batch_trusted(idx)
+                else:
+                    peer.receive_chunks(idx)
         upload_counts = np.bincount(uploaders)
         for u in np.nonzero(upload_counts)[0].tolist():
             peers[u].record_upload(int(upload_counts[u]))

@@ -1,0 +1,75 @@
+"""Declarative scenario engine: trace-style workloads over the P2P system.
+
+Scenarios describe *regimes the paper never ran* — flash crowds,
+diurnal churn waves, ISP transit-price shocks, popularity drift, seeder
+outages, capacity ramps — as data: a :class:`ScenarioSpec` (YAML/JSON
+round-trippable) holding composable :class:`EventSpec` generators that
+compile deterministically into a trace of :class:`TimedEvent` rows, and
+a :class:`ScenarioRunner` that schedules the trace on the sim engine
+and drives one :class:`~repro.p2p.system.P2PSystem` per scheduler over
+the identical workload.
+
+Quickstart::
+
+    from repro.scenarios import ScenarioRunner, build_scenario
+
+    spec = build_scenario("flash-crowd", scale="tiny")
+    result = ScenarioRunner(spec, seed=1).run()
+    print(result.render_report())
+
+or from the command line::
+
+    python -m repro scenario list
+    python -m repro scenario run flash-crowd --seed 1
+"""
+
+from .catalog import build_scenario, register_scenario, scenario_names
+from .events import (
+    EVENT_KINDS,
+    ArrivalRateChange,
+    CapacityRamp,
+    CostShock,
+    DiurnalWave,
+    EventSpec,
+    FlashCrowd,
+    LocalityCap,
+    NewRelease,
+    PopularityRotate,
+    RemappedPopularity,
+    SeederOutage,
+    TimedEvent,
+    event_from_dict,
+)
+from .loader import dump_scenario, load_scenario
+from .runner import ScenarioResult, ScenarioRun, ScenarioRunner, apply_event
+from .spec import ScenarioSpec, compile_timeline, spec_from_dict, spec_to_dict
+
+__all__ = [
+    "EVENT_KINDS",
+    "ArrivalRateChange",
+    "CapacityRamp",
+    "CostShock",
+    "DiurnalWave",
+    "EventSpec",
+    "FlashCrowd",
+    "LocalityCap",
+    "NewRelease",
+    "PopularityRotate",
+    "RemappedPopularity",
+    "ScenarioResult",
+    "ScenarioRun",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SeederOutage",
+    "TimedEvent",
+    "apply_event",
+    "build_scenario",
+    "compile_timeline",
+    "dump_scenario",
+    "event_from_dict",
+    "load_scenario",
+    "register_scenario",
+    "scenario_names",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,297 @@
+"""The built-in scenario catalog and registry.
+
+Each named scenario is a builder ``(scale) -> ScenarioSpec`` registered
+under a stable name; ``python -m repro scenario list`` prints this
+registry and ``scenario run <name>`` executes one entry.  Builders take
+the scale so the same scenario runs paper-sized, bench-sized (the
+default) or tiny (the smoke/property tier) with proportionate
+populations and horizons — the *regime* (event structure, relative
+timing, shock magnitudes) is scale-invariant.
+
+Adding a scenario is three steps: write a builder returning a
+:class:`~repro.scenarios.spec.ScenarioSpec`, decorate it with
+:func:`register_scenario`, and (optionally) document it in
+``benchmarks/README.md``.  Everything else — CLI, smoke test,
+determinism property, report archiving — picks it up by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .events import (
+    CapacityRamp,
+    CostShock,
+    DiurnalWave,
+    FlashCrowd,
+    LocalityCap,
+    NewRelease,
+    SeederOutage,
+)
+from .spec import ScenarioSpec
+
+__all__ = ["build_scenario", "register_scenario", "scenario_names"]
+
+_BUILDERS: Dict[str, Callable[[str], ScenarioSpec]] = {}
+
+
+def register_scenario(name: str):
+    """Decorator registering a ``(scale) -> ScenarioSpec`` builder."""
+
+    def wrap(builder: Callable[[str], ScenarioSpec]):
+        if name in _BUILDERS:
+            raise ValueError(f"scenario {name!r} already registered")
+        _BUILDERS[name] = builder
+        return builder
+
+    return wrap
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_BUILDERS)
+
+
+def build_scenario(name: str, scale: str = "bench") -> ScenarioSpec:
+    """Build (and validate) the named scenario at ``scale``."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    spec = builder(scale)
+    spec.validate()
+    return spec
+
+
+def _tiny(scale: str) -> bool:
+    return scale == "tiny"
+
+
+def _pop(scale: str, tiny: int, bench: int, paper: int) -> int:
+    return {"tiny": tiny, "bench": bench, "paper": paper}[scale]
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+@register_scenario("flash-crowd")
+def flash_crowd(scale: str = "bench") -> ScenarioSpec:
+    """A synchronized audience hit by a burst of newcomers on one title.
+
+    The regime *Pushing BitTorrent Locality to the Limit* studies:
+    demand concentrates on a single video faster than supply grows, so
+    the schedulers differ most in where the extra chunks come from
+    (local vs transit) and who misses deadlines during the spike.
+    """
+    burst = _pop(scale, 15, 150, 400)
+    return ScenarioSpec(
+        name="flash-crowd",
+        description="arrival burst on one hot title over a static base swarm",
+        scale=scale,
+        config_overrides={
+            "peer_upload_min_multiple": 0.8,
+            "peer_upload_max_multiple": 2.0,
+            "seed_upload_multiple": 3.0,
+        },
+        n_static_peers=_pop(scale, 20, 200, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=False,
+        events=(
+            FlashCrowd(
+                time=20.0 if _tiny(scale) else 40.0,
+                n_peers=burst,
+                over_seconds=10.0,
+                video_id=0,
+                upload_min=0.8,
+                upload_max=1.2,
+            ),
+        ),
+    )
+
+
+@register_scenario("diurnal")
+def diurnal(scale: str = "bench") -> ScenarioSpec:
+    """Day/night churn: the arrival rate rides a sinusoid.
+
+    The network grows from empty under a rate that peaks and troughs
+    twice over the horizon; welfare and inter-ISP traffic should track
+    the wave with the auction extracting more welfare per peer at the
+    crest (deeper swarms → better local supply).
+    """
+    horizon = 60.0 if _tiny(scale) else 150.0
+    return ScenarioSpec(
+        name="diurnal",
+        description="sinusoidal arrival-rate wave over an initially empty network",
+        scale=scale,
+        n_static_peers=0,
+        duration_seconds=horizon,
+        churn=True,
+        events=(
+            DiurnalWave(
+                time=0.0,
+                duration=horizon,
+                period_seconds=horizon / 2.0,
+                base_rate_per_s=_pop(scale, 1, 2, 1),
+                amplitude=0.8,
+                step_seconds=10.0,
+            ),
+        ),
+    )
+
+
+@register_scenario("isp-price-shock")
+def isp_price_shock(scale: str = "bench") -> ScenarioSpec:
+    """Transit prices triple mid-run; ISP-aware scheduling should adapt.
+
+    The game-based ISP-friendly control setting: the cost regime is a
+    policy lever that changes while the system runs.  The auction's
+    inter-ISP share should drop after the shock (cross-ISP edges price
+    themselves out at the margin); the locality baseline, which never
+    reads costs, should barely move.
+    """
+    return ScenarioSpec(
+        name="isp-price-shock",
+        description="global inter-ISP transit price ×3 at mid-run",
+        scale=scale,
+        n_static_peers=_pop(scale, 30, 300, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=False,
+        events=(
+            CostShock(
+                time=30.0 if _tiny(scale) else 60.0,
+                factor=3.0,
+            ),
+        ),
+    )
+
+
+@register_scenario("seeder-failure")
+def seeder_failure(scale: str = "bench") -> ScenarioSpec:
+    """Half the seed infrastructure goes dark, then recovers.
+
+    Seeds stay online (their buffer maps still advertise everything)
+    but upload nothing during the outage — the CDN-assist failure mode.
+    Miss rate and transit share should spike during the window and
+    relax after recovery; the auction should degrade more gracefully by
+    re-pricing the surviving supply.
+    """
+    out_start = 20.0 if _tiny(scale) else 40.0
+    out_len = 20.0 if _tiny(scale) else 40.0
+    return ScenarioSpec(
+        name="seeder-failure",
+        description="50% of seeds lose upload capacity mid-run, later recover",
+        scale=scale,
+        config_overrides={
+            "peer_upload_min_multiple": 0.8,
+            "peer_upload_max_multiple": 2.0,
+            "seed_upload_multiple": 3.0,
+        },
+        n_static_peers=_pop(scale, 30, 300, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=False,
+        events=(
+            SeederOutage(
+                time=out_start,
+                duration=out_len,
+                fraction=0.5,
+            ),
+        ),
+    )
+
+
+@register_scenario("new-release")
+def new_release(scale: str = "bench") -> ScenarioSpec:
+    """A cold title becomes the catalog's hottest mid-run (popularity drift).
+
+    Under churn, arrivals after the release pile onto a video with no
+    installed base of uploaders — supply must be built from seeds while
+    the old hot title's swarm drains.
+    """
+    return ScenarioSpec(
+        name="new-release",
+        description="least-popular video becomes rank 1 for future arrivals",
+        scale=scale,
+        n_static_peers=0,
+        duration_seconds=60.0 if _tiny(scale) else 150.0,
+        churn=True,
+        config_overrides={"arrival_rate_per_s": 2.0},
+        events=(
+            NewRelease(
+                time=20.0 if _tiny(scale) else 50.0,
+                # The last catalog id is the coldest rank under Zipf.
+                video_id=2 if _tiny(scale) else 19,
+            ),
+        ),
+    )
+
+
+@register_scenario("asymmetric-isps")
+def asymmetric_isps(scale: str = "bench") -> ScenarioSpec:
+    """One ISP's transit is 3× expensive from the start; locality tightens later.
+
+    A heterogeneous-ISP regime: every link in or out of ISP 0 costs 3×
+    (events at t = 0 configure the asymmetric price surface), and at
+    mid-run the overlay's neighbor cap halves — the aggressive-locality
+    knob of *Pushing BitTorrent Locality to the Limit*.  Churn is on so
+    the cap actually shapes the mesh: links are never pruned in place,
+    but every post-cap arrival bootstraps (and every churn-thinned
+    survivor refills) only up to the tightened target.
+    """
+    n_isps = 2 if _tiny(scale) else 5
+    shocks = tuple(
+        CostShock(time=0.0, factor=3.0, isp_a=0, isp_b=b)
+        for b in range(1, n_isps)
+    )
+    return ScenarioSpec(
+        name="asymmetric-isps",
+        description="ISP 0 transit ×3 from t=0; neighbor cap halves mid-run "
+        "under churn",
+        scale=scale,
+        config_overrides={"arrival_rate_per_s": 1.0},
+        n_static_peers=_pop(scale, 30, 300, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=True,
+        events=shocks
+        + (
+            LocalityCap(
+                time=30.0 if _tiny(scale) else 60.0,
+                neighbor_target=4,
+            ),
+        ),
+    )
+
+
+@register_scenario("capacity-ramp")
+def capacity_ramp(scale: str = "bench") -> ScenarioSpec:
+    """Watcher upload capacity halves, then doubles back (heterogeneity ramp).
+
+    Models an access-network brownout: at the first ramp the watchers'
+    upload budgets halve (supply squeeze → contention, misses), at the
+    second they recover 2×.  Seeds are untouched, so the squeeze shifts
+    load onto the seed tier and transit links.
+    """
+    t1 = 20.0 if _tiny(scale) else 40.0
+    t2 = 40.0 if _tiny(scale) else 80.0
+    return ScenarioSpec(
+        name="capacity-ramp",
+        description="watcher upload ×0.5 mid-run, ×2 back near the end",
+        scale=scale,
+        config_overrides={
+            "peer_upload_min_multiple": 0.8,
+            "peer_upload_max_multiple": 2.0,
+            "seed_upload_multiple": 3.0,
+        },
+        n_static_peers=_pop(scale, 30, 300, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=False,
+        events=(
+            CapacityRamp(time=t1, factor=0.5, target="watchers"),
+            CapacityRamp(time=t2, factor=2.0, target="watchers"),
+        ),
+    )

@@ -1,0 +1,550 @@
+"""Composable timed-event generators for the scenario engine.
+
+A scenario's workload beyond its base population is declared as a list
+of :class:`EventSpec` dataclasses (flash-crowd bursts, diurnal churn
+waves, popularity drift, ISP price shocks, locality-cap changes, seeder
+outages, capacity ramps).  Each spec *compiles* — deterministically,
+from a dedicated named RNG stream — into a flat, trace-style list of
+:class:`TimedEvent` records: plain ``(time, kind, payload)`` rows that
+the :class:`~repro.scenarios.runner.ScenarioRunner` schedules on the
+discrete-event simulator and applies to the
+:class:`~repro.p2p.system.P2PSystem` at slot boundaries.
+
+Two properties matter and are pinned by the property suite:
+
+* **Determinism** — the same spec + seed compiles to the identical
+  timeline (the compile step consumes the RNG in declaration order,
+  and nothing at apply time draws randomness), so the same scenario
+  replays byte-identically and all schedulers compared on it see the
+  *same* workload.
+* **Composability** — generators only emit rows; any mix of specs
+  merges into one stably time-sorted trace, so new event families plug
+  in without touching the runner loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Dict, List, Optional
+
+import numpy as np
+
+from ..p2p.config import SystemConfig
+from ..vod.popularity import ZipfMandelbrot
+
+__all__ = [
+    "ArrivalRateChange",
+    "CapacityRamp",
+    "CostShock",
+    "DiurnalWave",
+    "EventSpec",
+    "FlashCrowd",
+    "LocalityCap",
+    "NewRelease",
+    "PopularityRotate",
+    "RemappedPopularity",
+    "SeederOutage",
+    "TimedEvent",
+    "event_from_dict",
+    "EVENT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One compiled trace row: apply ``kind``/``payload`` at ``time``.
+
+    The payload is a plain dict of JSON-serializable scalars, so a
+    compiled timeline is directly comparable (the determinism property
+    test asserts two compiles are ``==``) and dumpable.
+    """
+
+    time: float
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+
+#: ``kind`` string → spec class, for YAML/JSON round trips.
+EVENT_KINDS: Dict[str, type] = {}
+
+
+def _register(cls: type) -> type:
+    EVENT_KINDS[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Base class of every declarative event generator.
+
+    ``time`` is absolute scenario time in seconds (t = 0 is scenario
+    start, *including* any warm-up — events may land inside the warm-up
+    window).  Subclasses set a class-level ``kind`` and implement
+    :meth:`generate`.
+    """
+
+    kind: ClassVar[str] = ""
+
+    time: float
+
+    def validate(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time!r}")
+
+    def generate(
+        self, config: SystemConfig, rng: np.random.Generator
+    ) -> List[TimedEvent]:
+        """Compile this spec into trace rows (deterministic per rng state)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """Serializable form: ``{"kind": ..., <fields>}`` minus defaults."""
+        out: Dict[str, object] = {"kind": self.kind}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+def event_from_dict(data: dict) -> EventSpec:
+    """Rebuild an :class:`EventSpec` from its :meth:`~EventSpec.to_dict`."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_KINDS)}"
+        )
+    spec = cls(**payload)
+    spec.validate()
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Population events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class FlashCrowd(EventSpec):
+    """A burst of ``n_peers`` arrivals starting at ``time``.
+
+    Arrivals are spread uniformly over ``over_seconds`` (0 = all at
+    once); each samples a video from the catalog's Zipf-Mandelbrot law
+    unless ``video_id`` pins the crowd to one title (the classic
+    flash-crowd regime), an upload multiple from the configured range
+    (overridable — a crowd of free-riders uses a low range), and an
+    optional early departure.  Compiles into one ``peer-arrival`` row
+    per peer — the trace-style expansion, so the workload is fully
+    decided at compile time.
+    """
+
+    kind: ClassVar[str] = "flash-crowd"
+
+    n_peers: int = 100
+    over_seconds: float = 0.0
+    video_id: Optional[int] = None
+    upload_min: Optional[float] = None
+    upload_max: Optional[float] = None
+    early_departure_prob: float = 0.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.n_peers < 1:
+            raise ValueError(f"n_peers must be >= 1, got {self.n_peers!r}")
+        if self.over_seconds < 0:
+            raise ValueError("over_seconds must be >= 0")
+        if not 0.0 <= self.early_departure_prob <= 1.0:
+            raise ValueError("early_departure_prob must be in [0, 1]")
+
+    def generate(
+        self, config: SystemConfig, rng: np.random.Generator
+    ) -> List[TimedEvent]:
+        if self.video_id is not None and not 0 <= self.video_id < config.n_videos:
+            raise ValueError(
+                f"video_id {self.video_id!r} outside catalog "
+                f"[0, {config.n_videos})"
+            )
+        lo = (
+            config.peer_upload_min_multiple
+            if self.upload_min is None
+            else self.upload_min
+        )
+        hi = (
+            config.peer_upload_max_multiple
+            if self.upload_max is None
+            else self.upload_max
+        )
+        popularity = (
+            None
+            if self.video_id is not None
+            else ZipfMandelbrot(
+                config.n_videos, alpha=config.zipf_alpha, q=config.zipf_q
+            )
+        )
+        if self.over_seconds > 0:
+            offsets = np.sort(rng.uniform(0.0, self.over_seconds, self.n_peers))
+        else:
+            offsets = np.zeros(self.n_peers)
+        duration = config.video_duration_seconds
+        rows: List[TimedEvent] = []
+        for offset in offsets.tolist():
+            t = self.time + offset
+            video = (
+                self.video_id
+                if self.video_id is not None
+                else popularity.sample(rng)
+            )
+            multiple = float(rng.uniform(lo, hi))
+            departure: Optional[float] = None
+            if self.early_departure_prob and rng.random() < self.early_departure_prob:
+                departure = t + float(rng.uniform(0.0, duration))
+            rows.append(
+                TimedEvent(
+                    time=t,
+                    kind="peer-arrival",
+                    payload={
+                        "video_id": int(video),
+                        "upload_multiple": multiple,
+                        "departure_time": departure,
+                    },
+                )
+            )
+        return rows
+
+
+@_register
+@dataclass(frozen=True)
+class ArrivalRateChange(EventSpec):
+    """Step the Poisson arrival intensity to ``rate_per_s`` at ``time``."""
+
+    kind: ClassVar[str] = "arrival-rate"
+
+    rate_per_s: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.rate_per_s <= 0:
+            raise ValueError(
+                f"rate_per_s must be positive, got {self.rate_per_s!r}"
+            )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        return [
+            TimedEvent(
+                self.time, "set-arrival-rate", {"rate_per_s": self.rate_per_s}
+            )
+        ]
+
+
+@_register
+@dataclass(frozen=True)
+class DiurnalWave(EventSpec):
+    """Sinusoidal arrival-rate modulation over ``[time, time + duration)``.
+
+    The rate is stepped every ``step_seconds`` (default: re-evaluated
+    each slot) to ``base_rate_per_s · (1 + amplitude · sin(2π·t/period))``
+    — the day/night churn wave of VoD traces, deterministic (no RNG).
+    """
+
+    kind: ClassVar[str] = "diurnal"
+
+    duration: float = 120.0
+    period_seconds: float = 60.0
+    base_rate_per_s: float = 1.0
+    amplitude: float = 0.8
+    step_seconds: float = 10.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.duration <= 0 or self.period_seconds <= 0 or self.step_seconds <= 0:
+            raise ValueError("duration, period_seconds and step_seconds must be > 0")
+        if self.base_rate_per_s <= 0:
+            raise ValueError("base_rate_per_s must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude!r}"
+            )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        rows: List[TimedEvent] = []
+        n_steps = int(math.ceil(self.duration / self.step_seconds))
+        for i in range(n_steps):
+            t = self.time + i * self.step_seconds
+            phase = 2.0 * math.pi * (i * self.step_seconds) / self.period_seconds
+            rate = self.base_rate_per_s * (1.0 + self.amplitude * math.sin(phase))
+            rows.append(
+                TimedEvent(t, "set-arrival-rate", {"rate_per_s": float(rate)})
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Popularity events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class NewRelease(EventSpec):
+    """``video_id`` becomes the most popular title at ``time``.
+
+    Future arrivals sample from a popularity law where ``video_id`` has
+    swapped probabilities with the currently hottest title; existing
+    viewers are unaffected (they keep watching what they chose).
+    """
+
+    kind: ClassVar[str] = "new-release"
+
+    video_id: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.video_id < 0:
+            raise ValueError(f"video_id must be >= 0, got {self.video_id!r}")
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        if not 0 <= self.video_id < config.n_videos:
+            raise ValueError(
+                f"video_id {self.video_id!r} outside catalog "
+                f"[0, {config.n_videos})"
+            )
+        return [
+            TimedEvent(self.time, "promote-video", {"video_id": self.video_id})
+        ]
+
+
+@_register
+@dataclass(frozen=True)
+class PopularityRotate(EventSpec):
+    """Rotate every title's rank by ``rotation`` places (popularity drift)."""
+
+    kind: ClassVar[str] = "popularity-rotate"
+
+    rotation: int = 1
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        return [
+            TimedEvent(
+                self.time, "rotate-popularity", {"rotation": int(self.rotation)}
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# ISP regime events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class CostShock(EventSpec):
+    """Multiply link prices by ``factor`` at ``time``.
+
+    ``isp_a``/``isp_b`` both ``None`` shocks every cross-ISP pair (a
+    global transit-price change); naming a pair shocks just that pair
+    (``isp_a == isp_b``: that ISP's intra-ISP prices — a degraded or
+    upgraded access network).  Shocks compose multiplicatively and
+    consume no randomness: cached pair costs jump in place.
+    """
+
+    kind: ClassVar[str] = "cost-shock"
+
+    factor: float = 2.0
+    isp_a: Optional[int] = None
+    isp_b: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor!r}")
+        if (self.isp_a is None) != (self.isp_b is None):
+            raise ValueError("give both isp_a and isp_b, or neither")
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        if self.isp_a is not None and not (
+            0 <= self.isp_a < config.n_isps and 0 <= self.isp_b < config.n_isps
+        ):
+            raise ValueError(
+                f"ISP pair ({self.isp_a}, {self.isp_b}) outside "
+                f"[0, {config.n_isps})"
+            )
+        return [
+            TimedEvent(
+                self.time,
+                "cost-shock",
+                {
+                    "factor": float(self.factor),
+                    "isp_a": self.isp_a,
+                    "isp_b": self.isp_b,
+                },
+            )
+        ]
+
+
+@_register
+@dataclass(frozen=True)
+class LocalityCap(EventSpec):
+    """Change the overlay's soft neighbor-degree target at ``time``."""
+
+    kind: ClassVar[str] = "locality-cap"
+
+    neighbor_target: int = 8
+
+    def validate(self) -> None:
+        super().validate()
+        if self.neighbor_target < 1:
+            raise ValueError(
+                f"neighbor_target must be >= 1, got {self.neighbor_target!r}"
+            )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        return [
+            TimedEvent(
+                self.time,
+                "set-neighbor-target",
+                {"target": int(self.neighbor_target)},
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Capacity events
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class SeederOutage(EventSpec):
+    """Matching seeds lose all upload capacity for ``duration`` seconds.
+
+    The selector intersects ``video_id`` (``None`` = any video),
+    ``isp`` (``None`` = any ISP) and ``fraction`` (the first
+    ``ceil(fraction · k)`` matching seeds in id order — deterministic).
+    Seeds stay online (their buffers still advertise chunks, as a
+    crashed-but-tracked CDN node would) but cannot upload; recovery
+    restores each survivor's original capacity.
+    """
+
+    kind: ClassVar[str] = "seeder-outage"
+
+    duration: float = 30.0
+    video_id: Optional[int] = None
+    isp: Optional[int] = None
+    fraction: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration!r}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction!r}"
+            )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        selector = {
+            "video_id": self.video_id,
+            "isp": self.isp,
+            "fraction": float(self.fraction),
+        }
+        return [
+            TimedEvent(self.time, "seed-outage", dict(selector)),
+            TimedEvent(
+                self.time + self.duration, "seed-recovery", dict(selector)
+            ),
+        ]
+
+
+@_register
+@dataclass(frozen=True)
+class CapacityRamp(EventSpec):
+    """Multiply upload budgets by ``factor`` at ``time``.
+
+    ``target`` picks who ramps: ``"watchers"`` (non-seeds), ``"seeds"``
+    or ``"all"``.  Factors compose across ramp events, so a staged
+    heterogeneity ramp is a sequence of these.
+    """
+
+    kind: ClassVar[str] = "capacity-ramp"
+
+    factor: float = 1.0
+    target: str = "watchers"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.factor < 0:
+            raise ValueError(f"factor must be >= 0, got {self.factor!r}")
+        if self.target not in ("watchers", "seeds", "all"):
+            raise ValueError(
+                f"target must be watchers|seeds|all, got {self.target!r}"
+            )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        return [
+            TimedEvent(
+                self.time,
+                "capacity-scale",
+                {"factor": float(self.factor), "target": self.target},
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Popularity remapping
+# ----------------------------------------------------------------------
+class RemappedPopularity:
+    """A popularity law with its item ids permuted.
+
+    Wraps any selector exposing ``n`` / ``sample`` / ``sample_many`` /
+    ``pmf`` and relabels what it returns: sampling draws from the base
+    law (consuming exactly the base's randomness — one uniform for
+    Zipf-Mandelbrot, so swapping a remap in never shifts the arrival
+    stream) and maps the result through a permutation.  Wrapping an
+    already-remapped law composes the permutations.
+    """
+
+    def __init__(self, base, permutation) -> None:
+        perm = np.asarray(permutation, dtype=np.int64)
+        n = int(base.n)
+        if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+            raise ValueError(
+                f"permutation must rearrange all {n} item ids exactly once"
+            )
+        if isinstance(base, RemappedPopularity):
+            # Flatten: composing permutations keeps the wrapper chain at
+            # depth one however many drift events a scenario applies.
+            perm = perm[base._perm]
+            base = base.base
+        self.base = base
+        self.n = n
+        self._perm = perm
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(self._perm[self.base.sample(rng)])
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._perm[self.base.sample_many(rng, size)]
+
+    def pmf(self) -> np.ndarray:
+        out = np.empty(self.n, dtype=float)
+        out[self._perm] = self.base.pmf()
+        return out
+
+    def probability(self, item: int) -> float:
+        if not 0 <= item < self.n:
+            raise IndexError(f"item {item!r} out of range [0, {self.n})")
+        return float(self.pmf()[item])
+
+    @staticmethod
+    def promote(base, video_id: int) -> "RemappedPopularity":
+        """``video_id`` swaps probabilities with the current hottest item."""
+        pmf = base.pmf()
+        if not 0 <= video_id < len(pmf):
+            raise IndexError(
+                f"video {video_id!r} out of range [0, {len(pmf)})"
+            )
+        top = int(np.argmax(pmf))
+        perm = np.arange(len(pmf), dtype=np.int64)
+        perm[top], perm[video_id] = video_id, top
+        return RemappedPopularity(base, perm)
+
+    @staticmethod
+    def rotate(base, rotation: int) -> "RemappedPopularity":
+        """Every item takes the popularity of its ``rotation``-th neighbor."""
+        n = int(base.n)
+        perm = (np.arange(n, dtype=np.int64) + int(rotation)) % n
+        return RemappedPopularity(base, perm)

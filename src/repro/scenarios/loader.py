@@ -1,0 +1,63 @@
+"""Load and save scenario specs as YAML or JSON files.
+
+The file format is exactly the dict form of
+:func:`repro.scenarios.spec.spec_to_dict` — see any catalog entry via
+``dump_scenario`` for a template.  YAML support is gated on PyYAML
+being importable (it is an optional convenience; JSON always works).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .spec import ScenarioSpec, spec_from_dict, spec_to_dict
+
+__all__ = ["dump_scenario", "load_scenario"]
+
+_YAML_SUFFIXES = (".yaml", ".yml")
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise RuntimeError(
+            "PyYAML is not installed; use a .json scenario file instead"
+        ) from exc
+    return yaml
+
+
+def load_scenario(path: Union[str, pathlib.Path]) -> ScenarioSpec:
+    """Read and validate a scenario spec from a ``.yaml``/``.yml``/``.json`` file."""
+    path = pathlib.Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in _YAML_SUFFIXES:
+        data = _yaml().safe_load(text)
+    elif path.suffix.lower() == ".json":
+        data = json.loads(text)
+    else:
+        raise ValueError(
+            f"unknown scenario file type {path.suffix!r} "
+            "(use .yaml, .yml or .json)"
+        )
+    if not isinstance(data, dict):
+        raise ValueError(f"scenario file {path} must hold one mapping")
+    return spec_from_dict(data)
+
+
+def dump_scenario(spec: ScenarioSpec, path: Union[str, pathlib.Path]) -> None:
+    """Write ``spec`` to a YAML or JSON file (inverse of :func:`load_scenario`)."""
+    path = pathlib.Path(path)
+    data = spec_to_dict(spec)
+    if path.suffix.lower() in _YAML_SUFFIXES:
+        text = _yaml().safe_dump(data, sort_keys=False)
+    elif path.suffix.lower() == ".json":
+        text = json.dumps(data, indent=2) + "\n"
+    else:
+        raise ValueError(
+            f"unknown scenario file type {path.suffix!r} "
+            "(use .yaml, .yml or .json)"
+        )
+    path.write_text(text, encoding="utf-8")

@@ -1,0 +1,318 @@
+"""Scenario execution: compiled timelines driving the P2P system.
+
+:class:`ScenarioRunner` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into results: it compiles the spec's timeline once (identical for every
+scheduler — the paper's same-workload methodology), schedules the trace
+rows as discrete events on a :class:`~repro.sim.engine.Simulator`, and
+interleaves them with the slot loop of a fresh
+:class:`~repro.p2p.system.P2PSystem` per scheduler.  Events due by a
+slot boundary are applied *before* that slot runs — the same delay rule
+the paper uses for mid-slot joiners, so a running auction is never
+disturbed mid-flight.
+
+The per-scheduler collectors render into one deterministic text report
+(:meth:`ScenarioResult.render_report`) via :mod:`repro.metrics.report`,
+comparable across solvers and stable across machines (no wall-clock
+content), which the CLI archives under ``results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.collectors import MetricsCollector
+from ..metrics.report import comparison_table, render_table, series_block
+from ..p2p.system import P2PSystem
+from ..sim.engine import Simulator
+from .events import RemappedPopularity, TimedEvent
+from .spec import ScenarioSpec, compile_timeline
+
+__all__ = ["ScenarioResult", "ScenarioRun", "ScenarioRunner", "apply_event"]
+
+
+@dataclass
+class ScenarioRun:
+    """One scheduler's outcome on the scenario's workload."""
+
+    scheduler: str
+    collector: MetricsCollector
+    totals: Dict[str, float]
+    n_peers_final: int
+    arrivals: int
+    departures: int
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced, for every scheduler."""
+
+    spec: ScenarioSpec
+    seed: int
+    timeline: List[TimedEvent]
+    runs: Dict[str, ScenarioRun] = field(default_factory=dict)
+
+    def render_report(self) -> str:
+        """Deterministic text report (archived under ``results/``)."""
+        spec = self.spec
+        lines = [
+            f"Scenario {spec.name!r} — {spec.description}",
+            f"  scale={spec.scale} seed={self.seed} "
+            f"peers₀={spec.n_static_peers} churn={spec.churn} "
+            f"duration={spec.duration_seconds:.0f}s "
+            f"(warmup {spec.warmup_seconds:.0f}s)",
+        ]
+        counts = Counter(row.kind for row in self.timeline)
+        if counts:
+            summary = ", ".join(
+                f"{kind}×{n}" for kind, n in sorted(counts.items())
+            )
+            lines.append(f"  timeline: {len(self.timeline)} events ({summary})")
+            regime = [
+                row for row in self.timeline if row.kind != "peer-arrival"
+            ]
+            for row in regime[:12]:
+                payload = ", ".join(
+                    f"{k}={v}" for k, v in row.payload.items() if v is not None
+                )
+                lines.append(f"    t={row.time:7.1f}s  {row.kind}  {payload}")
+            if len(regime) > 12:
+                lines.append(f"    … {len(regime) - 12} more regime events")
+        else:
+            lines.append("  timeline: no events (base workload only)")
+        lines.append("")
+
+        per_metric = {
+            "welfare": lambda c: c.welfare_series(),
+            "inter-ISP": lambda c: c.inter_isp_series(),
+            "miss rate": lambda c: c.miss_rate_series(),
+        }
+        for label, getter in per_metric.items():
+            lines.append(
+                comparison_table(
+                    {
+                        name: getter(run.collector)
+                        for name, run in self.runs.items()
+                    },
+                    label,
+                )
+            )
+            lines.append("")
+        first = next(iter(self.runs.values()))
+        lines.append(
+            series_block(
+                first.collector.peers_series(),
+                f"peers online ({first.scheduler} run)",
+            )
+        )
+        lines.append("")
+        headers = [
+            "scheduler", "welfare_total", "served", "inter_isp_frac",
+            "miss_rate", "peers_end", "arrivals", "departures",
+        ]
+        rows = [
+            [
+                name,
+                run.totals["welfare_total"],
+                int(run.totals["served_total"]),
+                run.totals["inter_isp_fraction"],
+                run.totals["miss_rate"],
+                run.n_peers_final,
+                run.arrivals,
+                run.departures,
+            ]
+            for name, run in self.runs.items()
+        ]
+        lines.append(render_table(headers, rows))
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """Compile a spec for one seed and run it under each scheduler."""
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        #: The compiled trace — identical for every scheduler.
+        #: (compile_timeline validates the spec.)
+        self.timeline: List[TimedEvent] = compile_timeline(spec, self.seed)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, schedulers: Optional[Tuple[str, ...]] = None) -> ScenarioResult:
+        """Run the scenario once per scheduler; returns all outcomes."""
+        result = ScenarioResult(
+            spec=self.spec, seed=self.seed, timeline=self.timeline
+        )
+        for name in schedulers or self.spec.schedulers:
+            system = self.run_one(name)
+            result.runs[name] = ScenarioRun(
+                scheduler=name,
+                collector=system.collector,
+                totals=system.collector.totals(),
+                n_peers_final=len(system.peers),
+                arrivals=system.arrivals,
+                departures=system.departures,
+            )
+        return result
+
+    def run_one(self, scheduler: str) -> P2PSystem:
+        """Drive one system through the full timeline; returns it.
+
+        The trace rows are scheduled on a discrete-event simulator;
+        before each slot, every event due by the boundary fires (in
+        time order, ties in declaration order) against the system.
+        """
+        spec = self.spec
+        config = spec.system_config(self.seed).with_scheduler(scheduler)
+        system = P2PSystem(config)
+        if spec.n_static_peers:
+            system.populate_static(spec.n_static_peers, stagger=spec.stagger)
+        sim = Simulator(start_time=0.0)
+        outage_caps: Dict[int, List[int]] = {}
+        for row in self.timeline:
+            sim.schedule_at(
+                row.time,
+                (lambda r: lambda: self._apply_event(system, r, outage_caps))(
+                    row
+                ),
+            )
+        horizon = spec.horizon_seconds
+        warmup = spec.warmup_seconds
+        cleared = warmup <= 0
+        while system.now < horizon - 1e-9:
+            sim.run(until=system.now)
+            system.run_slot(churn=spec.churn, remove_finished=spec.churn)
+            if not cleared and system.now >= warmup - 1e-9:
+                system.collector.slots.clear()
+                cleared = True
+        return system
+
+    # ------------------------------------------------------------------
+    # Event interpretation
+    # ------------------------------------------------------------------
+    def _apply_event(
+        self, system: P2PSystem, row: TimedEvent, outage_caps: Dict[int, List[int]]
+    ) -> None:
+        apply_event(system, row, outage_caps)
+
+
+def apply_event(
+    system: P2PSystem, row: TimedEvent, outage_caps: Dict[int, List[int]]
+) -> None:
+    """Apply one compiled trace row to a running system.
+
+    ``outage_caps`` is the caller-held memory of seed capacities taken
+    down by ``seed-outage`` rows (recovery restores from it).  Exposed
+    at module level so other drivers — the benchmark harness's scenario
+    rows — can interpret timelines without a full
+    :class:`ScenarioRunner`.
+    """
+    payload = row.payload
+    if row.kind == "peer-arrival":
+        startup = (
+            system.config.startup_delay_slots * system.config.slot_seconds
+        )
+        system.add_watching_peer(
+            video_id=int(payload["video_id"]),
+            upload_multiple=float(payload["upload_multiple"]),
+            start_position=0,
+            start_time=system.now + startup,
+            departure_time=payload.get("departure_time"),
+        )
+        system.arrivals += 1
+    elif row.kind == "set-arrival-rate":
+        system.set_arrival_rate(float(payload["rate_per_s"]))
+    elif row.kind == "promote-video":
+        system.set_popularity(
+            RemappedPopularity.promote(
+                system.popularity, int(payload["video_id"])
+            )
+        )
+    elif row.kind == "rotate-popularity":
+        system.set_popularity(
+            RemappedPopularity.rotate(
+                system.popularity, int(payload["rotation"])
+            )
+        )
+    elif row.kind == "cost-shock":
+        if payload.get("isp_a") is None:
+            system.scale_inter_isp_costs(float(payload["factor"]))
+        else:
+            a, b = int(payload["isp_a"]), int(payload["isp_b"])
+            current = system.costs.isp_pair_scale(a, b)
+            system.set_isp_pair_cost_scale(
+                a, b, current * float(payload["factor"])
+            )
+    elif row.kind == "set-neighbor-target":
+        system.set_neighbor_target(int(payload["target"]))
+    elif row.kind == "seed-outage":
+        victims = _select_seeds(system, payload)
+        updates = {}
+        for peer in victims:
+            entry = outage_caps.get(peer.peer_id)
+            if entry is None:
+                outage_caps[peer.peer_id] = [1, peer.upload_capacity_chunks]
+            else:
+                # Overlapping outage windows nest: the seed only comes
+                # back when every outage holding it has recovered.
+                entry[0] += 1
+            updates[peer.peer_id] = 0
+        system.set_upload_capacities(updates)
+    elif row.kind == "seed-recovery":
+        victims = _select_seeds(system, payload)
+        updates = {}
+        for peer in victims:
+            entry = outage_caps.get(peer.peer_id)
+            if entry is None:
+                continue
+            entry[0] -= 1
+            if entry[0] == 0:
+                updates[peer.peer_id] = entry[1]
+                del outage_caps[peer.peer_id]
+        system.set_upload_capacities(updates)
+    elif row.kind == "capacity-scale":
+        target = payload["target"]
+        factor = float(payload["factor"])
+        if target == "all":
+            ids = None
+        elif target == "seeds":
+            ids = [p.peer_id for p in system.peers.values() if p.is_seed]
+        else:
+            ids = [
+                p.peer_id for p in system.peers.values() if not p.is_seed
+            ]
+        system.scale_upload_capacities(factor, ids)
+        if target in ("seeds", "all"):
+            # Seeds currently downed by an outage sit at capacity 0, so
+            # the live scaling skipped them — compound the ramp into
+            # their stored pre-outage capacities instead, so recovery
+            # brings them back into the ramped regime.
+            for entry in outage_caps.values():
+                if factor > 0 and entry[1] > 0:
+                    entry[1] = max(1, int(round(entry[1] * factor)))
+                else:
+                    entry[1] = 0
+    else:
+        raise ValueError(f"unknown timeline event kind {row.kind!r}")
+
+
+def _select_seeds(system: P2PSystem, payload: Dict[str, object]) -> List:
+    """Seeds matching the outage selector, deterministic id order."""
+    video_id = payload.get("video_id")
+    isp = payload.get("isp")
+    matching = [
+        peer
+        for _, peer in sorted(system.peers.items())
+        if peer.is_seed
+        and (video_id is None or peer.video.video_id == video_id)
+        and (isp is None or peer.isp == isp)
+    ]
+    fraction = float(payload.get("fraction", 1.0))
+    if fraction >= 1.0 or not matching:
+        return matching
+    keep = max(1, math.ceil(len(matching) * fraction))
+    return matching[:keep]

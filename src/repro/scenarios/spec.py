@@ -1,0 +1,212 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the complete, serializable description of one
+workload: which :class:`~repro.p2p.config.SystemConfig` preset it runs
+on (plus overrides), the base population, the run horizon, which
+schedulers are compared, and the list of
+:class:`~repro.scenarios.events.EventSpec` generators that shape the
+timeline.  Specs are plain frozen dataclasses that round-trip through
+dicts (and thus YAML/JSON via :mod:`repro.scenarios.loader`), so a
+scenario can live in a file next to an experiment as easily as in the
+built-in catalog.
+
+The spec itself contains no randomness and no behaviour — compiling it
+for a seed (:func:`compile_timeline`) produces the trace-style event
+list, and :class:`~repro.scenarios.runner.ScenarioRunner` executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..p2p.config import SystemConfig
+from ..sim.rng import RngRegistry
+from .events import EventSpec, TimedEvent, event_from_dict
+
+__all__ = ["ScenarioSpec", "compile_timeline", "spec_from_dict", "spec_to_dict"]
+
+_SCALES = ("tiny", "bench", "paper")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to reproduce one named workload.
+
+    Parameters
+    ----------
+    name, description:
+        Identity and one-line summary (the catalog/CLI listing).
+    scale:
+        Which :class:`SystemConfig` preset to build on — ``tiny``,
+        ``bench`` or ``paper``.
+    config_overrides:
+        Keyword overrides applied to the preset (sorted key order; a
+        dict is accepted and normalized).
+    schedulers:
+        Schedulers compared on the identical workload (the paper's
+        methodology: same seed → same arrivals/costs/choices).
+    n_static_peers, stagger:
+        Base population created at t = 0 (0 = the network starts empty
+        and churn/events build it); ``stagger`` as in
+        :meth:`P2PSystem.populate_static`.
+    duration_seconds, warmup_seconds:
+        Measured horizon and a discarded lead-in.  Event times are
+        absolute from scenario start (warm-up included).
+    churn:
+        Whether background Poisson arrivals/departures run.
+    events:
+        The declarative timeline generators, compiled in order.
+    """
+
+    name: str
+    description: str = ""
+    scale: str = "bench"
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+    schedulers: Tuple[str, ...] = ("auction", "locality")
+    n_static_peers: int = 0
+    stagger: bool = True
+    duration_seconds: float = 100.0
+    warmup_seconds: float = 0.0
+    churn: bool = False
+    events: Tuple[EventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize mapping-ish fields so specs are hashable and two
+        # equal scenarios compare equal regardless of construction.
+        if isinstance(self.config_overrides, dict):
+            object.__setattr__(
+                self,
+                "config_overrides",
+                tuple(sorted(self.config_overrides.items())),
+            )
+        else:
+            object.__setattr__(
+                self, "config_overrides", tuple(self.config_overrides)
+            )
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # ------------------------------------------------------------------
+    # Validation / derived views
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent spec."""
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.scale not in _SCALES:
+            raise ValueError(
+                f"unknown scale {self.scale!r} (use one of {_SCALES})"
+            )
+        if not self.schedulers:
+            raise ValueError("need at least one scheduler")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if self.warmup_seconds < 0:
+            raise ValueError("warmup_seconds must be >= 0")
+        if self.n_static_peers < 0:
+            raise ValueError("n_static_peers must be >= 0")
+        for event in self.events:
+            event.validate()
+        # Building the config applies the overrides — unknown keys or
+        # inconsistent values surface here, not mid-run.
+        self.system_config(seed=0)
+
+    def overrides_dict(self) -> Dict[str, object]:
+        return dict(self.config_overrides)
+
+    def system_config(self, seed: int) -> SystemConfig:
+        """The :class:`SystemConfig` this scenario runs on."""
+        overrides = self.overrides_dict()
+        if self.scale == "paper":
+            return SystemConfig.paper(seed=seed, **overrides)
+        if self.scale == "tiny":
+            return SystemConfig.tiny(seed=seed, **overrides)
+        return SystemConfig.bench(seed=seed, **overrides)
+
+    @property
+    def horizon_seconds(self) -> float:
+        """Total simulated time: warm-up plus measured duration."""
+        return self.warmup_seconds + self.duration_seconds
+
+    def abridged(
+        self,
+        duration_seconds: float,
+        schedulers: Optional[Tuple[str, ...]] = None,
+    ) -> "ScenarioSpec":
+        """A shortened copy for smoke tests: the measured horizon shrinks,
+        the warm-up is dropped, and events beyond the new horizon simply
+        never fire."""
+        return replace(
+            self,
+            duration_seconds=duration_seconds,
+            warmup_seconds=0.0,
+            schedulers=self.schedulers if schedulers is None else schedulers,
+        )
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def compile_timeline(spec: ScenarioSpec, seed: int) -> List[TimedEvent]:
+    """Compile the spec's event generators into one sorted trace.
+
+    Each generator draws from the dedicated ``scenario-events`` stream
+    of the run's root seed, consumed in declaration order — so the
+    timeline is a pure function of (spec, seed), identical across the
+    schedulers being compared, and the system's own streams (arrivals,
+    costs, tracker) are untouched by however many events compile.
+    The sort is stable: same-time events apply in declaration order.
+    """
+    spec.validate()
+    rng = RngRegistry(seed).stream("scenario-events")
+    config = spec.system_config(seed)
+    rows: List[TimedEvent] = []
+    for event in spec.events:
+        rows.extend(event.generate(config, rng))
+    rows.sort(key=lambda row: row.time)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Dict round trip (the YAML/JSON surface)
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: ScenarioSpec) -> dict:
+    """Plain-data form of a spec (inverse of :func:`spec_from_dict`)."""
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "scale": spec.scale,
+        "config_overrides": spec.overrides_dict(),
+        "schedulers": list(spec.schedulers),
+        "n_static_peers": spec.n_static_peers,
+        "stagger": spec.stagger,
+        "duration_seconds": spec.duration_seconds,
+        "warmup_seconds": spec.warmup_seconds,
+        "churn": spec.churn,
+        "events": [event.to_dict() for event in spec.events],
+    }
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Build and validate a spec from plain data (YAML/JSON payload)."""
+    payload = dict(data)
+    events = tuple(
+        event_from_dict(event) for event in payload.pop("events", [])
+    )
+    overrides = payload.pop("config_overrides", {})
+    schedulers = tuple(payload.pop("schedulers", ("auction", "locality")))
+    unknown = set(payload) - {
+        "name", "description", "scale", "n_static_peers", "stagger",
+        "duration_seconds", "warmup_seconds", "churn",
+    }
+    if unknown:
+        raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+    spec = ScenarioSpec(
+        events=events,
+        config_overrides=overrides,
+        schedulers=schedulers,
+        **payload,
+    )
+    spec.validate()
+    return spec

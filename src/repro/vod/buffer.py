@@ -147,6 +147,17 @@ class ChunkBuffer:
         self._count += added
         return added
 
+    def note_external_writes(self, added: int) -> None:
+        """Credit ``added`` chunks written directly into the bound storage.
+
+        The peer-state store's grouped delivery writes whole batches into
+        the shared bitmap matrix this buffer is a view of; the bits are
+        already set when this is called — only the held-chunk count needs
+        to catch up.  Caller contract: ``added`` is the number of bits
+        that actually flipped 0→1 in this buffer's row.
+        """
+        self._count += added
+
     def fill_range(self, start: int, stop: int) -> None:
         """Mark ``[start, stop)`` as held — used to pre-seed buffers."""
         if start < 0 or stop > self.video.n_chunks or start > stop:

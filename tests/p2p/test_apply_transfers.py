@@ -147,6 +147,113 @@ class TestApplyEquivalence:
         assert system.traffic_matrix.total() == before
 
 
+class TestGroupedDelivery:
+    """The store's per-bucket delivery writes vs the per-peer loop."""
+
+    def _hand_problem(self, system, edges):
+        """Problem with one request per (watcher, chunk, uploader) edge."""
+        problem = SchedulingProblem()
+        assignment = {}
+        for r, (watcher, index, uploader) in enumerate(edges):
+            problem.set_capacity(uploader.peer_id, len(edges))
+            problem.add_request(
+                peer=watcher.peer_id,
+                chunk=(watcher.video.video_id, index),
+                valuation=5.0,
+                candidates={uploader.peer_id: 1.0},
+            )
+            assignment[r] = uploader.peer_id
+        return problem, ScheduleResult(assignment=assignment)
+
+    def _watchers_and_seed(self, system):
+        by_video = {}
+        for peer in system.peers.values():
+            if peer.watching:
+                by_video.setdefault(peer.video.video_id, []).append(peer)
+        video_id, watchers = max(
+            by_video.items(), key=lambda kv: (len(kv[1]), -kv[0])
+        )
+        seed = next(
+            p for p in system.peers.values()
+            if p.is_seed and p.video.video_id == video_id
+        )
+        return watchers, seed
+
+    def test_interleaved_owner_runs(self):
+        """A peer split across several runs accumulates across them."""
+        system = build_system(SCENARIOS["static"])
+        system.run_slot()
+        watchers, seed = self._watchers_and_seed(system)
+        roomy = [
+            w for w in watchers if int((~w.buffer.mask).sum()) >= 2
+        ]
+        a, b = roomy[0], roomy[1]
+        a_missing = np.nonzero(~a.buffer.mask)[0][:2].tolist()
+        b_missing = np.nonzero(~b.buffer.mask)[0][:1].tolist()
+        edges = [
+            (a, int(a_missing[0]), seed),
+            (b, int(b_missing[0]), seed),
+            (a, int(a_missing[1]), seed),  # same owner, new run
+        ]
+        problem, result = self._hand_problem(system, edges)
+        before_a, before_b = a.chunks_downloaded, b.chunks_downloaded
+        inter, intra = system._apply_transfers(problem, result)
+        assert inter + intra == 3
+        assert a.chunks_downloaded == before_a + 2
+        assert b.chunks_downloaded == before_b + 1
+        assert all(a.buffer.holds(i) for i in a_missing)
+        assert b.buffer.holds(b_missing[0])
+        assert len(a.buffer) == int(a.buffer.mask.sum())
+
+    def test_already_held_chunks_count_zero(self):
+        system = build_system(SCENARIOS["static"])
+        system.run_slot()
+        watchers, seed = self._watchers_and_seed(system)
+        w = watchers[0]
+        held = int(np.nonzero(w.buffer.mask)[0][0])
+        problem, result = self._hand_problem(system, [(w, held, seed)])
+        before = w.chunks_downloaded
+        count_before = len(w.buffer)
+        system._apply_transfers(problem, result)
+        assert w.chunks_downloaded == before
+        assert len(w.buffer) == count_before
+
+    def test_capped_buffer_uses_fallback_path(self):
+        system = build_system(SCENARIOS["static"])
+        system.run_slot()
+        watchers, seed = self._watchers_and_seed(system)
+        w = watchers[0]
+        w.buffer.capacity_chunks = w.video.n_chunks  # capped, no eviction
+        missing = int(np.nonzero(~w.buffer.mask)[0][0])
+        problem, result = self._hand_problem(system, [(w, missing, seed)])
+        before = w.chunks_downloaded
+        system._apply_transfers(problem, result)
+        assert w.chunks_downloaded == before + 1
+        assert w.buffer.holds(missing)
+
+    def test_deliver_runs_multi_run_batch(self):
+        """Direct store contract: per-run new counts, count catch-up."""
+        system = build_system(SCENARIOS["multivideo"])
+        system.run_slot()
+        movers = [p for p in system.peers.values() if p.watching][:3]
+        chunks = []
+        starts = []
+        for peer in movers:
+            starts.append(len(chunks))
+            chunks.extend(np.nonzero(~peer.buffer.mask)[0][:2].tolist())
+        starts = np.asarray(starts, dtype=np.int64)
+        stops = np.append(starts[1:], len(chunks))
+        counts_before = [len(p.buffer) for p in movers]
+        added = system.store.deliver_runs(
+            movers, starts, stops, np.asarray(chunks, dtype=np.int64)
+        )
+        assert added.tolist() == [2, 2, 2]
+        for peer, before in zip(movers, counts_before):
+            assert len(peer.buffer) == before + 2
+            assert len(peer.buffer) == int(peer.buffer.mask.sum())
+        system.store.check_consistency(system.peers, system.tracker)
+
+
 class TestBudgetVectorization:
     @pytest.mark.parametrize("rounds", [1, 2, 3, 4, 7])
     def test_shares_match_scalar_round_budget(self, rounds):

@@ -1,0 +1,89 @@
+"""CLI round trip for ``python -m repro scenario list|run``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenarios import scenario_names
+
+
+class TestParser:
+    def test_scenario_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "flash-crowd", "--scale", "tiny", "--no-save"]
+        )
+        assert args.name == "flash-crowd"
+        assert args.scale == "tiny"
+        assert args.no_save
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenario", "run", "flash-crowd", "--scale", "galactic"]
+            )
+
+
+class TestCommands:
+    def test_list_names_every_catalog_entry(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_run_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.txt"
+        code = main(
+            [
+                "--seed", "4",
+                "scenario", "run", "isp-price-shock",
+                "--scale", "tiny",
+                "--duration", "30",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        text = out_path.read_text(encoding="utf-8")
+        assert "isp-price-shock" in text
+        assert "cost-shock" in text
+        assert text.strip() in capsys.readouterr().out
+
+    def test_run_accepts_spec_file(self, tmp_path, capsys):
+        from repro.scenarios import build_scenario, dump_scenario
+
+        spec = build_scenario("capacity-ramp", scale="tiny").abridged(
+            30.0, schedulers=("auction",)
+        )
+        path = tmp_path / "custom.json"
+        dump_scenario(spec, path)
+        assert main(["scenario", "run", str(path), "--no-save"]) == 0
+        assert "capacity-ramp" in capsys.readouterr().out
+
+    def test_run_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["scenario", "run", "no-such-workload", "--no-save"])
+
+    def test_scale_override_keeps_spec_warmup(self, tmp_path, capsys):
+        """--scale on a spec file rescales only — warm-up is preserved."""
+        import dataclasses
+
+        from repro.scenarios import build_scenario, dump_scenario
+
+        spec = dataclasses.replace(
+            build_scenario("capacity-ramp", scale="bench"),
+            schedulers=("auction",),
+            duration_seconds=20.0,
+            warmup_seconds=10.0,
+        )
+        path = tmp_path / "warm.json"
+        dump_scenario(spec, path)
+        assert main(
+            ["scenario", "run", str(path), "--scale", "tiny", "--no-save"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scale=tiny" in out
+        assert "(warmup 10s)" in out

@@ -1,0 +1,101 @@
+"""Spec validation and the YAML/JSON round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    CostShock,
+    FlashCrowd,
+    ScenarioSpec,
+    SeederOutage,
+    build_scenario,
+    dump_scenario,
+    event_from_dict,
+    load_scenario,
+    scenario_names,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+class TestValidation:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            ScenarioSpec(name="x", scale="huge").validate()
+
+    def test_empty_schedulers_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            ScenarioSpec(name="x", schedulers=()).validate()
+
+    def test_negative_event_time_rejected(self):
+        spec = ScenarioSpec(name="x", events=(CostShock(time=-1.0),))
+        with pytest.raises(ValueError, match="time"):
+            spec.validate()
+
+    def test_bad_override_surfaces_at_validate(self):
+        spec = ScenarioSpec(
+            name="x", config_overrides={"no_such_knob": 1}
+        )
+        with pytest.raises(TypeError):
+            spec.validate()
+
+    def test_half_specified_isp_pair_rejected(self):
+        with pytest.raises(ValueError, match="isp_a"):
+            CostShock(time=0.0, factor=2.0, isp_a=1).validate()
+
+    def test_outage_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            SeederOutage(time=0.0, fraction=0.0).validate()
+
+    def test_overrides_normalize_to_sorted_tuple(self):
+        a = ScenarioSpec(name="x", config_overrides={"b": 2, "a": 1})
+        b = ScenarioSpec(name="x", config_overrides={"a": 1, "b": 2})
+        assert a == b
+        assert a.overrides_dict() == {"a": 1, "b": 2}
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_catalog_round_trips_through_dict(self, name):
+        spec = build_scenario(name, scale="tiny")
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_unknown_field_rejected(self):
+        data = spec_to_dict(build_scenario("flash-crowd", scale="tiny"))
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            spec_from_dict(data)
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "martian-invasion", "time": 0.0})
+
+    def test_event_round_trip_preserves_fields(self):
+        event = FlashCrowd(
+            time=12.0, n_peers=7, over_seconds=3.0, video_id=1
+        )
+        assert event_from_dict(event.to_dict()) == event
+
+
+class TestFileRoundTrip:
+    @pytest.mark.parametrize("suffix", [".json", ".yaml"])
+    def test_file_round_trip(self, tmp_path, suffix):
+        if suffix == ".yaml":
+            pytest.importorskip("yaml")
+        spec = build_scenario("seeder-failure", scale="tiny")
+        path = tmp_path / f"spec{suffix}"
+        dump_scenario(spec, path)
+        assert load_scenario(path) == spec
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text("x", encoding="utf-8")
+        with pytest.raises(ValueError, match="file type"):
+            load_scenario(path)
+
+    def test_non_mapping_file_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError, match="mapping"):
+            load_scenario(path)

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.p2p",
     "repro.metrics",
     "repro.experiments",
+    "repro.scenarios",
 ]
 
 
