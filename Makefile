@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all bench-xl scenarios scenarios-smoke
+.PHONY: test test-props bench bench-quick bench-all bench-xl scenarios scenarios-smoke scenarios-lossy
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,13 @@ bench-xl:
 # slots end to end (tier-1 runs the same tests via `make test`).
 scenarios-smoke:
 	$(PYTHON) -m pytest tests/scenarios/test_smoke.py -q
+
+# The two lossy-network catalog scenarios at tiny scale: a quick
+# end-to-end drive of the link model + retry pipeline (report only,
+# nothing written — the committed reports are bench scale).
+scenarios-lossy:
+	$(PYTHON) -m repro scenario run lossy-backbone --scale tiny --no-save
+	$(PYTHON) -m repro scenario run flaky-isp --scale tiny --no-save
 
 # Regenerate every catalog scenario's bench-scale report under results/.
 scenarios:

@@ -17,8 +17,9 @@ comparing:
   ``_apply_transfers`` epilogue + the store's batched
   ``_advance_playback`` sweep.
 
-Scenarios with ``reference=False`` (the 10k tier) skip every seed-path
-timing; see benchmarks/README.md for the tier caveats.
+Scenarios with ``reference=False`` (the 10k tier, and the lossy row —
+the seed apply path has no link model) skip every seed-path timing;
+see benchmarks/README.md for the tier caveats.
 
 Apply and playback mutate system state, so their min-of-N timing
 snapshots and restores the touched state between repeats (and keeps
@@ -122,10 +123,19 @@ SCENARIOS: Dict[str, dict] = {
             events=(CostShock(time=15.0, factor=3.0),),
         ),
     ),
+    # Lossy row: the link-condition table stays degraded for the whole
+    # run, so the timed apply pays the Bernoulli loss draw, failure
+    # split and retry-queue push on every slot, and the timed build
+    # pays the pending-retry request suppression.  ``reference=False``
+    # because the seed apply path has no link model to compare against.
+    "lossy-medium": dict(
+        n_peers=2000, slots=3, churn=False, overrides={},
+        gauss_seidel=False, reference=False, link_preset="loss10",
+    ),
 }
 DEFAULT_SCENARIOS = [
     "static-small", "static-medium", "churn-medium", "multivideo-medium",
-    "flashcrowd-medium", "priceshock-medium", "static-large",
+    "flashcrowd-medium", "priceshock-medium", "lossy-medium", "static-large",
 ]
 #: The 5k/10k tier (``make bench-xl``); static-large also runs in the
 #: default set so the committed JSON always carries a 5k-peer row.
@@ -252,18 +262,36 @@ def snapshot_transfer_state(system: P2PSystem, problem, result) -> dict:
             len(peer.buffer),
             peer.chunks_downloaded,
             peer.chunks_uploaded,
+            peer.first_delivery_time,
         )
-    return dict(peers=peers, traffic=system.traffic_matrix._counts.copy())
+    # Under lossy link conditions the apply path additionally draws
+    # from the link-conditions RNG, pushes failures into the retry
+    # queue and bumps the per-slot failure/delay accumulators — all of
+    # which must rewind between repeats or min-of-N timings would see
+    # different loss draws (and a growing queue) on every repeat.
+    return dict(
+        peers=peers,
+        traffic=system.traffic_matrix._counts.copy(),
+        retry=system.retry_queue.snapshot(),
+        link_rng=system._link_rng.bit_generator.state,
+        slot_failed=system._slot_transfers_failed,
+        slot_delay=system._slot_link_delay_ms,
+    )
 
 
 def restore_transfer_state(system: P2PSystem, snap: dict) -> None:
-    for pid, (mask, count, downloaded, uploaded) in snap["peers"].items():
+    for pid, (mask, count, downloaded, uploaded, first) in snap["peers"].items():
         peer = system.peers[pid]
         peer.buffer._mask[:] = mask
         peer.buffer._count = count
         peer.chunks_downloaded = downloaded
         peer.chunks_uploaded = uploaded
+        peer.first_delivery_time = first
     system.traffic_matrix._counts[:] = snap["traffic"]
+    system.retry_queue.restore(snap["retry"])
+    system._link_rng.bit_generator.state = snap["link_rng"]
+    system._slot_transfers_failed = snap["slot_failed"]
+    system._slot_link_delay_ms = snap["slot_delay"]
 
 
 def snapshot_playback_state(system: P2PSystem) -> dict:
@@ -389,6 +417,10 @@ def build_system(spec: dict, seed: int) -> P2PSystem:
     )
     system = P2PSystem(config)
     system.populate_static(spec["n_peers"])
+    if spec.get("link_preset"):
+        # Degrade before the warm-up slot so the measured slots start
+        # with a realistically populated retry queue.
+        system.apply_link_preset(spec["link_preset"])
     return system
 
 
@@ -424,6 +456,13 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             apply_event(system, timeline[next_event], outage_caps)
             next_event += 1
         system._refill_neighbors()
+        # The retry sweep runs outside the timed region, as run_slot
+        # would: it drains due retries left by the previous slot's
+        # (single real) apply, so each measured build sees the pending
+        # set the live pipeline would.  No-op for ideal rows.
+        system._slot_transfers_failed = 0
+        system._slot_link_delay_ms = 0.0
+        system._process_retries(t)
         budgets = {
             p.peer_id: p.upload_capacity_chunks for p in system.peers.values()
             if p.upload_capacity_chunks > 0

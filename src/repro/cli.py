@@ -167,6 +167,30 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_import_trace(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioRunner, dump_scenario, import_trace
+
+    spec = import_trace(
+        args.trace,
+        name=args.name or "",
+        scale=args.scale or "bench",
+        duration_seconds=args.duration or 0.0,
+    )
+    out = args.output or pathlib.Path("results") / f"scenario_{spec.name}.json"
+    out = pathlib.Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    dump_scenario(spec, out)
+    print(
+        f"imported {len(spec.events[0].arrivals)} arrivals from {args.trace} "
+        f"-> {out} (duration {spec.duration_seconds:g}s)"
+    )
+    if args.run:
+        result = ScenarioRunner(spec, seed=args.seed).run()
+        print()
+        print(result.render_report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-p2p",
@@ -232,6 +256,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-save", action="store_true", help="print the report only"
     )
     scn_run.set_defaults(func=_cmd_scenario_run)
+    scn_import = scn_sub.add_parser(
+        "import-trace",
+        help="convert a VoD arrival log (CSV/JSON: time, peer, video) "
+        "into a replayable scenario spec file",
+    )
+    scn_import.add_argument("trace", help="path to the arrival log")
+    scn_import.add_argument(
+        "--name", default=None, help="scenario name (default trace-<stem>)"
+    )
+    scn_import.add_argument(
+        "--scale",
+        choices=("tiny", "bench", "paper"),
+        default=None,
+        help="system scale preset for the replay (default bench)",
+    )
+    scn_import.add_argument(
+        "--duration", type=float, default=None,
+        help="horizon in seconds (default: last arrival + 2 slots)",
+    )
+    scn_import.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="spec file path (default results/scenario_<name>.json)",
+    )
+    scn_import.add_argument(
+        "--run", action="store_true",
+        help="also run the imported scenario and print its report",
+    )
+    scn_import.set_defaults(func=_cmd_scenario_import_trace)
     return parser
 
 

@@ -31,6 +31,17 @@ class SlotMetrics:
     chunks_due: int
     chunks_missed: int
     auction_rounds: int = 0
+    # Lossy-link counters (net/linkmodel.py + p2p/retry.py); all stay at
+    # their defaults under ideal conditions, so pre-existing consumers
+    # and archived outputs are unaffected.
+    transfers_failed: int = 0
+    retry_attempts: int = 0
+    retry_succeeded: int = 0
+    retry_surrendered: int = 0
+    retry_evicted: int = 0
+    retry_pending: int = 0
+    link_delay_ms: float = 0.0
+    link_regime: str = "ideal"
 
     @property
     def inter_isp_fraction(self) -> float:
@@ -42,6 +53,21 @@ class SlotMetrics:
     def miss_rate(self) -> float:
         """Fraction of due chunks that missed their deadline this slot."""
         return self.chunks_missed / self.chunks_due if self.chunks_due else 0.0
+
+    @property
+    def retry_success_rate(self) -> float:
+        """Fraction of this slot's retry attempts that delivered."""
+        return (
+            self.retry_succeeded / self.retry_attempts
+            if self.retry_attempts
+            else 0.0
+        )
+
+    @property
+    def mean_link_delay_ms(self) -> float:
+        """Mean per-chunk link latency over this slot's deliveries."""
+        total = self.inter_isp_chunks + self.intra_isp_chunks
+        return self.link_delay_ms / total if total else 0.0
 
 
 class MetricsCollector:
@@ -105,4 +131,28 @@ class MetricsCollector:
             "miss_rate": missed / due if due else 0.0,
             "served_total": float(sum(s.n_served for s in self.slots)),
             "requests_total": float(sum(s.n_requests for s in self.slots)),
+            "transfers_failed_total": float(
+                sum(s.transfers_failed for s in self.slots)
+            ),
+            "retry_attempts_total": float(
+                sum(s.retry_attempts for s in self.slots)
+            ),
+            "retry_succeeded_total": float(
+                sum(s.retry_succeeded for s in self.slots)
+            ),
+            "retry_surrendered_total": float(
+                sum(s.retry_surrendered for s in self.slots)
+            ),
         }
+
+    def regime_segments(self) -> Dict[str, List[SlotMetrics]]:
+        """Slots grouped by the link regime active when they ran.
+
+        Insertion-ordered by first appearance, so a degrade→restore run
+        yields ``{"ideal": [...], "loss10": [...], ...}`` in timeline
+        order.  Ideal-only runs collapse to a single ``"ideal"`` group.
+        """
+        groups: Dict[str, List[SlotMetrics]] = {}
+        for slot in self.slots:
+            groups.setdefault(slot.link_regime, []).append(slot)
+        return groups

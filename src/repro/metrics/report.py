@@ -13,7 +13,13 @@ import numpy as np
 
 from .timeseries import TimeSeries
 
-__all__ = ["comparison_table", "render_table", "sparkline", "series_block"]
+__all__ = [
+    "comparison_table",
+    "qoe_block",
+    "render_table",
+    "sparkline",
+    "series_block",
+]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -94,3 +100,66 @@ def comparison_table(
         [value_name, "mean", f"tail{int(tail_fraction*100)}%", "min", "max", "trend"],
         rows,
     )
+
+
+def qoe_block(
+    collectors_by_scheduler: Dict[str, object],
+    startup_by_scheduler: Optional[Dict[str, Sequence[float]]] = None,
+) -> str:
+    """Per-link-regime QoE comparison across schedulers.
+
+    One row per (scheduler, regime) segment of each run — the regime
+    label is stamped into every :class:`~repro.metrics.collectors.
+    SlotMetrics` by the system's link-condition table, so a
+    degrade→restore scenario yields ideal/degraded/ideal segments under
+    *identical* workloads.  Columns: slots in the segment, rebuffer/miss
+    rate, first-pass transfer failures, retry deliveries over attempts
+    (with the success rate), transfers surrendered back to the auction,
+    intra-ISP locality share, and mean per-chunk link latency.
+
+    ``startup_by_scheduler`` optionally maps scheduler →
+    ``(mean_startup_seconds, n_peers)`` (join → first delivered chunk),
+    rendered as a trailing summary line.
+    """
+    headers = [
+        "scheduler", "regime", "slots", "miss_rate", "failed",
+        "retry_ok/att", "retry_rate", "surrendered", "intra_share",
+        "delay_ms",
+    ]
+    rows: List[List[object]] = []
+    for name, collector in collectors_by_scheduler.items():
+        for regime, segment in collector.regime_segments().items():
+            due = sum(s.chunks_due for s in segment)
+            missed = sum(s.chunks_missed for s in segment)
+            inter = sum(s.inter_isp_chunks for s in segment)
+            intra = sum(s.intra_isp_chunks for s in segment)
+            failed = sum(s.transfers_failed for s in segment)
+            attempts = sum(s.retry_attempts for s in segment)
+            succeeded = sum(s.retry_succeeded for s in segment)
+            surrendered = sum(s.retry_surrendered for s in segment)
+            delay = sum(s.link_delay_ms for s in segment)
+            chunks = inter + intra
+            rows.append(
+                [
+                    name,
+                    regime,
+                    len(segment),
+                    missed / due if due else 0.0,
+                    failed,
+                    f"{succeeded}/{attempts}",
+                    succeeded / attempts if attempts else 0.0,
+                    surrendered,
+                    intra / chunks if chunks else 0.0,
+                    delay / chunks if chunks else 0.0,
+                ]
+            )
+    lines = ["QoE per link regime", render_table(headers, rows)]
+    if startup_by_scheduler:
+        parts = [
+            f"{name}={mean:.1f}s/{int(n)}p"
+            for name, (mean, n) in startup_by_scheduler.items()
+        ]
+        lines.append(
+            "startup delay (join→first chunk): " + " ".join(parts)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,363 @@
+"""Netem-style per-ISP-pair link conditions (the lossy-network layer).
+
+The emulator's transfers historically completed ideally: every chunk the
+scheduler assigned landed in the downstream buffer within the slot.
+:class:`LinkConditions` is the deterministic fault-injection layer that
+breaks that assumption, in the spirit of a ``netem`` matrix: each
+(ISP a, ISP b) link carries a :class:`LinkParams` record of
+
+* ``loss_rate`` — per-chunk Bernoulli delivery failure,
+* ``bandwidth_cap`` — aggregate chunks/slot the pair's link carries;
+  excess scheduled chunks are truncated (partial delivery),
+* ``delay_ms`` / ``jitter_ms`` — per-chunk one-way latency, sampled as
+  ``max(0, delay + jitter·N(0,1))``; latency never blocks a 10-second
+  slot but feeds the QoE report (mean chunk latency, startup delay).
+
+Evaluation is vectorized over the slot's assigned-transfer arrays
+(:meth:`LinkConditions.evaluate`) and draws only from the RNG stream the
+caller passes (the system's dedicated ``link-conditions`` stream).  The
+default table is **ideal** — no pair degraded — and an ideal table is
+never evaluated, so pre-existing trajectories and archived results
+regenerate byte-identically.
+
+Named regime presets mirror the classic netem matrix: ``delay10``,
+``loss10``, ``loss30-delay50`` (see :data:`REGIME_PRESETS`); the
+scenario engine applies them via ``link-degrade`` / ``link-restore``
+timed events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LinkConditions",
+    "LinkOutcome",
+    "LinkParams",
+    "REGIME_PRESETS",
+    "link_preset",
+    "preset_names",
+]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Link conditions of one ISP pair (netem-style knobs)."""
+
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    bandwidth_cap: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.delay_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("delay_ms and jitter_ms must be >= 0")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1], got {self.loss_rate!r}"
+            )
+        if self.bandwidth_cap is not None and self.bandwidth_cap < 0:
+            raise ValueError(
+                f"bandwidth_cap must be >= 0 or None, got {self.bandwidth_cap!r}"
+            )
+
+    @property
+    def ideal(self) -> bool:
+        """Whether these conditions are indistinguishable from no model."""
+        return (
+            self.delay_ms == 0.0
+            and self.jitter_ms == 0.0
+            and self.loss_rate == 0.0
+            and self.bandwidth_cap is None
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.loss_rate:
+            parts.append(f"loss={self.loss_rate:.0%}")
+        if self.delay_ms or self.jitter_ms:
+            parts.append(f"delay={self.delay_ms:g}±{self.jitter_ms:g}ms")
+        if self.bandwidth_cap is not None:
+            parts.append(f"cap={self.bandwidth_cap}ch/slot")
+        return " ".join(parts) if parts else "ideal"
+
+
+#: The netem regime matrix: preset name → LinkParams.  ``ideal`` resets.
+REGIME_PRESETS: Dict[str, LinkParams] = {
+    "ideal": LinkParams(),
+    "delay10": LinkParams(delay_ms=10.0),
+    "loss10": LinkParams(loss_rate=0.10),
+    "loss30-delay50": LinkParams(loss_rate=0.30, delay_ms=50.0, jitter_ms=10.0),
+}
+
+
+def preset_names() -> List[str]:
+    """Registered regime preset names, sorted."""
+    return sorted(REGIME_PRESETS)
+
+
+def link_preset(name: str) -> LinkParams:
+    """Look up a named regime preset."""
+    try:
+        return REGIME_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown link regime {name!r}; known: {preset_names()}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class LinkOutcome:
+    """Vectorized verdict for one batch of assigned transfers.
+
+    ``delivered`` marks edges that completed; ``lost`` the Bernoulli
+    failures; ``truncated`` the bandwidth-cap overflow (an edge is never
+    both).  ``delay_ms`` holds per-edge latency samples for *delivered*
+    edges (0 elsewhere) so QoE can average chunk latency.
+    """
+
+    delivered: np.ndarray
+    lost: np.ndarray
+    truncated: np.ndarray
+    delay_ms: np.ndarray
+
+    @property
+    def n_failed(self) -> int:
+        return int(self.lost.sum()) + int(self.truncated.sum())
+
+
+class LinkConditions:
+    """Per-ISP-pair link-condition table, vectorized over transfer batches.
+
+    The table starts ideal.  Degrading a pair (or every inter-ISP pair)
+    installs a :class:`LinkParams`; :meth:`evaluate` then classifies a
+    batch of assigned transfers into delivered / lost / truncated and
+    samples per-chunk latency.  All randomness comes from the generator
+    passed to :meth:`evaluate` — an ideal table performs no draws (it is
+    never evaluated), so enabling the subsystem cannot perturb existing
+    trajectories.
+    """
+
+    def __init__(self, n_isps: int) -> None:
+        if n_isps < 1:
+            raise ValueError(f"need at least one ISP, got {n_isps!r}")
+        self.n_isps = int(n_isps)
+        n = self.n_isps
+        self._loss = np.zeros((n, n), dtype=float)
+        self._delay = np.zeros((n, n), dtype=float)
+        self._jitter = np.zeros((n, n), dtype=float)
+        self._cap = np.full((n, n), -1, dtype=np.int64)  # −1 = uncapped
+        self._n_degraded = 0
+        #: Label of the regime currently applied ("ideal", a preset
+        #: name, or "custom") — stamped into per-slot metrics so the
+        #: QoE report can segment a run by regime.
+        self.regime = "ideal"
+
+    # ------------------------------------------------------------------
+    # Table maintenance
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any pair is degraded (ideal tables are skipped)."""
+        return self._n_degraded > 0
+
+    def pair(self, isp_a: int, isp_b: int) -> LinkParams:
+        """Current conditions between two ISPs (symmetric)."""
+        a, b = self._check_pair(isp_a, isp_b)
+        cap = int(self._cap[a, b])
+        return LinkParams(
+            delay_ms=float(self._delay[a, b]),
+            jitter_ms=float(self._jitter[a, b]),
+            loss_rate=float(self._loss[a, b]),
+            bandwidth_cap=None if cap < 0 else cap,
+        )
+
+    def set_pair(self, isp_a: int, isp_b: int, params: LinkParams) -> None:
+        """Install ``params`` on the (symmetric) pair ``(isp_a, isp_b)``."""
+        params.validate()
+        a, b = self._check_pair(isp_a, isp_b)
+        was_ideal = self.pair(a, b).ideal
+        for i, j in ((a, b), (b, a)):
+            self._loss[i, j] = params.loss_rate
+            self._delay[i, j] = params.delay_ms
+            self._jitter[i, j] = params.jitter_ms
+            self._cap[i, j] = -1 if params.bandwidth_cap is None else params.bandwidth_cap
+        if was_ideal and not params.ideal:
+            self._n_degraded += 1
+        elif not was_ideal and params.ideal:
+            self._n_degraded -= 1
+
+    def degrade(
+        self,
+        params: LinkParams,
+        isp_a: Optional[int] = None,
+        isp_b: Optional[int] = None,
+    ) -> int:
+        """Install ``params`` on a pair selection; returns pairs touched.
+
+        ``isp_a`` and ``isp_b`` both ``None``: every *inter*-ISP pair
+        (a degraded backbone — intra-ISP links stay ideal).  ``isp_a``
+        alone: every pair touching that ISP, intra included (a flaky
+        access network).  Both given: exactly that pair.
+        """
+        if isp_a is None and isp_b is not None:
+            raise ValueError("give isp_a when giving isp_b")
+        pairs = self._select_pairs(isp_a, isp_b)
+        for a, b in pairs:
+            self.set_pair(a, b, params)
+        return len(pairs)
+
+    def restore(
+        self, isp_a: Optional[int] = None, isp_b: Optional[int] = None
+    ) -> int:
+        """Reset a pair selection to ideal (inverse of :meth:`degrade`)."""
+        if isp_a is None and isp_b is not None:
+            raise ValueError("give isp_a when giving isp_b")
+        if isp_a is None:
+            # Full reset covers intra pairs too: a restore-all always
+            # returns the table to the pristine ideal state.
+            pairs = [
+                (a, b)
+                for a in range(self.n_isps)
+                for b in range(a, self.n_isps)
+            ]
+        else:
+            pairs = self._select_pairs(isp_a, isp_b)
+        for a, b in pairs:
+            self.set_pair(a, b, LinkParams())
+        if not self.active:
+            self.regime = "ideal"
+        return len(pairs)
+
+    def _select_pairs(
+        self, isp_a: Optional[int], isp_b: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        n = self.n_isps
+        if isp_a is None:
+            return [(a, b) for a in range(n) for b in range(a + 1, n)]
+        if isp_b is None:
+            a, _ = self._check_pair(isp_a, isp_a)
+            return [(min(a, b), max(a, b)) for b in range(n)]
+        return [self._check_pair(isp_a, isp_b)]
+
+    def _check_pair(self, isp_a: int, isp_b: int) -> Tuple[int, int]:
+        a, b = int(isp_a), int(isp_b)
+        if not (0 <= a < self.n_isps and 0 <= b < self.n_isps):
+            raise ValueError(
+                f"ISP pair ({isp_a}, {isp_b}) outside [0, {self.n_isps})"
+            )
+        return (a, b) if a <= b else (b, a)
+
+    def describe(self) -> str:
+        """One-line summary of the degraded pairs (empty table: 'ideal')."""
+        if not self.active:
+            return "ideal"
+        parts = []
+        for a in range(self.n_isps):
+            for b in range(a, self.n_isps):
+                p = self.pair(a, b)
+                if not p.ideal:
+                    parts.append(f"({a},{b}): {p.describe()}")
+        return "; ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        up_isps: np.ndarray,
+        down_isps: np.ndarray,
+        rng: np.random.Generator,
+    ) -> LinkOutcome:
+        """Classify one batch of assigned transfers under the table.
+
+        ``up_isps`` / ``down_isps`` are the per-edge ISP indices of the
+        uploader and downstream peer, in assignment order.  Draw counts
+        depend only on the batch size and which knob families are
+        active (one uniform per edge for loss, one normal per edge when
+        any pair jitters), never on the outcomes — so trajectories are
+        reproducible for a fixed (conditions, edge-count) sequence.
+
+        Bandwidth caps apply per ISP pair to the *surviving* edges in
+        batch order: the first ``cap`` chunks cross, the rest are
+        truncated (the partial-delivery regime).  Same-ISP edges use the
+        pair's (a, a) entry, degraded only by ISP-targeted selections.
+        """
+        up = np.asarray(up_isps, dtype=np.int64)
+        down = np.asarray(down_isps, dtype=np.int64)
+        n = len(up)
+        if n == 0:
+            empty_b = np.empty(0, dtype=bool)
+            return LinkOutcome(empty_b, empty_b.copy(), empty_b.copy(),
+                               np.empty(0, dtype=float))
+        loss = self._loss[up, down]
+        if loss.any():
+            lost = rng.random(n) < loss
+        elif self.active:
+            rng.random(n)  # fixed draw schedule across regime changes
+            lost = np.zeros(n, dtype=bool)
+        else:
+            lost = np.zeros(n, dtype=bool)
+        truncated = np.zeros(n, dtype=bool)
+        caps = self._cap[up, down]
+        capped = caps >= 0
+        if capped.any():
+            # Occurrence index of each surviving edge within its ISP
+            # pair, in batch order; index >= cap overflows the link.
+            codes = up * self.n_isps + down
+            codes = np.minimum(codes, down * self.n_isps + up)  # symmetric
+            alive = ~lost
+            order = np.argsort(codes[alive], kind="stable")
+            sorted_codes = codes[alive][order]
+            starts = np.concatenate(
+                ([0], np.nonzero(np.diff(sorted_codes))[0] + 1)
+            )
+            occ = np.arange(len(sorted_codes), dtype=np.int64)
+            occ -= np.repeat(starts, np.diff(np.concatenate((starts, [len(sorted_codes)]))))
+            occ_full = np.empty(len(sorted_codes), dtype=np.int64)
+            occ_full[order] = occ
+            over = np.zeros(n, dtype=bool)
+            alive_caps = caps[alive]
+            over[np.nonzero(alive)[0]] = (alive_caps >= 0) & (
+                occ_full >= np.maximum(alive_caps, 0)
+            )
+            truncated = over
+        delivered = ~(lost | truncated)
+        delay = np.zeros(n, dtype=float)
+        if self._delay.any() or self._jitter.any():
+            base = self._delay[up, down]
+            jit = self._jitter[up, down]
+            if self._jitter.any():
+                noise = rng.standard_normal(n)
+            else:
+                noise = 0.0
+            delay = np.maximum(0.0, base + jit * noise)
+            delay[~delivered] = 0.0
+        return LinkOutcome(
+            delivered=delivered, lost=lost, truncated=truncated, delay_ms=delay
+        )
+
+    # ------------------------------------------------------------------
+    # Preset application
+    # ------------------------------------------------------------------
+    def apply_preset(
+        self,
+        name: str,
+        isp_a: Optional[int] = None,
+        isp_b: Optional[int] = None,
+    ) -> int:
+        """Degrade a pair selection with a named regime; returns pairs set.
+
+        ``"ideal"`` restores the selection instead.  Updates
+        :attr:`regime` to the preset name (or ``"ideal"`` once nothing
+        is degraded).
+        """
+        params = link_preset(name)
+        if params.ideal:
+            return self.restore(isp_a, isp_b)
+        touched = self.degrade(params, isp_a, isp_b)
+        self.regime = name
+        return touched

@@ -100,6 +100,16 @@ class SystemConfig:
     warm_start_prices: bool = False
     warm_start_across_slots: bool = False
 
+    # Retry pipeline for lossy link conditions (net/linkmodel.py): a
+    # failed or truncated transfer waits backoff_base · 2^(attempt−1)
+    # slots (capped at retry_backoff_cap_slots) between attempts, and is
+    # surrendered back to the auction once it has sat in the queue for
+    # retry_ttl_slots slots.  Irrelevant under ideal conditions — the
+    # queue stays empty.
+    retry_backoff_base_slots: int = 1
+    retry_backoff_cap_slots: int = 4
+    retry_ttl_slots: int = 6
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
@@ -145,6 +155,10 @@ class SystemConfig:
             raise ValueError(
                 "warm_start_across_slots requires warm_start_prices"
             )
+        if self.retry_backoff_base_slots < 1 or self.retry_backoff_cap_slots < 1:
+            raise ValueError("retry backoff slots must be >= 1")
+        if self.retry_ttl_slots < 1:
+            raise ValueError("retry_ttl_slots must be >= 1")
 
     # ------------------------------------------------------------------
     # Presets

@@ -80,6 +80,10 @@ class Peer:
         self.departure_time = departure_time
         self.chunks_uploaded = 0
         self.chunks_downloaded = 0
+        #: Slot time of the first chunk delivered to this peer (``None``
+        #: until then) — startup delay in the QoE report is
+        #: ``first_delivery_time - joined_at``.
+        self.first_delivery_time: Optional[float] = None
         #: Set by the peer-state store on admission: the per-video
         #: :class:`~repro.p2p.state.VideoGroup` this peer occupies and
         #: its row in the group's bitmap matrices (``None`` while the

@@ -38,6 +38,7 @@ from ..metrics.collectors import MetricsCollector, SlotMetrics
 from ..metrics.traffic_matrix import TrafficMatrix
 from ..net.costs import CostModel
 from ..net.isp import ISPTopology
+from ..net.linkmodel import LinkConditions, LinkParams
 from ..net.topology import OverlayGraph
 from ..net.trunc_normal import TruncatedNormal
 from ..sim.rng import RngRegistry
@@ -49,6 +50,7 @@ from ..vod.video import VideoCatalog
 from .churn import ArrivalPlan, ChurnModel
 from .config import SystemConfig
 from .peer import Peer
+from .retry import RetryQueue
 from .seeding import create_seeds
 from .state import PeerStateStore
 from .tracker import Tracker
@@ -133,6 +135,23 @@ class P2PSystem:
         self.store = PeerStateStore(
             self.overlay, self.costs, window=config.prefetch_chunks
         )
+        # Lossy-network layer: the per-ISP-pair link-condition table
+        # (ideal by default — never evaluated, no RNG draws) and the
+        # cross-slot retry queue for failed/truncated transfers.  The
+        # dedicated "link-conditions" stream keeps loss/jitter draws out
+        # of every other stream, so enabling the subsystem cannot
+        # perturb existing trajectories.
+        self.links = LinkConditions(config.n_isps)
+        self.retry_queue = RetryQueue(
+            backoff_base_slots=config.retry_backoff_base_slots,
+            backoff_cap_slots=config.retry_backoff_cap_slots,
+            ttl_slots=config.retry_ttl_slots,
+        )
+        self._link_rng = self.rngs.stream("link-conditions")
+        # Per-slot accumulators filled by _apply_transfers while the
+        # link table is active (run_slot resets and reads them).
+        self._slot_transfers_failed = 0
+        self._slot_link_delay_ms = 0.0
         self._ids = itertools.count(1)
         self.now = 0.0
         self.slot_index = 0
@@ -308,6 +327,15 @@ class P2PSystem:
         inter = intra = 0
         n_requests = n_served = sched_rounds = 0
         due = missed = 0
+        # Slot-boundary retry sweep: evict churned endpoints, surrender
+        # expired edges, re-attempt due ones.  A no-op (and no RNG
+        # draws) while the queue is empty — i.e. always, under ideal
+        # link conditions.
+        self._slot_transfers_failed = 0
+        self._slot_link_delay_ms = 0.0
+        retry = self._process_retries(t)
+        inter += retry["inter"]
+        intra += retry["intra"]
         # The peer population is stable within a slot (churn is handled
         # at the boundary above), so the store's capacity columns cover
         # the whole slot; the per-round share array is passed straight
@@ -352,6 +380,14 @@ class P2PSystem:
             chunks_due=due,
             chunks_missed=missed,
             auction_rounds=sched_rounds,
+            transfers_failed=self._slot_transfers_failed,
+            retry_attempts=retry["attempts"],
+            retry_succeeded=retry["succeeded"],
+            retry_surrendered=retry["surrendered"],
+            retry_evicted=retry["evicted"],
+            retry_pending=len(self.retry_queue),
+            link_delay_ms=self._slot_link_delay_ms + retry["delay_ms"],
+            link_regime=self.links.regime,
         )
         self.collector.record(metrics)
         self._carry_prices = (
@@ -561,6 +597,57 @@ class P2PSystem:
         """Change the overlay's soft degree target (locality-cap change)."""
         self.overlay.set_degree_target(target)
 
+    def apply_link_preset(
+        self,
+        name: str,
+        isp_a: Optional[int] = None,
+        isp_b: Optional[int] = None,
+    ) -> int:
+        """Degrade link conditions with a named regime preset.
+
+        ``isp_a``/``isp_b`` select the pairs as in
+        :meth:`LinkConditions.degrade` (default: every inter-ISP pair —
+        a degraded backbone).  ``name="ideal"`` restores instead.
+        Returns the number of pairs touched.
+        """
+        return self.links.apply_preset(name, isp_a, isp_b)
+
+    def set_link_conditions(
+        self,
+        params: LinkParams,
+        isp_a: Optional[int] = None,
+        isp_b: Optional[int] = None,
+    ) -> int:
+        """Install explicit :class:`LinkParams` on a pair selection."""
+        touched = self.links.degrade(params, isp_a, isp_b)
+        self.links.regime = "custom" if self.links.active else "ideal"
+        return touched
+
+    def reset_link_conditions(
+        self,
+        isp_a: Optional[int] = None,
+        isp_b: Optional[int] = None,
+    ) -> int:
+        """Restore a pair selection (default: everything) to ideal."""
+        return self.links.restore(isp_a, isp_b)
+
+    def startup_delay_stats(self) -> Tuple[float, int]:
+        """Mean startup delay over online watchers, in seconds.
+
+        Startup delay is ``first_delivery_time - joined_at`` for every
+        online non-seed peer that has received at least one chunk.
+        Returns ``(mean_seconds, n_peers_counted)`` — ``(0.0, 0)`` when
+        nobody has been delivered to yet.
+        """
+        delays = [
+            p.first_delivery_time - p.joined_at
+            for p in self.peers.values()
+            if not p.is_seed and p.first_delivery_time is not None
+        ]
+        if not delays:
+            return 0.0, 0
+        return sum(delays) / len(delays), len(delays)
+
     # ------------------------------------------------------------------
     # Problem construction / transfer application
     # ------------------------------------------------------------------
@@ -611,6 +698,13 @@ class P2PSystem:
         parts = store.assemble_requests(now, self.valuation, lookahead)
         if parts is None:
             return problem, {}
+        if len(self.retry_queue):
+            # Chunks parked in the retry pipeline stay out of the
+            # auction until delivered, evicted or surrendered — a
+            # pending edge must not be double-assigned.
+            parts = self._suppress_pending_requests(parts)
+            if parts is None:
+                return problem, {}
         req_peers, pairs, vals, cand_ids, cand_costs, indptr = parts
         # validate=False: this producer is pinned against the per-request
         # reference by the construction-equivalence/property tests.
@@ -685,6 +779,137 @@ class P2PSystem:
                 request_owner[r] = peer.peer_id
         return problem, request_owner
 
+    def _suppress_pending_requests(self, parts):
+        """Drop requests already parked in the retry queue from ``parts``.
+
+        ``parts`` is the tuple :meth:`PeerStateStore.assemble_requests`
+        returns; rows whose (peer, video, chunk) triple matches a
+        pending retry are removed, with the candidate CSR re-packed to
+        match.  Returns ``None`` when nothing survives.  Only called
+        with a non-empty queue, i.e. never under ideal link conditions
+        (``build_problem_reference`` intentionally has no counterpart —
+        the construction-equivalence pins run with an empty queue).
+        """
+        from .retry import _triple_key
+
+        req_peers, pairs, vals, cand_ids, cand_costs, indptr = parts
+        down, video, chunk = self.retry_queue.pending_triples()
+        req_keys = _triple_key(req_peers, pairs[:, 0], pairs[:, 1])
+        pending = _triple_key(down, video, chunk)
+        keep = ~np.isin(req_keys, pending)
+        if keep.all():
+            return parts
+        if not keep.any():
+            return None
+        counts = np.diff(indptr)
+        edge_keep = np.repeat(keep, counts)
+        new_counts = counts[keep]
+        new_indptr = np.zeros(len(new_counts) + 1, dtype=indptr.dtype)
+        np.cumsum(new_counts, out=new_indptr[1:])
+        return (
+            req_peers[keep],
+            pairs[keep],
+            vals[keep],
+            cand_ids[edge_keep],
+            cand_costs[edge_keep],
+            new_indptr,
+        )
+
+    def _process_retries(self, t: float) -> Dict[str, int]:
+        """Slot-boundary sweep of the retry queue; returns its counters.
+
+        Order: evict edges with a departed endpoint (churn safety),
+        surrender expired edges back to the auction, then re-attempt the
+        due ones against the live link table — deliveries go through the
+        store's grouped ``deliver_runs`` path exactly like first-pass
+        transfers, failures re-park with doubled backoff and their
+        original expiry.  Returns counters plus the (inter, intra)
+        traffic the completed retries produced.
+        """
+        zero = {
+            "attempts": 0, "succeeded": 0, "surrendered": 0,
+            "evicted": 0, "inter": 0, "intra": 0, "delay_ms": 0.0,
+        }
+        queue = self.retry_queue
+        if not len(queue):
+            return zero
+        isp_of = self._isp_id_array()
+        evicted = queue.evict_departed(isp_of >= 0)
+        surrendered = len(queue.pop_surrendered(self.slot_index)[0])
+        batch, expire = queue.pop_due(self.slot_index)
+        if not len(batch):
+            zero.update(evicted=evicted, surrendered=surrendered)
+            return zero
+        peers = self.peers
+        # Uncapped buffers only grow, but capped ones can evict the
+        # chunk from the uploader, and suppression should keep the
+        # downstream from obtaining it elsewhere — guard both anyway:
+        # a non-viable edge can never complete, so it evicts.
+        viable = np.fromiter(
+            (
+                peers[int(u)].buffer.holds(int(c))
+                and not peers[int(d)].buffer.holds(int(c))
+                for u, d, c in zip(batch.up, batch.down, batch.chunk)
+            ),
+            dtype=bool,
+            count=len(batch),
+        )
+        evicted += int(len(viable) - viable.sum())
+        delivered_mask = viable.copy()
+        delay_ms = 0.0
+        if self.links.active and viable.any():
+            up_isps = isp_of[batch.up]
+            down_isps = isp_of[batch.down]
+            outcome = self.links.evaluate(
+                up_isps[viable], down_isps[viable], self._link_rng
+            )
+            delivered_mask[np.nonzero(viable)[0]] = outcome.delivered
+            delay_ms = float(outcome.delay_ms.sum())
+        failed = viable & ~delivered_mask
+        queue.requeue(batch, failed, self.slot_index, expire)
+        inter = intra = 0
+        sel = np.nonzero(delivered_mask)[0]
+        if len(sel):
+            order = np.argsort(batch.down[sel], kind="stable")
+            sel = sel[order]
+            down = batch.down[sel]
+            up = batch.up[sel]
+            chunks = batch.chunk[sel]
+            up_isps = isp_of[up]
+            down_isps = isp_of[down]
+            inter = int((up_isps != down_isps).sum())
+            intra = len(down) - inter
+            self.traffic_matrix.record_batch(up_isps, down_isps)
+            starts = np.concatenate(([0], np.nonzero(np.diff(down))[0] + 1))
+            stops = np.concatenate((starts[1:], [len(down)]))
+            run_peers = [peers[int(down[s])] for s in starts.tolist()]
+            if all(
+                p.state_row is not None and p.buffer.capacity_chunks is None
+                for p in run_peers
+            ):
+                added = self.store.deliver_runs(run_peers, starts, stops, chunks)
+                for peer, add in zip(run_peers, added.tolist()):
+                    peer.chunks_downloaded += add
+                    if peer.first_delivery_time is None:
+                        peer.first_delivery_time = t
+            else:
+                for peer, s, e in zip(run_peers, starts.tolist(), stops.tolist()):
+                    peer.receive_chunks(chunks[s:e])
+                    if peer.first_delivery_time is None:
+                        peer.first_delivery_time = t
+            upload_counts = np.bincount(up)
+            for u in np.nonzero(upload_counts)[0].tolist():
+                peers[u].record_upload(int(upload_counts[u]))
+        return {
+            "attempts": int(viable.sum()),
+            "succeeded": int(len(sel)),
+            "surrendered": surrendered,
+            "evicted": evicted,
+            "inter": inter,
+            "intra": intra,
+            "delay_ms": delay_ms,
+        }
+
     def _capacity_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(peer_ids, upload capacities)`` columns (do not mutate).
 
@@ -720,14 +945,46 @@ class P2PSystem:
         if not len(indices):
             return 0, 0
         try:
-            chunk_indices = problem.chunk_pair_array()[:, 1]
+            pair_array = problem.chunk_pair_array()
+            chunk_indices = pair_array[:, 1]
         except (TypeError, ValueError):
+            if self.links.active:
+                raise ValueError(
+                    "lossy link conditions require (video, index) chunk "
+                    "keys; the reference apply path has no link model"
+                )
             return self._apply_transfers_reference(problem, result)
         downstream = problem.request_peer_array()[indices]
         chunks = chunk_indices[indices]
         isp_of = self._isp_id_array()
         up_isps = isp_of[uploaders]
         down_isps = isp_of[downstream]
+        if self.links.active:
+            # Lossy regime: classify each assigned edge under the link
+            # table.  Failed/truncated edges park in the retry queue;
+            # only survivors are delivered and counted as traffic.
+            outcome = self.links.evaluate(up_isps, down_isps, self._link_rng)
+            self._slot_link_delay_ms += float(outcome.delay_ms.sum())
+            if outcome.n_failed:
+                failed = ~outcome.delivered
+                self._slot_transfers_failed += int(failed.sum())
+                videos = pair_array[:, 0][indices]
+                self.retry_queue.push_failed(
+                    downstream[failed],
+                    uploaders[failed],
+                    videos[failed],
+                    chunks[failed],
+                    self.slot_index,
+                )
+                keep = outcome.delivered
+                uploaders = uploaders[keep]
+                downstream = downstream[keep]
+                chunks = chunks[keep]
+                up_isps = up_isps[keep]
+                down_isps = down_isps[keep]
+                if not len(downstream):
+                    return 0, 0
+                indices = indices[keep]
         inter = int((up_isps != down_isps).sum())
         intra = len(indices) - inter
         self.traffic_matrix.record_batch(up_isps, down_isps)
@@ -748,6 +1005,8 @@ class P2PSystem:
             delivered = self.store.deliver_runs(run_peers, starts, stops, chunks)
             for peer, add in zip(run_peers, delivered.tolist()):
                 peer.chunks_downloaded += add
+                if peer.first_delivery_time is None:
+                    peer.first_delivery_time = self.now
         else:
             # Capped or store-unbound buffers (tests, ad-hoc systems):
             # the original per-peer path.
@@ -759,6 +1018,8 @@ class P2PSystem:
                     peer.chunks_downloaded += peer.buffer.receive_batch_trusted(idx)
                 else:
                     peer.receive_chunks(idx)
+                if peer.first_delivery_time is None:
+                    peer.first_delivery_time = self.now
         upload_counts = np.bincount(uploaders)
         for u in np.nonzero(upload_counts)[0].tolist():
             peers[u].record_upload(int(upload_counts[u]))
@@ -774,6 +1035,8 @@ class P2PSystem:
             peer = self.peers[downstream]
             _, index = chunk
             peer.receive_chunk(index)
+            if peer.first_delivery_time is None:
+                peer.first_delivery_time = self.now
             up = self.peers[uploader]
             up.record_upload()
             self.traffic_matrix.record(up.isp, peer.isp)

@@ -32,17 +32,21 @@ from .events import (
     DiurnalWave,
     EventSpec,
     FlashCrowd,
+    LinkDegrade,
+    LinkRestore,
     LocalityCap,
     NewRelease,
     PopularityRotate,
     RemappedPopularity,
     SeederOutage,
     TimedEvent,
+    TraceArrivals,
     event_from_dict,
 )
 from .loader import dump_scenario, load_scenario
 from .runner import ScenarioResult, ScenarioRun, ScenarioRunner, apply_event
 from .spec import ScenarioSpec, compile_timeline, spec_from_dict, spec_to_dict
+from .trace import import_trace
 
 __all__ = [
     "EVENT_KINDS",
@@ -52,6 +56,8 @@ __all__ = [
     "DiurnalWave",
     "EventSpec",
     "FlashCrowd",
+    "LinkDegrade",
+    "LinkRestore",
     "LocalityCap",
     "NewRelease",
     "PopularityRotate",
@@ -62,11 +68,13 @@ __all__ = [
     "ScenarioSpec",
     "SeederOutage",
     "TimedEvent",
+    "TraceArrivals",
     "apply_event",
     "build_scenario",
     "compile_timeline",
     "dump_scenario",
     "event_from_dict",
+    "import_trace",
     "load_scenario",
     "register_scenario",
     "scenario_names",

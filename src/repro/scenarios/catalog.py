@@ -24,11 +24,28 @@ from .events import (
     CostShock,
     DiurnalWave,
     FlashCrowd,
+    LinkDegrade,
+    LinkRestore,
     LocalityCap,
     NewRelease,
     SeederOutage,
 )
 from .spec import ScenarioSpec
+
+#: Scheduler set the lossy scenarios compare: every heuristic in the
+#: registry.  The exact oracles (hungarian, lp) and the message-level
+#: auction-distributed replay are excluded on runtime grounds — they
+#: solve the identical problems the auction does, so the QoE question
+#: (does the welfare/transit advantage survive real networks?) is
+#: answered by the heuristic field.
+LOSSY_SCHEDULERS = (
+    "auction",
+    "locality",
+    "locality-retry",
+    "agnostic",
+    "greedy",
+    "random",
+)
 
 __all__ = ["build_scenario", "register_scenario", "scenario_names"]
 
@@ -294,4 +311,77 @@ def capacity_ramp(scale: str = "bench") -> ScenarioSpec:
             CapacityRamp(time=t1, factor=0.5, target="watchers"),
             CapacityRamp(time=t2, factor=2.0, target="watchers"),
         ),
+    )
+
+
+@register_scenario("lossy-backbone")
+def lossy_backbone(scale: str = "bench") -> ScenarioSpec:
+    """Every inter-ISP link turns lossy mid-run, then recovers.
+
+    The ``loss30-delay50`` netem regime lands on the backbone while
+    intra-ISP links stay clean — the setting where loss/locality
+    interactions (PAPERS.md: *Pushing BitTorrent Locality to the
+    Limit*) should separate the schedulers: ISP-aware scheduling keeps
+    most transfers off the degraded links, ISP-agnostic scheduling
+    funnels a third of its traffic into the retry pipeline.  The QoE
+    block reports each scheduler under the ideal and degraded regime
+    segments of the identical workload.
+    """
+    t_hit = 20.0 if _tiny(scale) else 40.0
+    t_fix = 40.0 if _tiny(scale) else 80.0
+    return ScenarioSpec(
+        name="lossy-backbone",
+        description="loss30-delay50 on every inter-ISP link mid-run, "
+        "later restored",
+        scale=scale,
+        config_overrides={
+            "peer_upload_min_multiple": 0.8,
+            "peer_upload_max_multiple": 2.0,
+            "seed_upload_multiple": 3.0,
+        },
+        schedulers=LOSSY_SCHEDULERS,
+        n_static_peers=_pop(scale, 30, 300, 500),
+        stagger=False,
+        duration_seconds=60.0 if _tiny(scale) else 120.0,
+        churn=False,
+        events=(
+            LinkDegrade(time=t_hit, preset="loss30-delay50"),
+            LinkRestore(time=t_fix),
+        ),
+    )
+
+
+@register_scenario("flaky-isp")
+def flaky_isp(scale: str = "bench") -> ScenarioSpec:
+    """One ISP's access network flaps between clean and 10% loss.
+
+    Every link touching ISP 0 (intra included) cycles through two
+    ``loss10`` incident windows under background churn — the flaky
+    regional-carrier regime.  Peers inside ISP 0 lose chunks whoever
+    they fetch from, so the retry pipeline and its churn-safe eviction
+    do real work: arrivals/departures land mid-incident while retries
+    are pending.
+    """
+    if _tiny(scale):
+        windows = ((20.0, 40.0),)
+        horizon = 60.0
+    else:
+        windows = ((30.0, 60.0), (80.0, 100.0))
+        horizon = 120.0
+    events = []
+    for start, stop in windows:
+        events.append(LinkDegrade(time=start, preset="loss10", isp_a=0))
+        events.append(LinkRestore(time=stop, isp_a=0))
+    return ScenarioSpec(
+        name="flaky-isp",
+        description="ISP 0's links flap through loss10 incident windows "
+        "under churn",
+        scale=scale,
+        config_overrides={"arrival_rate_per_s": 1.0},
+        schedulers=LOSSY_SCHEDULERS,
+        n_static_peers=_pop(scale, 20, 200, 400),
+        stagger=False,
+        duration_seconds=horizon,
+        churn=True,
+        events=tuple(events),
     )

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import ClassVar, Dict, List, Optional
+from typing import ClassVar, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..net.linkmodel import LinkParams, link_preset
 from ..p2p.config import SystemConfig
 from ..vod.popularity import ZipfMandelbrot
 
@@ -40,12 +41,15 @@ __all__ = [
     "DiurnalWave",
     "EventSpec",
     "FlashCrowd",
+    "LinkDegrade",
+    "LinkRestore",
     "LocalityCap",
     "NewRelease",
     "PopularityRotate",
     "RemappedPopularity",
     "SeederOutage",
     "TimedEvent",
+    "TraceArrivals",
     "event_from_dict",
     "EVENT_KINDS",
 ]
@@ -481,6 +485,196 @@ class CapacityRamp(EventSpec):
                 {"factor": float(self.factor), "target": self.target},
             )
         ]
+
+
+# ----------------------------------------------------------------------
+# Link-condition events (lossy-network fault injection)
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class LinkDegrade(EventSpec):
+    """Install lossy link conditions on a pair selection at ``time``.
+
+    Either name a regime ``preset`` (``delay10``, ``loss10``,
+    ``loss30-delay50`` — the netem matrix in
+    :data:`repro.net.linkmodel.REGIME_PRESETS`) or give explicit
+    netem-style knobs.  The selection follows
+    :meth:`~repro.net.linkmodel.LinkConditions.degrade`: no ISPs named →
+    every inter-ISP pair (a degraded backbone); ``isp_a`` alone → every
+    link touching that ISP, intra included (a flaky access network);
+    both → exactly that pair.  Applying consumes no compile-time
+    randomness; loss/jitter draws happen at transfer time from the
+    system's dedicated ``link-conditions`` stream.
+    """
+
+    kind: ClassVar[str] = "link-degrade"
+
+    preset: Optional[str] = None
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    bandwidth_cap: Optional[int] = None
+    isp_a: Optional[int] = None
+    isp_b: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.isp_a is None and self.isp_b is not None:
+            raise ValueError("give isp_a when giving isp_b")
+        explicit = (
+            self.delay_ms or self.jitter_ms or self.loss_rate
+            or self.bandwidth_cap is not None
+        )
+        if self.preset is not None:
+            link_preset(self.preset)  # raises on unknown names
+            if explicit:
+                raise ValueError(
+                    "give a preset or explicit link knobs, not both"
+                )
+        else:
+            params = self._params()
+            params.validate()
+            if params.ideal:
+                raise ValueError(
+                    "explicit conditions are ideal; use LinkRestore instead"
+                )
+
+    def _params(self) -> LinkParams:
+        return LinkParams(
+            delay_ms=self.delay_ms,
+            jitter_ms=self.jitter_ms,
+            loss_rate=self.loss_rate,
+            bandwidth_cap=self.bandwidth_cap,
+        )
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        for isp in (self.isp_a, self.isp_b):
+            if isp is not None and not 0 <= isp < config.n_isps:
+                raise ValueError(
+                    f"ISP {isp!r} outside [0, {config.n_isps})"
+                )
+        payload: Dict[str, object] = {
+            "isp_a": self.isp_a, "isp_b": self.isp_b,
+        }
+        if self.preset is not None:
+            payload["preset"] = self.preset
+        else:
+            payload.update(
+                delay_ms=float(self.delay_ms),
+                jitter_ms=float(self.jitter_ms),
+                loss_rate=float(self.loss_rate),
+                bandwidth_cap=self.bandwidth_cap,
+            )
+        return [TimedEvent(self.time, "link-degrade", payload)]
+
+
+@_register
+@dataclass(frozen=True)
+class LinkRestore(EventSpec):
+    """Reset a pair selection to ideal link conditions at ``time``.
+
+    Selection rules match :class:`LinkDegrade`; naming no ISPs restores
+    the whole table (the end of an incident window).
+    """
+
+    kind: ClassVar[str] = "link-restore"
+
+    isp_a: Optional[int] = None
+    isp_b: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        if self.isp_a is None and self.isp_b is not None:
+            raise ValueError("give isp_a when giving isp_b")
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        for isp in (self.isp_a, self.isp_b):
+            if isp is not None and not 0 <= isp < config.n_isps:
+                raise ValueError(
+                    f"ISP {isp!r} outside [0, {config.n_isps})"
+                )
+        return [
+            TimedEvent(
+                self.time,
+                "link-restore",
+                {"isp_a": self.isp_a, "isp_b": self.isp_b},
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Trace replay
+# ----------------------------------------------------------------------
+@_register
+@dataclass(frozen=True)
+class TraceArrivals(EventSpec):
+    """Replay explicit VoD arrival rows imported from a real trace.
+
+    ``arrivals`` is a tuple of ``(offset_seconds, video_id)`` rows —
+    the output of ``repro scenario import-trace`` — each compiling into
+    one ``peer-arrival`` trace row at ``time + offset``.  Upload
+    multiples are not usually in arrival logs, so each row draws one
+    from ``[upload_min, upload_max]`` (defaulting to the config's
+    range) off the compile stream, in row order — deterministic per
+    (spec, seed) like every other generator.
+    """
+
+    kind: ClassVar[str] = "trace-arrivals"
+
+    arrivals: Tuple[Tuple[float, int], ...] = ()
+    upload_min: Optional[float] = None
+    upload_max: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Normalize JSON round-trip lists back into tuples so two equal
+        # specs compare equal however they were constructed.
+        object.__setattr__(
+            self,
+            "arrivals",
+            tuple((float(t), int(v)) for t, v in self.arrivals),
+        )
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.arrivals:
+            raise ValueError("trace has no arrival rows")
+        if any(t < 0 for t, _ in self.arrivals):
+            raise ValueError("trace arrival offsets must be >= 0")
+        if (self.upload_min is None) != (self.upload_max is None):
+            raise ValueError("give both upload_min and upload_max, or neither")
+        if self.upload_min is not None and self.upload_min > self.upload_max:
+            raise ValueError("upload multiple range is inverted")
+
+    def generate(self, config, rng) -> List[TimedEvent]:
+        lo = (
+            config.peer_upload_min_multiple
+            if self.upload_min is None
+            else self.upload_min
+        )
+        hi = (
+            config.peer_upload_max_multiple
+            if self.upload_max is None
+            else self.upload_max
+        )
+        rows: List[TimedEvent] = []
+        for offset, video in self.arrivals:
+            if not 0 <= video < config.n_videos:
+                raise ValueError(
+                    f"trace video_id {video!r} outside catalog "
+                    f"[0, {config.n_videos})"
+                )
+            rows.append(
+                TimedEvent(
+                    time=self.time + offset,
+                    kind="peer-arrival",
+                    payload={
+                        "video_id": int(video),
+                        "upload_multiple": float(rng.uniform(lo, hi)),
+                        "departure_time": None,
+                    },
+                )
+            )
+        return rows
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics.collectors import MetricsCollector
-from ..metrics.report import comparison_table, render_table, series_block
+from ..metrics.report import (
+    comparison_table,
+    qoe_block,
+    render_table,
+    series_block,
+)
+from ..net.linkmodel import LinkParams
 from ..p2p.system import P2PSystem
 from ..sim.engine import Simulator
 from .events import RemappedPopularity, TimedEvent
@@ -43,6 +49,10 @@ class ScenarioRun:
     n_peers_final: int
     arrivals: int
     departures: int
+    #: Mean join→first-chunk delay over peers that received anything,
+    #: and how many peers that covers (QoE block; (0.0, 0) pre-delivery).
+    startup_delay_s: float = 0.0
+    startup_delay_peers: int = 0
 
 
 @dataclass
@@ -108,6 +118,31 @@ class ScenarioResult:
             )
         )
         lines.append("")
+        # The per-regime QoE block appears only for lossy scenarios:
+        # ideal-conditions reports (everything archived before the link
+        # model existed) must stay byte-identical.
+        lossy = any(
+            row.kind in ("link-degrade", "link-restore")
+            for row in self.timeline
+        ) or any(
+            s.link_regime != "ideal" or s.transfers_failed or s.retry_attempts
+            for run in self.runs.values()
+            for s in run.collector.slots
+        )
+        if lossy:
+            lines.append(
+                qoe_block(
+                    {
+                        name: run.collector
+                        for name, run in self.runs.items()
+                    },
+                    {
+                        name: (run.startup_delay_s, run.startup_delay_peers)
+                        for name, run in self.runs.items()
+                    },
+                )
+            )
+            lines.append("")
         headers = [
             "scheduler", "welfare_total", "served", "inter_isp_frac",
             "miss_rate", "peers_end", "arrivals", "departures",
@@ -149,6 +184,7 @@ class ScenarioRunner:
         )
         for name in schedulers or self.spec.schedulers:
             system = self.run_one(name)
+            startup_s, startup_n = system.startup_delay_stats()
             result.runs[name] = ScenarioRun(
                 scheduler=name,
                 collector=system.collector,
@@ -156,6 +192,8 @@ class ScenarioRunner:
                 n_peers_final=len(system.peers),
                 arrivals=system.arrivals,
                 departures=system.departures,
+                startup_delay_s=startup_s,
+                startup_delay_peers=startup_n,
             )
         return result
 
@@ -274,6 +312,27 @@ def apply_event(
                 updates[peer.peer_id] = entry[1]
                 del outage_caps[peer.peer_id]
         system.set_upload_capacities(updates)
+    elif row.kind == "link-degrade":
+        isp_a = payload.get("isp_a")
+        isp_b = payload.get("isp_b")
+        preset = payload.get("preset")
+        if preset is not None:
+            system.apply_link_preset(str(preset), isp_a, isp_b)
+        else:
+            system.set_link_conditions(
+                LinkParams(
+                    delay_ms=float(payload.get("delay_ms", 0.0)),
+                    jitter_ms=float(payload.get("jitter_ms", 0.0)),
+                    loss_rate=float(payload.get("loss_rate", 0.0)),
+                    bandwidth_cap=payload.get("bandwidth_cap"),
+                ),
+                isp_a,
+                isp_b,
+            )
+    elif row.kind == "link-restore":
+        system.reset_link_conditions(
+            payload.get("isp_a"), payload.get("isp_b")
+        )
     elif row.kind == "capacity-scale":
         target = payload["target"]
         factor = float(payload["factor"])

@@ -1,0 +1,193 @@
+"""Tests for the per-ISP-pair link-condition table (fault injection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.linkmodel import (
+    REGIME_PRESETS,
+    LinkConditions,
+    LinkParams,
+    link_preset,
+    preset_names,
+)
+
+
+class TestLinkParams:
+    def test_default_is_ideal(self):
+        params = LinkParams()
+        params.validate()
+        assert params.ideal
+        assert params.describe() == "ideal"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(delay_ms=-1.0),
+            dict(jitter_ms=-0.5),
+            dict(loss_rate=-0.1),
+            dict(loss_rate=1.5),
+            dict(bandwidth_cap=-3),
+        ],
+    )
+    def test_validate_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkParams(**kwargs).validate()
+
+    def test_describe_mentions_every_knob(self):
+        text = LinkParams(
+            delay_ms=50.0, jitter_ms=10.0, loss_rate=0.3, bandwidth_cap=7
+        ).describe()
+        assert "loss=30%" in text
+        assert "50" in text and "10" in text
+        assert "cap=7" in text
+
+
+class TestPresets:
+    def test_catalog(self):
+        assert preset_names() == sorted(REGIME_PRESETS)
+        assert {"ideal", "delay10", "loss10", "loss30-delay50"} <= set(
+            preset_names()
+        )
+        for name in preset_names():
+            link_preset(name).validate()
+
+    def test_ideal_preset_is_ideal(self):
+        assert link_preset("ideal").ideal
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown link regime"):
+            link_preset("loss99")
+
+
+class TestTable:
+    def test_starts_ideal(self):
+        links = LinkConditions(3)
+        assert not links.active
+        assert links.regime == "ideal"
+        assert links.describe() == "ideal"
+        assert links.pair(0, 2).ideal
+
+    def test_set_pair_is_symmetric(self):
+        links = LinkConditions(3)
+        links.set_pair(2, 0, LinkParams(loss_rate=0.5))
+        assert links.pair(0, 2).loss_rate == 0.5
+        assert links.pair(2, 0).loss_rate == 0.5
+        assert links.active
+
+    def test_degrade_all_inter_leaves_intra_ideal(self):
+        links = LinkConditions(3)
+        touched = links.degrade(LinkParams(loss_rate=0.2))
+        assert touched == 3  # (0,1) (0,2) (1,2)
+        assert links.pair(0, 1).loss_rate == 0.2
+        assert links.pair(1, 1).ideal
+
+    def test_degrade_one_isp_includes_intra(self):
+        links = LinkConditions(3)
+        touched = links.degrade(LinkParams(loss_rate=0.2), isp_a=1)
+        assert touched == 3  # (0,1) (1,1) (1,2)
+        assert not links.pair(1, 1).ideal
+        assert links.pair(0, 2).ideal
+
+    def test_restore_roundtrip(self):
+        links = LinkConditions(2)
+        links.apply_preset("loss30-delay50")
+        assert links.active and links.regime == "loss30-delay50"
+        links.restore()
+        assert not links.active
+        assert links.regime == "ideal"
+        assert links.pair(0, 1).ideal
+
+    def test_ideal_preset_restores(self):
+        links = LinkConditions(2)
+        links.apply_preset("loss10")
+        links.apply_preset("ideal")
+        assert not links.active
+
+    def test_bad_pair_rejected(self):
+        links = LinkConditions(2)
+        with pytest.raises(ValueError):
+            links.pair(0, 2)
+        with pytest.raises(ValueError):
+            links.degrade(LinkParams(loss_rate=0.1), isp_a=None, isp_b=1)
+
+
+class TestEvaluate:
+    def _edges(self, n, up=0, down=1):
+        return (
+            np.full(n, up, dtype=np.int64),
+            np.full(n, down, dtype=np.int64),
+        )
+
+    def test_empty_batch(self):
+        links = LinkConditions(2)
+        links.apply_preset("loss10")
+        out = links.evaluate(*self._edges(0), np.random.default_rng(0))
+        assert len(out.delivered) == 0 and out.n_failed == 0
+
+    def test_loss_is_deterministic_per_stream(self):
+        links = LinkConditions(2)
+        links.apply_preset("loss10")
+        up, down = self._edges(5000)
+        a = links.evaluate(up, down, np.random.default_rng(7))
+        b = links.evaluate(up, down, np.random.default_rng(7))
+        assert np.array_equal(a.lost, b.lost)
+        frac = a.lost.mean()
+        assert 0.07 < frac < 0.13  # Bernoulli(0.10) over 5000 edges
+
+    def test_loss_only_on_degraded_pairs(self):
+        links = LinkConditions(3)
+        links.degrade(LinkParams(loss_rate=1.0), isp_a=0, isp_b=1)
+        up = np.array([0, 0, 2], dtype=np.int64)
+        down = np.array([1, 2, 2], dtype=np.int64)
+        out = links.evaluate(up, down, np.random.default_rng(1))
+        assert out.lost.tolist() == [True, False, False]
+        assert out.delivered.tolist() == [False, True, True]
+
+    def test_bandwidth_cap_truncates_tail(self):
+        links = LinkConditions(2)
+        links.degrade(LinkParams(bandwidth_cap=3))
+        up, down = self._edges(10)
+        out = links.evaluate(up, down, np.random.default_rng(0))
+        # First 3 edges in batch order cross; the rest are truncated.
+        assert out.delivered.tolist() == [True] * 3 + [False] * 7
+        assert out.truncated.tolist() == [False] * 3 + [True] * 7
+        assert not out.lost.any()
+        assert out.n_failed == 7
+
+    def test_cap_counts_both_directions_of_a_pair(self):
+        links = LinkConditions(2)
+        links.degrade(LinkParams(bandwidth_cap=2))
+        up = np.array([0, 1, 0, 1], dtype=np.int64)
+        down = np.array([1, 0, 1, 0], dtype=np.int64)
+        out = links.evaluate(up, down, np.random.default_rng(0))
+        assert int(out.delivered.sum()) == 2
+
+    def test_delay_and_jitter(self):
+        links = LinkConditions(2)
+        links.degrade(LinkParams(delay_ms=50.0, jitter_ms=10.0))
+        up, down = self._edges(4000)
+        out = links.evaluate(up, down, np.random.default_rng(3))
+        assert (out.delay_ms >= 0).all()
+        assert 48.0 < out.delay_ms.mean() < 52.0
+
+    def test_delay_zeroed_on_lost_edges(self):
+        links = LinkConditions(2)
+        links.degrade(LinkParams(delay_ms=50.0, loss_rate=0.5))
+        up, down = self._edges(200)
+        out = links.evaluate(up, down, np.random.default_rng(4))
+        assert (out.delay_ms[~out.delivered] == 0.0).all()
+        assert (out.delay_ms[out.delivered] == 50.0).all()
+
+    def test_draw_schedule_fixed_across_regimes(self):
+        """Loss draws are consumed whenever the table is active, even if
+        the batch's own pairs are lossless — so restoring one pair does
+        not shift the stream consumed by another."""
+        lossless = LinkConditions(2)
+        lossless.degrade(LinkParams(delay_ms=10.0))  # active, no loss
+        rng = np.random.default_rng(9)
+        lossless.evaluate(*self._edges(10), rng)
+        lossy = np.random.default_rng(9)
+        lossy.random(10)  # the loss draw the schedule burned
+        assert rng.bit_generator.state == lossy.bit_generator.state

@@ -1,0 +1,84 @@
+"""Property: retry scheduling is a pure function of (params, history).
+
+The backoff schedule must be exponential-with-cap and identical however
+it is reached — a fresh queue and a snapshot-restored queue make the
+same decisions, and an edge pushed at slot ``s`` becomes due at exactly
+``s + backoff(attempt)`` (never earlier, never later).  This is what
+keeps lossy trajectories reproducible: the retry pipeline adds no
+hidden state beyond the queue's columns.  Runs under the deterministic
+``repro-props`` profile via ``make test-props``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.p2p.retry import RetryQueue
+
+queue_params = st.tuples(
+    st.integers(1, 8),    # backoff_base_slots
+    st.integers(1, 32),   # backoff_cap_slots
+    st.integers(1, 40),   # ttl_slots
+)
+
+
+@given(queue_params, st.integers(1, 100))
+def test_backoff_is_capped_exponential(params, attempt):
+    base, cap, ttl = params
+    queue = RetryQueue(base, cap, ttl)
+    expected = min(base * 2 ** min(attempt - 1, 62), cap)
+    assert queue.backoff_slots(attempt) == expected
+
+
+@given(queue_params, st.integers(1, 30))
+def test_backoff_monotone_in_attempts(params, attempt):
+    base, cap, ttl = params
+    queue = RetryQueue(base, cap, ttl)
+    assert queue.backoff_slots(attempt + 1) >= queue.backoff_slots(attempt)
+
+
+@given(queue_params, st.integers(0, 50))
+def test_due_exactly_at_push_plus_backoff(params, slot):
+    base, cap, ttl = params
+    queue = RetryQueue(base, cap, ttl)
+    one = np.array([7], dtype=np.int64)
+    queue.push_failed(one, one + 1, one * 0, one * 3, slot)
+    due_at = slot + queue.backoff_slots(1)
+    batch, _ = queue.pop_due(due_at - 1)
+    assert len(batch) == 0
+    batch, _ = queue.pop_due(due_at)
+    # Due — unless the TTL elapses first, in which case the surrender
+    # sweep (which run_slot performs before pop_due) owns the edge.
+    if queue.backoff_slots(1) < ttl:
+        assert len(batch) == 1 and batch.attempts.tolist() == [1]
+    surrendered = RetryQueue(base, cap, ttl)
+    surrendered.push_failed(one, one + 1, one * 0, one * 3, slot)
+    down, _, _ = surrendered.pop_surrendered(slot + ttl)
+    assert down.tolist() == [7]
+
+
+@given(queue_params, st.integers(1, 12), st.integers(0, 20))
+def test_requeue_chain_matches_closed_form(params, misses, slot):
+    """After k consecutive misses the edge's next due gap is backoff(k+1),
+    and its attempt counter is k+1 — however the chain was driven."""
+    base, cap, ttl = params
+    queue = RetryQueue(base, cap, ttl)
+    one = np.array([1], dtype=np.int64)
+    queue.push_failed(one, one, one * 0, one, slot)
+    when = slot
+    for k in range(1, misses + 1):
+        when += queue.backoff_slots(k)
+        batch, expire = queue.pop_due(when)
+        assert batch.attempts.tolist() == [k]
+        assert expire.tolist() == [slot + ttl]  # TTL anchored at first failure
+        queue.requeue(batch, np.array([True]), when, expire)
+    restored = RetryQueue(base, cap, ttl)
+    restored.restore(queue.snapshot())
+    for q in (queue, restored):
+        batch, _ = q.pop_due(when + q.backoff_slots(misses + 1) - 1)
+        assert len(batch) == 0
+    for q in (queue, restored):
+        batch, _ = q.pop_due(when + q.backoff_slots(misses + 1))
+        assert batch.attempts.tolist() == [misses + 1]

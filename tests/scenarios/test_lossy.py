@@ -1,0 +1,219 @@
+"""Lossy-network scenario layer: link events, QoE reporting, trace import.
+
+Also carries the archived-results gate: with ideal link conditions the
+engine must keep regenerating the committed ``results/scenario_*.txt``
+byte-identically — enabling the fault-injection subsystem cannot
+perturb existing trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    LinkDegrade,
+    LinkRestore,
+    ScenarioRunner,
+    ScenarioSpec,
+    TraceArrivals,
+    build_scenario,
+    compile_timeline,
+    event_from_dict,
+    import_trace,
+    load_scenario,
+    scenario_names,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+RESULTS = pathlib.Path(__file__).resolve().parents[2] / "results"
+
+
+class TestLinkEventSpecs:
+    def test_degrade_roundtrips_through_dict(self):
+        for event in (
+            LinkDegrade(time=20.0, preset="loss30-delay50"),
+            LinkDegrade(time=5.0, loss_rate=0.2, delay_ms=30.0, isp_a=1),
+            LinkRestore(time=40.0, isp_a=0, isp_b=1),
+        ):
+            event.validate()
+            clone = event_from_dict(event.to_dict())
+            assert clone == event
+
+    def test_preset_and_explicit_knobs_are_exclusive(self):
+        with pytest.raises(ValueError):
+            LinkDegrade(time=0.0, preset="loss10", loss_rate=0.5).validate()
+        with pytest.raises(ValueError):
+            LinkDegrade(time=0.0).validate()  # neither given
+
+    def test_isp_b_requires_isp_a(self):
+        with pytest.raises(ValueError):
+            LinkDegrade(time=0.0, preset="loss10", isp_b=1).validate()
+
+    def test_generate_bounds_checks_isps(self):
+        spec = ScenarioSpec(
+            name="x", description="", scale="tiny",
+            events=(LinkDegrade(time=0.0, preset="loss10", isp_a=99),),
+        )
+        with pytest.raises(ValueError):
+            compile_timeline(spec, seed=0)
+
+    def test_timeline_rows_apply_to_the_system(self):
+        spec = ScenarioSpec(
+            name="x", description="", scale="tiny",
+            duration_seconds=30.0,
+            events=(
+                LinkDegrade(time=0.0, preset="loss30-delay50"),
+                LinkRestore(time=20.0),
+            ),
+        )
+        result = ScenarioRunner(spec, seed=1).run()
+        run = next(iter(result.runs.values()))
+        regimes = [m.link_regime for m in run.collector.slots]
+        assert regimes[0] == "loss30-delay50"
+        assert regimes[-1] == "ideal"
+
+
+class TestCatalogLossyScenarios:
+    def test_registered(self):
+        assert {"lossy-backbone", "flaky-isp"} <= set(scenario_names())
+
+    def test_catalog_specs_serialize(self):
+        for name in ("lossy-backbone", "flaky-isp"):
+            spec = build_scenario(name, scale="tiny")
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_reports_carry_qoe_block_for_every_scheduler(self):
+        spec = build_scenario("lossy-backbone", scale="tiny").abridged(
+            60.0, schedulers=("auction", "random")
+        )
+        report = ScenarioRunner(spec, seed=3).run().render_report()
+        assert "QoE per link regime" in report
+        assert "loss30-delay50" in report
+        assert "startup delay (join→first chunk):" in report
+        for scheduler in spec.schedulers:
+            assert scheduler in report
+
+    def test_flaky_isp_recovers_losses(self):
+        spec = build_scenario("flaky-isp", scale="tiny").abridged(
+            60.0, schedulers=("auction",)
+        )
+        run = ScenarioRunner(spec, seed=3).run().runs["auction"]
+        totals = run.collector.totals()
+        assert totals["transfers_failed_total"] > 0
+        assert totals["retry_succeeded_total"] > 0
+
+    def test_ideal_scenarios_render_no_qoe_block(self):
+        spec = build_scenario("flash-crowd", scale="tiny").abridged(
+            30.0, schedulers=("auction",)
+        )
+        report = ScenarioRunner(spec, seed=3).run().render_report()
+        assert "QoE" not in report
+
+
+class TestArchivedResultsGate:
+    def test_ideal_conditions_regenerate_archived_report(self):
+        """One cheap bench-scale archived scenario, regenerated end to
+        end: must match the committed report byte for byte."""
+        archived = RESULTS / "scenario_isp-price-shock.txt"
+        spec = build_scenario("isp-price-shock", scale="bench")
+        report = ScenarioRunner(spec, seed=0).run().render_report()
+        assert report + "\n" == archived.read_text(encoding="utf-8")
+
+
+class TestTraceImport:
+    CSV = textwrap.dedent(
+        """\
+        time,peer,video
+        12.0,beta,1
+        0.0,alpha,0
+        12.0,alpha,2
+        3.5,gamma,0
+        """
+    )
+
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_csv_rows_sorted_by_time_then_peer(self, tmp_path):
+        spec = import_trace(self._write(tmp_path, "t.csv", self.CSV))
+        (trace,) = spec.events
+        assert isinstance(trace, TraceArrivals)
+        assert trace.arrivals == ((0.0, 0), (3.5, 0), (12.0, 2), (12.0, 1))
+
+    def test_json_matches_csv(self, tmp_path):
+        rows = [
+            {"time": 12.0, "peer": "beta", "video": 1},
+            {"time": 0.0, "peer": "alpha", "video": 0},
+            {"time": 12.0, "peer": "alpha", "video": 2},
+            {"time": 3.5, "peer": "gamma", "video": 0},
+        ]
+        csv_spec = import_trace(self._write(tmp_path, "t.csv", self.CSV))
+        json_spec = import_trace(
+            self._write(tmp_path, "t.json", json.dumps(rows)), name="trace-t"
+        )
+        assert json_spec.events == csv_spec.events
+        assert json_spec.duration_seconds == csv_spec.duration_seconds == 30.0
+
+    def test_duration_covers_last_arrival_plus_drain(self, tmp_path):
+        spec = import_trace(self._write(tmp_path, "t.csv", self.CSV))
+        assert spec.duration_seconds == 30.0  # last at 12 s → slots 10–20–30
+
+    def test_missing_column_rejected(self, tmp_path):
+        bad = self._write(tmp_path, "t.csv", "time,peer\n0.0,a\n")
+        with pytest.raises(ValueError, match="needs columns"):
+            import_trace(bad)
+
+    def test_bad_row_reported_with_index(self, tmp_path):
+        bad = self._write(
+            tmp_path, "t.csv", "time,peer,video\n0.0,a,0\nnope,b,1\n"
+        )
+        with pytest.raises(ValueError, match="bad trace row 1"):
+            import_trace(bad)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no rows"):
+            import_trace(self._write(tmp_path, "t.json", "[]"))
+
+    def test_example_trace_imports_and_validates(self):
+        example = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "traces" / "vod_arrivals.csv"
+        )
+        spec = import_trace(example, scale="tiny")
+        (trace,) = spec.events
+        assert len(trace.arrivals) == 20
+        assert spec.n_static_peers == 0 and not spec.churn
+
+    def test_replay_is_deterministic(self, tmp_path):
+        path = self._write(tmp_path, "t.csv", self.CSV)
+
+        def totals():
+            spec = import_trace(path, scale="tiny", schedulers=("auction",))
+            run = ScenarioRunner(spec, seed=2).run().runs["auction"]
+            return run.collector.totals()
+
+        assert totals() == totals()
+
+
+class TestCliImportTrace:
+    def test_import_writes_loadable_spec(self, tmp_path, capsys):
+        trace = tmp_path / "log.csv"
+        trace.write_text(TestTraceImport.CSV, encoding="utf-8")
+        out = tmp_path / "spec.json"
+        code = main(
+            ["scenario", "import-trace", str(trace), "--scale", "tiny",
+             "--output", str(out)]
+        )
+        assert code == 0
+        assert "imported 4 arrivals" in capsys.readouterr().out
+        spec = load_scenario(out)
+        assert spec.name == "trace-log"
+        assert len(spec.events[0].arrivals) == 4
