@@ -54,6 +54,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.auction import AuctionSolver  # noqa: E402
 from repro.core.problem import DenseView, SchedulingProblem  # noqa: E402
+from repro.core.result import decay_prices  # noqa: E402
 from repro.p2p.config import SystemConfig  # noqa: E402
 from repro.p2p.system import P2PSystem  # noqa: E402
 from repro.scenarios import (  # noqa: E402
@@ -244,6 +245,28 @@ def measure_seed_revision(
     )
 
 
+def assert_identical_problem(a: SchedulingProblem, b: SchedulingProblem) -> None:
+    """Byte-identity of two column-path problems (live bench guard).
+
+    Both sides come from the same producer ordering, so the flat CSR
+    columns are directly comparable — no canonicalization needed.  The
+    property suite pins the same invariant across whole trajectories;
+    this inline check makes every published ``build_delta_s`` number
+    self-certifying.
+    """
+    assert a.n_requests == b.n_requests
+    assert a.n_edges() == b.n_edges()
+    ac, bc = a.csr(), b.csr()
+    assert np.array_equal(ac.uploaders, bc.uploaders)
+    assert np.array_equal(ac.capacity, bc.capacity)
+    assert np.array_equal(a.request_peer_array(), b.request_peer_array())
+    if a.n_requests:
+        assert np.array_equal(a.chunk_pair_array(), b.chunk_pair_array())
+    assert np.array_equal(ac.indptr, bc.indptr)
+    assert np.array_equal(ac.values, bc.values)
+    assert np.array_equal(ac.uploader_index, bc.uploader_index)
+
+
 def snapshot_transfer_state(system: P2PSystem, problem, result) -> dict:
     """Save the state `_apply_transfers` will touch (peers on served edges).
 
@@ -314,6 +337,10 @@ def restore_playback_state(system: P2PSystem, snap: dict) -> None:
         session.played = played
         session.missed = set(missed)
         session._last_advance = last_advance
+    # The store's playback columns no longer match the session objects;
+    # force the next assemble to resync (the harness trusts sessions for
+    # the delta-timing block, so out-of-band rewinds must be declared).
+    system.store.mark_sessions_dirty()
 
 
 def advance_playback_reference(system: P2PSystem, to_time: float):
@@ -437,6 +464,20 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
     # buffers so the measured slots look like steady state.
     system.run_slot(churn=churn, remove_finished=churn)
 
+    # Incremental-build pipeline: record store mutations from here on
+    # and prime the reuse caches with one untimed patch, so the measured
+    # slots time the steady state run_slot(incremental_build=True)
+    # reaches after its first (cold) build.  The priming delta is empty
+    # (recording just started) — the caches self-validate, so this only
+    # installs the retained CSR the measured patches splice forward.
+    system.store.enable_delta_recording()
+    system.store.trust_sessions()
+    prime_delta = system.store.consume_delta()
+    prime_problem, _ = system.build_problem(system.now)
+    prev_problem_delta = system.patch_problem(
+        prime_problem, prime_delta, system.now
+    )
+
     reference = spec.get("reference", True)
     scenario_spec = spec.get("scenario_spec")
     timeline = (
@@ -513,6 +554,29 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
                 t9 = time.perf_counter()
                 warm_solve = min(warm_solve, t9 - t8)
 
+        # Incremental build: patch the retained problem forward with the
+        # delta accumulated since the previous slot's build.  The delta
+        # is consumed once; repeats restore the reuse caches (snapshotted
+        # by reference) so every repeat splices from identical state.
+        # The retry-suppression diff surfaces on the first patch only —
+        # later repeats see the queue version already consumed, which is
+        # exactly the once-per-slot behavior of the live pipeline.
+        delta = system.store.consume_delta()
+        dsnap = system.store.snapshot_delta_state()
+        build_delta = float("inf")
+        problem_delta = None
+        for _rep in range(repeats):
+            if _rep:
+                system.store.restore_delta_state(dsnap)
+            td0 = time.perf_counter()
+            problem_delta = system.patch_problem(
+                prev_problem_delta, delta, t, capacities=budgets
+            )
+            td1 = time.perf_counter()
+            build_delta = min(build_delta, td1 - td0)
+        assert_identical_problem(problem_new, problem_delta)
+        prev_problem_delta = problem_delta
+
         welfare_old = result_old.welfare(problem_old) if reference else None
         welfare_new = result_new.welfare(problem_new)
         n_eps = problem_new.n_requests * EPSILON
@@ -544,6 +608,7 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             n_edges=problem_new.n_edges(),
             build_old_s=build_old if reference else None,
             build_new_s=build_new,
+            build_delta_s=build_delta,
             solve_old_s=solve_old if reference else None,
             solve_new_s=solve_new,
             warm_solve_s=warm_solve,
@@ -558,8 +623,16 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             inter_isp=inter,
             intra_isp=intra,
         ))
-        # Next slot's warm start: this slot's converged prices.
+        # Next slot's warm start: this slot's converged prices, decayed
+        # exactly as run_slot carries them over a slot boundary (raw
+        # carry overprices transiently scarce uploaders — the decayed
+        # vector is what warm_start_across_slots actually feeds in).
         prev_prices = result_new.price_arrays()
+        decay = system.config.warm_price_decay
+        if prev_prices is not None and decay != 1.0:
+            prev_prices = decay_prices(
+                prev_prices[0], prev_prices[1], decay, EPSILON
+            )
         system.now = t + system.config.slot_seconds
         system.slot_index += 1
 
@@ -576,6 +649,18 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
     solve_old, solve_new = total("solve_old_s"), total("solve_new_s")
     slot_old = build_old + solve_old if reference else None
     slot_new = build_new + solve_new
+    # Incremental-mode slot: patched build + the solve that mode pairs
+    # with (warm-started where a previous slot's λ exists, cold on the
+    # first measured slot).
+    build_delta_total = total("build_delta_s")
+    slot_delta = float(sum(
+        row["build_delta_s"] + (
+            row["warm_solve_s"]
+            if row["warm_solve_s"] is not None
+            else row["solve_new_s"]
+        )
+        for row in rows
+    ))
     welfare_gap = (
         max(abs(row["welfare_old"] - row["welfare_new"]) for row in rows)
         if reference
@@ -606,6 +691,8 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         build_old_s=build_old,
         build_new_s=build_new,
         build_speedup=ratio(build_old, build_new),
+        build_delta_s=build_delta_total,
+        delta_speedup=ratio(build_new, build_delta_total),
         solve_old_s=solve_old,
         solve_new_s=solve_new,
         solve_speedup=ratio(solve_old, solve_new),
@@ -614,6 +701,8 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         slot_old_s=slot_old,
         slot_new_s=slot_new,
         slot_speedup=ratio(slot_old, slot_new),
+        slot_delta_s=slot_delta,
+        slot_delta_speedup=ratio(slot_new, slot_delta),
         apply_old_s=total("apply_old_s"),
         apply_s=total("apply_s"),
         apply_speedup=ratio(total("apply_old_s"), total("apply_s")),
@@ -653,6 +742,9 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             f"edges≈{summary['n_edges_mean']:.0f} | "
             f"build {fmt(build_old)} → {fmt(build_new)} "
             f"({fmt_x(summary['build_speedup'])}) | "
+            f"delta build {fmt(build_delta_total)} "
+            f"({fmt_x(summary['delta_speedup'])} vs cold, "
+            f"slot {fmt_x(summary['slot_delta_speedup'])}) | "
             f"solve {fmt(solve_old)} → {fmt(solve_new)} "
             f"({fmt_x(summary['solve_speedup'])}) | "
             f"slot {fmt_x(summary['slot_speedup'])} | "

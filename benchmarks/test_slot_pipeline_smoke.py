@@ -20,9 +20,11 @@ TINY_SUMMARY_FIELDS = [
     "n_peers", "slots", "n_requests_mean", "n_edges_mean",
     "reference_measured",
     "build_old_s", "build_new_s", "build_speedup",
+    "build_delta_s", "delta_speedup",
     "solve_old_s", "solve_new_s", "solve_speedup",
     "warm_solve_s", "warm_speedup",
     "slot_old_s", "slot_new_s", "slot_speedup",
+    "slot_delta_s", "slot_delta_speedup",
     "apply_old_s", "apply_s", "apply_speedup",
     "playback_old_s", "playback_s", "playback_speedup",
     "welfare_gap_max", "n_eps_bound", "welfare_within_n_eps",
@@ -95,6 +97,23 @@ def test_apply_phase_speedup_static_small(static_small_summary):
     assert summary["apply_speedup"] >= 3.0, summary["apply_speedup"]
     assert summary["playback_s"] > 0 and summary["playback_old_s"] > 0
     assert summary["playback_speedup"] >= 2.0, summary["playback_speedup"]
+
+
+def test_delta_build_speedup_static_small(static_small_summary):
+    """Incremental patch ≥ 2× over the cold columnar build.
+
+    The acceptance smoke gate of the cross-slot delta PR: patching the
+    retained problem forward (packed-word availability, spliced
+    candidate CSR, requested-cell valuations) must beat reassembling
+    from scratch even at 200 peers, where numpy fixed costs weigh
+    heaviest.  Byte-identity of the patched problem is asserted inside
+    ``bench_scenario`` itself on every measured slot.
+    """
+    summary = static_small_summary
+    assert summary["build_delta_s"] > 0
+    assert summary["delta_speedup"] >= 2.0, summary["delta_speedup"]
+    assert summary["slot_delta_s"] > 0
+    assert summary["slot_delta_speedup"] is not None
 
 
 def test_solve_phase_speedup_static_small(static_small_summary):

@@ -480,7 +480,20 @@ class AuctionSolver:
             vals = np.asarray(vals, dtype=float)
             if np.array_equal(ids, uploaders):
                 return np.maximum(vals, 0.0)
-            initial_prices = dict(zip(ids.tolist(), vals.tolist()))
+            # Churned uploader set: remap by id with dict semantics —
+            # the last duplicate wins (stable sort keeps original order
+            # among equals, side="right" lands past the last equal),
+            # unknown uploaders start cold at 0.
+            if not len(ids):
+                return np.zeros(len(uploaders), dtype=float)
+            order = np.argsort(ids, kind="stable")
+            sorted_ids = ids[order]
+            pos = np.searchsorted(sorted_ids, uploaders, side="right") - 1
+            safe = np.maximum(pos, 0)
+            hit = (pos >= 0) & (sorted_ids[safe] == uploaders)
+            lam = np.zeros(len(uploaders), dtype=float)
+            lam[hit] = np.maximum(vals[order][safe[hit]], 0.0)
+            return lam
         if not initial_prices:
             return np.zeros(len(uploaders), dtype=float)
         return np.fromiter(

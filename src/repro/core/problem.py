@@ -271,7 +271,11 @@ class SchedulingProblem:
         # keys as arrays and most consumers (solvers, the transfer
         # epilogue) only ever read the array form.
         self._chunk_pending: List[np.ndarray] = []
-        self._capacity: Dict[int, int] = {}
+        self._cap_dict: Dict[int, int] = {}
+        # Trusted (ids, capacities) column pair from prime_capacities,
+        # not yet materialized into the dict; csr() reads it directly so
+        # batch producers skip both the dict build and the fromiters.
+        self._cap_primed: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._edge_count = 0
         self._dense: Optional[DenseView] = None
         self._csr: Optional[CSRView] = None
@@ -283,6 +287,21 @@ class SchedulingProblem:
         self._csr = None
         self._peer_arr = None
         self._chunk_arr = None
+
+    @property
+    def _capacity(self) -> Dict[int, int]:
+        """The capacity dict, materializing a primed column pair lazily.
+
+        After materialization the dict is the single source of truth
+        again (a later ``set_capacity`` write lands in it), so the
+        primed arrays are dropped.
+        """
+        primed = self._cap_primed
+        if primed is not None:
+            ids, caps = primed
+            self._cap_dict.update(zip(ids.tolist(), caps.tolist()))
+            self._cap_primed = None
+        return self._cap_dict
 
     # ------------------------------------------------------------------
     # Construction
@@ -314,6 +333,39 @@ class SchedulingProblem:
                 )
             caps = as_int
         self._capacity.update(zip(ids.tolist(), caps.tolist()))
+        self._invalidate()
+
+    def prime_capacities(
+        self, peers: np.ndarray, capacities: np.ndarray
+    ) -> None:
+        """Trusted bulk capacity declare from aligned id/value columns.
+
+        The loop-free counterpart of :meth:`set_capacities_batch` for
+        producers whose columns are invariant-checked elsewhere (the
+        slot pipeline's store columns: unique ids, non-negative int
+        capacities — pinned by the store consistency tests).  The
+        arrays are copied and handed to :meth:`csr` verbatim, so the
+        uploader/capacity columns come out byte-identical to the dict
+        path while skipping both the dict build and the fromiters.
+        Only legal on a problem with no capacities declared yet.
+        """
+        if self._cap_dict or self._cap_primed is not None:
+            raise ValueError(
+                "prime_capacities requires a problem with no declared "
+                "capacities"
+            )
+        ids = np.ascontiguousarray(peers, dtype=np.int64)
+        caps = np.ascontiguousarray(capacities, dtype=np.int64)
+        if ids.shape != caps.shape or ids.ndim != 1:
+            raise ValueError(
+                f"peers and capacities must be 1-D and aligned, got shapes "
+                f"{ids.shape} and {caps.shape}"
+            )
+        if ids is peers:
+            ids = ids.copy()
+        if caps is capacities:
+            caps = caps.copy()
+        self._cap_primed = (ids, caps)
         self._invalidate()
 
     def add_request(
@@ -760,12 +812,18 @@ class SchedulingProblem:
                 flat_costs = _EMPTY_FLOAT
         valuations = self._scalar_column(self._valuations, self._val_pending, float)
         values = np.repeat(valuations, counts) - flat_costs
-        uploaders = np.fromiter(
-            self._capacity.keys(), dtype=np.int64, count=len(self._capacity)
-        )
-        capacity = np.fromiter(
-            self._capacity.values(), dtype=np.int64, count=len(self._capacity)
-        )
+        if self._cap_primed is not None:
+            # Primed column pair: dict insertion order would be exactly
+            # the array order, so these are the same columns fromiter
+            # would produce.
+            uploaders, capacity = self._cap_primed
+        else:
+            uploaders = np.fromiter(
+                self._cap_dict.keys(), dtype=np.int64, count=len(self._cap_dict)
+            )
+            capacity = np.fromiter(
+                self._cap_dict.values(), dtype=np.int64, count=len(self._cap_dict)
+            )
         if len(flat_uploaders):
             min_id = int(uploaders.min())
             max_id = int(uploaders.max())

@@ -99,6 +99,24 @@ class SystemConfig:
     # round's λ over the slot boundary into the next slot's first round.
     warm_start_prices: bool = False
     warm_start_across_slots: bool = False
+    # Decay applied to λ carried across a slot boundary (only meaningful
+    # with warm_start_across_slots): the carried vector is scaled by
+    # this factor and entries that fall below epsilon flush to exactly
+    # 0.  Raw carry (1.0) overprices transiently scarce uploaders — the
+    # next slot burns rounds walking stale prices back down; 0.0
+    # degenerates to a cold start every slot.
+    warm_price_decay: float = 0.5
+
+    # Incremental cross-slot problem construction: retain each build's
+    # flat candidate CSR in the peer-state store and patch only the row
+    # segments invalidated since (deliveries, playback, churn, retry
+    # suppression, regime events) instead of reassembling from scratch
+    # (P2PSystem.patch_problem).  Byte-identical problems either way —
+    # property-pinned — so trajectories are unchanged; off by default so
+    # archived results regenerate on the cold reference path.  Pairs
+    # naturally with warm_start_across_slots so λ survives the boundary
+    # in the same mode, but does not require it.
+    incremental_build: bool = False
 
     # Retry pipeline for lossy link conditions (net/linkmodel.py): a
     # failed or truncated transfer waits backoff_base · 2^(attempt−1)
@@ -154,6 +172,11 @@ class SystemConfig:
         if self.warm_start_across_slots and not self.warm_start_prices:
             raise ValueError(
                 "warm_start_across_slots requires warm_start_prices"
+            )
+        if not 0.0 <= self.warm_price_decay <= 1.0:
+            raise ValueError(
+                f"warm_price_decay must be in [0, 1], got "
+                f"{self.warm_price_decay!r}"
             )
         if self.retry_backoff_base_slots < 1 or self.retry_backoff_cap_slots < 1:
             raise ValueError("retry backoff slots must be >= 1")

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.problem import SchedulingProblem
-from ..core.result import ScheduleResult
+from ..core.result import ScheduleResult, decay_prices
 from ..core.scheduler import AuctionScheduler, ChunkScheduler, make_scheduler
 from ..metrics.collectors import MetricsCollector, SlotMetrics
 from ..metrics.traffic_matrix import TrafficMatrix
@@ -52,7 +52,7 @@ from .config import SystemConfig
 from .peer import Peer
 from .retry import RetryQueue
 from .seeding import create_seeds
-from .state import PeerStateStore
+from .state import PeerStateStore, SlotDelta
 from .tracker import Tracker
 
 __all__ = ["P2PSystem"]
@@ -158,6 +158,19 @@ class P2PSystem:
         # Final λ of the last warm-started bid round, carried across the
         # slot boundary when ``warm_start_across_slots`` is on.
         self._carry_prices = None
+        # Incremental-build state: the previous build's problem (the
+        # patch baseline), plus the retry-queue snapshot the last
+        # suppression diff was taken against.
+        self._prev_problem: Optional[SchedulingProblem] = None
+        self._retry_version_seen = self.retry_queue.version
+        self._pending_keys_prev = np.empty(0, dtype=np.int64)
+        if config.incremental_build:
+            # Record every store mutation into per-slot deltas, and
+            # trust the playback columns (sessions are only mutated
+            # through store methods inside the slot loop) so the reuse
+            # path can skip the per-build watcher resync.
+            self.store.enable_delta_recording()
+            self.store.trust_sessions()
         self._pending_arrivals: List[ArrivalPlan] = []
         self._next_arrival_time: Optional[float] = None
         self.departures = 0
@@ -345,6 +358,7 @@ class P2PSystem:
             self.scheduler, "supports_warm_start", False
         )
         prices = self._carry_prices if warm else None
+        incremental = self.config.incremental_build
         for r in range(rounds):
             now_r = t + r * slot / rounds
             shares = (
@@ -352,7 +366,22 @@ class P2PSystem:
                 if rounds == 1
                 else slot_caps * (r + 1) // rounds - slot_caps * r // rounds
             )
-            problem, _ = self.build_problem(now_r, capacity_array=shares)
+            if incremental:
+                delta = self.store.consume_delta()
+                if self._prev_problem is None:
+                    # First build of the run: cold, establishes the
+                    # patch baseline.
+                    problem, _ = self.build_problem(
+                        now_r, capacity_array=shares
+                    )
+                else:
+                    problem = self.patch_problem(
+                        self._prev_problem, delta, now_r,
+                        capacity_array=shares,
+                    )
+                self._prev_problem = problem
+            else:
+                problem, _ = self.build_problem(now_r, capacity_array=shares)
             if warm:
                 result = self.scheduler.schedule(problem, initial_prices=prices)
                 prices = result.price_arrays()
@@ -390,9 +419,21 @@ class P2PSystem:
             link_regime=self.links.regime,
         )
         self.collector.record(metrics)
-        self._carry_prices = (
-            prices if warm and self.config.warm_start_across_slots else None
-        )
+        if warm and self.config.warm_start_across_slots and prices is not None:
+            # Decay the carried λ at the boundary: transient scarcity
+            # prices fade (sub-ε entries flush to an exact cold 0) while
+            # the persistent component survives.  decay=1.0 is the
+            # legacy raw carry.
+            decay = self.config.warm_price_decay
+            self._carry_prices = (
+                prices
+                if decay == 1.0
+                else decay_prices(
+                    prices[0], prices[1], decay, self.config.epsilon
+                )
+            )
+        else:
+            self._carry_prices = None
         self.now = t + slot
         self.slot_index += 1
         return metrics
@@ -714,6 +755,102 @@ class P2PSystem:
         )
         request_owner = dict(enumerate(req_peers.tolist()))
         return problem, request_owner
+
+    def patch_problem(
+        self,
+        prev_problem: SchedulingProblem,
+        delta: SlotDelta,
+        now: float,
+        capacities: Optional[Dict[int, int]] = None,
+        capacity_array: Optional[np.ndarray] = None,
+    ) -> SchedulingProblem:
+        """Incremental :meth:`build_problem`: splice the previous build
+        forward instead of reassembling from scratch.
+
+        ``prev_problem`` is the problem the last build produced (its
+        candidate CSR lives on in the store's per-group caches) and
+        ``delta`` the :meth:`PeerStateStore.consume_delta` record of the
+        mutations since — deliveries, playback, churn batches, capacity
+        and cost shocks, plus the retry-suppression changes this method
+        surfaces into it.  Only row segments those mutations invalidated
+        are rebuilt; valuations and window availability are recomputed
+        wholesale either way (playback shifts every deadline fraction
+        each round), and capacity columns are primed from the store's
+        arrays without the per-peer dict.
+
+        The returned problem is byte-identical to what a cold
+        :meth:`build_problem` would produce on the same state — the
+        caches self-validate against the store's drop log and cost
+        epoch, so a stale ``delta`` can degrade only performance, never
+        correctness.  The property suite pins this across churn, lossy
+        links, retries and regime events.
+        """
+        if prev_problem is None:
+            raise ValueError("patch_problem requires a previous problem")
+        self._surface_retry_delta(delta)
+        store = self.store
+        ids, caps = store.capacity_columns()
+        if capacity_array is not None:
+            caps = np.ascontiguousarray(capacity_array, dtype=np.int64)
+            if len(caps) != len(ids):
+                raise ValueError(
+                    f"capacity_array must align with the {len(ids)} online "
+                    f"peers, got {len(caps)} entries"
+                )
+        elif capacities is not None:
+            caps = np.fromiter(
+                (capacities.get(pid, 0) for pid in ids.tolist()),
+                dtype=np.int64,
+                count=len(ids),
+            )
+        rounds = self.config.bid_rounds_per_slot
+        lookahead = self.config.slot_seconds / rounds if rounds > 1 else 0.0
+        problem = SchedulingProblem()
+        problem.prime_capacities(ids, caps)
+        parts = store.assemble_requests(
+            now, self.valuation, lookahead, reuse=True
+        )
+        if parts is None:
+            return problem
+        if len(self.retry_queue):
+            parts = self._suppress_pending_requests(parts)
+            if parts is None:
+                return problem
+        req_peers, pairs, vals, cand_ids, cand_costs, indptr = parts
+        problem.add_requests_batch(
+            req_peers, pairs, vals, cand_ids, cand_costs, indptr,
+            validate=False,
+        )
+        return problem
+
+    def _surface_retry_delta(self, delta: SlotDelta) -> None:
+        """Record suppression-set changes since the last diff into ``delta``.
+
+        A triple entering the retry queue deletes its request row from
+        the next problem; a triple leaving (delivered, surrendered,
+        evicted) re-exposes one.  Keyed on the queue's version counter,
+        so the steady empty-queue case is one int compare.  Marks are
+        conservative: after a cold rebuild the first diff may re-report
+        triples that were already suppressed.
+        """
+        from .retry import _triple_key
+
+        queue = self.retry_queue
+        if queue.version == self._retry_version_seen:
+            return
+        down, video, chunk = queue.pending_triples()
+        keys = _triple_key(down, video, chunk)
+        prev = self._pending_keys_prev
+        added = np.setdiff1d(keys, prev)
+        removed = np.setdiff1d(prev, keys)
+        if len(added) or len(removed):
+            # The downstream peer id is the top 32 bits of the key.
+            delta.mark_retry(
+                (added >> np.int64(32)).tolist(),
+                (removed >> np.int64(32)).tolist(),
+            )
+        self._pending_keys_prev = keys
+        self._retry_version_seen = queue.version
 
     def build_problem_reference(
         self,

@@ -1,0 +1,257 @@
+"""Unit tests for the incremental cross-slot problem pipeline.
+
+The property suite (``tests/properties/test_incremental_build_equiv.py``)
+pins byte-identity wholesale; these tests pin the *mechanism*: which
+mutation marks which peer row with which ``DELTA_*`` reason, how retry
+suppression surfaces as row deletions/additions, when the pipeline falls
+back to a full candidate rebuild, and the bench-facing snapshot/restore
+and log-compaction plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.linkmodel import LinkParams
+from repro.p2p.config import SystemConfig
+from repro.p2p.state import (
+    _CAND_LOG_LIMIT,
+    DELTA_ADMIT,
+    DELTA_CANDIDATES,
+    DELTA_CAPACITY,
+    DELTA_DELIVERY,
+    DELTA_REMOVE,
+    DELTA_RETRY,
+)
+from repro.p2p.system import P2PSystem
+
+
+def make_system(n_peers=20, slots=2, **overrides):
+    config = SystemConfig.tiny(seed=7, incremental_build=True, **overrides)
+    system = P2PSystem(config)
+    system.populate_static(n_peers)
+    for _ in range(slots):
+        system.run_slot()
+    return system
+
+
+def assert_identical(a, b):
+    """Byte-identity of two column-path problems (same producer order)."""
+    assert a.n_requests == b.n_requests
+    assert a.n_edges() == b.n_edges()
+    ac, bc = a.csr(), b.csr()
+    assert np.array_equal(ac.uploaders, bc.uploaders)
+    assert np.array_equal(ac.capacity, bc.capacity)
+    assert np.array_equal(a.request_peer_array(), b.request_peer_array())
+    if a.n_requests:
+        assert np.array_equal(a.chunk_pair_array(), b.chunk_pair_array())
+    assert np.array_equal(ac.indptr, bc.indptr)
+    assert np.array_equal(ac.values, bc.values)
+    assert np.array_equal(ac.uploader_index, bc.uploader_index)
+
+
+def double_build(system):
+    """Cold rebuild vs delta patch on the current state; returns both."""
+    now = system.now
+    cold, _ = system.build_problem(now)
+    delta = system.store.consume_delta()
+    patched = system.patch_problem(system._prev_problem, delta, now)
+    assert_identical(cold, patched)
+    return cold, delta
+
+
+class TestConfig:
+    def test_defaults_off(self):
+        config = SystemConfig()
+        assert not config.incremental_build
+        config.validate()
+
+    def test_flag_enables_recording_and_trust(self):
+        system = make_system(slots=0)
+        assert system.store.record_delta
+        assert system.store._sessions_trusted
+
+    def test_cold_default_records_nothing(self):
+        config = SystemConfig.tiny(seed=7)
+        system = P2PSystem(config)
+        system.populate_static(10)
+        system.run_slot()
+        delta = system.store.consume_delta()
+        assert not delta.delivered_runs and not delta.playback_moved
+
+
+class TestReasonCodes:
+    def test_delivery_and_playback_marks(self):
+        system = make_system(slots=1)
+        system.run_slot()
+        delta = system.store.consume_delta()
+        reasons = delta.reasons()
+        assert delta.playback_moved
+        delivered = [
+            pid for pid, code in reasons.items() if code & DELTA_DELIVERY
+        ]
+        assert delivered, "a steady slot delivers chunks"
+        # Restore the accumulator contract for any later consumer.
+        assert system.store.consume_delta().delivered_runs == []
+
+    def test_admit_and_remove_marks(self):
+        system = make_system()
+        new_peer = system.add_watching_peer(video_id=0, upload_multiple=1.0)
+        victim = next(
+            pid for pid, p in system.peers.items()
+            if not p.is_seed and pid != new_peer.peer_id
+        )
+        system.remove_peer(victim)
+        delta = system.store.consume_delta()
+        reasons = delta.reasons()
+        assert reasons[new_peer.peer_id] & DELTA_ADMIT
+        assert reasons[victim] & DELTA_REMOVE
+        assert delta.membership_changed
+
+    def test_capacity_marks(self):
+        system = make_system()
+        pid = next(pid for pid, p in system.peers.items() if not p.is_seed)
+        system.set_upload_capacities({pid: 3})
+        delta = system.store.consume_delta()
+        assert delta.reasons()[pid] & DELTA_CAPACITY
+        assert delta.capacity_changed
+
+    def test_candidate_drop_marks_on_overlay_churn(self):
+        system = make_system()
+        # Build once so candidate tables exist, then tear a peer out of
+        # the overlay: its surviving neighbors' tables must be dropped.
+        double_build(system)
+        victim = next(pid for pid, p in system.peers.items() if not p.is_seed)
+        system.remove_peer(victim)
+        cold, delta = double_build(system)
+        dropped = [
+            pid for pid, code in delta.reasons().items()
+            if code & DELTA_CANDIDATES
+        ]
+        assert dropped, "overlay churn must drop neighbor candidate tables"
+        assert victim not in dropped  # the victim's row is gone, not stale
+
+    def test_cost_shock_invalidates_wholesale(self):
+        system = make_system()
+        double_build(system)
+        system.scale_inter_isp_costs(2.0)
+        cold, delta = double_build(system)
+        assert delta.costs_invalidated
+        # The full fallback installed fresh cost copies: next patch
+        # splices forward again from the rebuilt caches.
+        double_build(system)
+
+
+class TestRetrySuppression:
+    def _queue_one(self, system):
+        """Park one real request triple in the retry queue."""
+        problem, _ = system.build_problem(system.now)
+        assert problem.n_requests > 0
+        peers = problem.request_peer_array()
+        pairs = problem.chunk_pair_array()
+        csr = problem.csr()
+        row = 0
+        down = int(peers[row])
+        vid, chunk = int(pairs[row][0]), int(pairs[row][1])
+        up = int(csr.uploaders[csr.uploader_index[csr.indptr[row]]])
+        system.retry_queue.push_failed(
+            np.array([down]), np.array([up]),
+            np.array([vid]), np.array([chunk]),
+            slot=system.slot_index,
+        )
+        return down, up, vid, chunk
+
+    def test_suppress_marks_and_row_deletion(self):
+        system = make_system()
+        down, _, vid, chunk = self._queue_one(system)
+        cold, delta = double_build(system)
+        assert down in delta.retry_added
+        assert delta.reasons()[down] & DELTA_RETRY
+        # The suppressed triple's row is deleted from the problem.
+        peers = cold.request_peer_array()
+        pairs = cold.chunk_pair_array()
+        hit = (peers == down) & (pairs[:, 0] == vid) & (pairs[:, 1] == chunk)
+        assert not hit.any()
+
+    def test_surrender_reexposes_row(self):
+        system = make_system()
+        # Total loss on every pair, intra included (the bare call only
+        # degrades the inter-ISP backbone): each retry attempt fails
+        # until the TTL expires and the triple is surrendered.
+        for isp in range(system.config.n_isps):
+            system.set_link_conditions(LinkParams(loss_rate=1.0), isp_a=isp)
+        down, _, vid, chunk = self._queue_one(system)
+        double_build(system)  # suppression visible
+        ttl = system.config.retry_ttl_slots
+        for _ in range(ttl + 1):
+            system.slot_index += 1
+            system._process_retries(system.now)
+        assert len(system.retry_queue) == 0, "TTL must surrender the triple"
+        cold, delta = double_build(system)
+        assert down in delta.retry_removed
+        assert delta.reasons()[down] & DELTA_RETRY
+        peers = cold.request_peer_array()
+        pairs = cold.chunk_pair_array()
+        hit = (peers == down) & (pairs[:, 0] == vid) & (pairs[:, 1] == chunk)
+        assert hit.any(), "surrendered triple must re-enter the problem"
+
+    def test_retry_delivery_reexposes_via_mark(self):
+        system = make_system()
+        down, *_ = self._queue_one(system)
+        double_build(system)
+        # Ideal links: the due re-attempt succeeds and drains the queue.
+        system.slot_index += system.config.retry_backoff_base_slots
+        stats = system._process_retries(system.now)
+        assert stats["succeeded"] >= 1
+        cold, delta = double_build(system)
+        assert down in delta.retry_removed
+
+
+class TestSessionTrust:
+    def test_out_of_band_mutation_must_be_declared(self):
+        system = make_system()
+        double_build(system)
+        peer = next(p for p in system.peers.values() if p.session is not None)
+        # Rewind the session object behind the store's back, as the
+        # bench harness does between timing repeats.
+        peer.session._last_advance = max(
+            0.0, peer.session._last_advance - system.config.slot_seconds
+        )
+        system.store.mark_sessions_dirty()
+        double_build(system)  # resyncs, still byte-identical
+
+
+class TestSnapshotRestore:
+    def test_repeat_patches_identical(self):
+        system = make_system()
+        double_build(system)
+        system.run_slot()
+        now = system.now
+        cold, _ = system.build_problem(now)
+        delta = system.store.consume_delta()
+        snap = system.store.snapshot_delta_state()
+        first = system.patch_problem(system._prev_problem, delta, now)
+        assert_identical(cold, first)
+        for _ in range(3):
+            system.store.restore_delta_state(snap)
+            again = system.patch_problem(system._prev_problem, delta, now)
+            assert_identical(first, again)
+
+
+class TestCandLogCompaction:
+    def test_trim_rebases_and_drops_laggards(self):
+        system = make_system()
+        double_build(system)  # caches exist at log position 0
+        store = system.store
+        store._cand_log.extend(range(_CAND_LOG_LIMIT + 10))
+        store._trim_cand_log()
+        assert len(store._cand_log) <= _CAND_LOG_LIMIT
+        # Every surviving cache either kept pace (cursor rebased into
+        # range) or was dropped rather than pinning the log.
+        for group in store.groups.values():
+            cache = group._cand_cache
+            if cache is not None:
+                assert 0 <= cache.log_pos <= len(store._cand_log)
+        # The pipeline recovers: next build rebuilds dropped caches.
+        system.run_slot()
+        double_build(system)
