@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all bench-xl scenarios scenarios-smoke scenarios-lossy
+.PHONY: test test-props bench bench-quick bench-all bench-xl bench-xxl scenarios scenarios-smoke scenarios-lossy
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,12 @@ bench-all:
 # Written to its own JSON so `make bench`'s committed matrix is kept.
 bench-xl:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge --output BENCH_slot_pipeline_xl.json
+
+# The scaling-curve tier for the region-sharded solver: 5k → 10k → 50k
+# anchors, reference-free above 5k, sharded columns on every row (the
+# n·ε welfare certificate is asserted live on each measured slot).
+bench-xxl:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge static-xxl --output BENCH_slot_pipeline_xxl.json
 
 # Fast scenario-engine gate: every registered scenario runs a few tiny
 # slots end to end (tier-1 runs the same tests via `make test`).

@@ -55,6 +55,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.auction import AuctionSolver  # noqa: E402
 from repro.core.problem import DenseView, SchedulingProblem  # noqa: E402
 from repro.core.result import decay_prices  # noqa: E402
+from repro.core.sharding import ShardedAuctionSolver  # noqa: E402
 from repro.p2p.config import SystemConfig  # noqa: E402
 from repro.p2p.system import P2PSystem  # noqa: E402
 from repro.scenarios import (  # noqa: E402
@@ -82,6 +83,12 @@ SCENARIOS: Dict[str, dict] = {
     "static-large": dict(n_peers=5000, slots=2, churn=False, overrides={}, gauss_seidel=False),
     "static-xlarge": dict(
         n_peers=10_000, slots=2, churn=False, overrides={},
+        gauss_seidel=False, reference=False,
+    ),
+    # 50k tier (``make bench-xxl``): the scaling-curve anchor for the
+    # region-sharded solve path.  Reference-free like every 10k+ tier.
+    "static-xxl": dict(
+        n_peers=50_000, slots=2, churn=False, overrides={},
         gauss_seidel=False, reference=False,
     ),
     "churn-medium": dict(
@@ -141,6 +148,10 @@ DEFAULT_SCENARIOS = [
 #: The 5k/10k tier (``make bench-xl``); static-large also runs in the
 #: default set so the committed JSON always carries a 5k-peer row.
 XL_SCENARIOS = ["static-large", "static-xlarge"]
+#: The 50k tier (``make bench-xxl``) runs the whole scaling curve so the
+#: peers-vs-``slot_new_s`` table in benchmarks/README.md regenerates
+#: from one JSON.
+XXL_SCENARIOS = ["static-large", "static-xlarge", "static-xxl"]
 
 
 def legacy_dense(problem: SchedulingProblem) -> DenseView:
@@ -478,6 +489,14 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         prime_problem, prime_delta, system.now
     )
 
+    # Region-sharded solve path: a persistent solver (as the live
+    # ``sharded_solve=True`` scheduler keeps one) so the row-partition
+    # cache behaves as it does across real slots.  One shard per ISP —
+    # the ``shard_count=0`` system default.
+    sharded_solver = ShardedAuctionSolver(
+        epsilon=EPSILON, n_shards=system.config.n_isps
+    )
+
     reference = spec.get("reference", True)
     scenario_spec = spec.get("scenario_spec")
     timeline = (
@@ -516,6 +535,7 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         # is directly comparable to solve_new_s (both pay the CSR and
         # reverse-index builds themselves).
         build_old = build_new = solve_old = solve_new = float("inf")
+        sharded_solve = float("inf")
         warm_solve = float("inf") if prev_prices is not None else None
         result_old = None
         for _rep in range(repeats):
@@ -545,6 +565,17 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             result_new = solver_new.solve(problem_new)
             t7 = time.perf_counter()
             solve_new = min(solve_new, t7 - t6)
+            # Sharded solve on its own fresh problem (pays the CSR build
+            # like the cold solve); the region gather and partition are
+            # part of the path, so they sit inside the timed region.
+            problem_shard, _ = system.build_problem(t, capacities=budgets)
+            ts0 = time.perf_counter()
+            regions = system.store.regions_of(
+                problem_shard.request_peer_array()
+            )
+            result_shard = sharded_solver.solve(problem_shard, regions)
+            ts1 = time.perf_counter()
+            sharded_solve = min(sharded_solve, ts1 - ts0)
             if prev_prices is not None:
                 problem_warm, _ = system.build_problem(t, capacities=budgets)
                 t8 = time.perf_counter()
@@ -581,6 +612,16 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         welfare_new = result_new.welfare(problem_new)
         n_eps = problem_new.n_requests * EPSILON
 
+        # Live certificate for the sharded path, asserted on every
+        # measured slot: the merged assignment must be feasible and its
+        # welfare within the auction's own n·ε bound of the flat solve.
+        result_shard.check_feasible(problem_shard)
+        welfare_sharded = result_shard.welfare(problem_shard)
+        assert abs(welfare_new - welfare_sharded) <= n_eps + 1e-6, (
+            f"sharded welfare gap {abs(welfare_new - welfare_sharded)} "
+            f"exceeds n·ε = {n_eps} ({sharded_solver.last_report})"
+        )
+
         gs_welfare = None
         if spec["gauss_seidel"]:
             gs = AuctionSolver(epsilon=EPSILON, mode="gauss-seidel").solve(problem_new)
@@ -611,6 +652,7 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             build_delta_s=build_delta,
             solve_old_s=solve_old if reference else None,
             solve_new_s=solve_new,
+            sharded_solve_s=sharded_solve,
             warm_solve_s=warm_solve,
             apply_old_s=apply_old,
             apply_s=apply_new,
@@ -618,6 +660,14 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             playback_s=playback_new,
             welfare_old=welfare_old,
             welfare_new=welfare_new,
+            welfare_sharded=welfare_sharded,
+            sharded_fallback=sharded_solver.last_report.fallback,
+            sharded_coordination_rounds=(
+                sharded_solver.last_report.coordination_rounds
+            ),
+            sharded_boundary_uploaders=(
+                sharded_solver.last_report.n_boundary_uploaders
+            ),
             gs_welfare=gs_welfare,
             n_eps_bound=n_eps,
             inter_isp=inter,
@@ -670,6 +720,19 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
     if spec["gauss_seidel"]:
         gs_gap = max(abs(row["gs_welfare"] - row["welfare_new"]) for row in rows)
 
+    # Sharded-path aggregates: the composed sharded slot pairs the
+    # patched (delta) build with the region-sharded solve, mirroring
+    # what a live system with sharded_solve=True actually runs.
+    sharded_total = total("sharded_solve_s")
+    slot_sharded = (
+        build_delta_total + sharded_total
+        if build_delta_total is not None and sharded_total is not None
+        else None
+    )
+    sharded_gap = max(
+        abs(row["welfare_new"] - row["welfare_sharded"]) for row in rows
+    )
+
     # Warm rows exclude the first slot (nothing to warm-start from), so
     # the speedup compares against the cold solve on the same slots.
     warm_total = total("warm_solve_s")
@@ -703,6 +766,15 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
         slot_speedup=ratio(slot_old, slot_new),
         slot_delta_s=slot_delta,
         slot_delta_speedup=ratio(slot_new, slot_delta),
+        sharded_solve_s=sharded_total,
+        sharded_solve_speedup=ratio(solve_new, sharded_total),
+        slot_sharded_s=slot_sharded,
+        slot_sharded_speedup=ratio(slot_new, slot_sharded),
+        sharded_welfare_gap_max=sharded_gap,
+        sharded_within_n_eps=bool(
+            sharded_gap <= max(row["n_eps_bound"] for row in rows) + 1e-6
+        ),
+        sharded_n_shards=system.config.n_isps,
         apply_old_s=total("apply_old_s"),
         apply_s=total("apply_s"),
         apply_speedup=ratio(total("apply_old_s"), total("apply_s")),
@@ -753,7 +825,10 @@ def bench_scenario(name: str, spec: dict, seed: int = 0, slots: Optional[int] = 
             f"playback {fmt(summary['playback_old_s'])} → "
             f"{fmt(summary['playback_s'])} "
             f"({fmt_x(summary['playback_speedup'])})"
-            f"{warm_note}{gap_note}"
+            f"{warm_note}{gap_note} | "
+            f"sharded solve {fmt(sharded_total)} "
+            f"(slot {fmt_x(summary['slot_sharded_speedup'])}, "
+            f"gap {sharded_gap:.2e})"
         )
     return summary
 

@@ -28,6 +28,9 @@ TINY_SUMMARY_FIELDS = [
     "apply_old_s", "apply_s", "apply_speedup",
     "playback_old_s", "playback_s", "playback_speedup",
     "welfare_gap_max", "n_eps_bound", "welfare_within_n_eps",
+    "sharded_solve_s", "sharded_solve_speedup",
+    "slot_sharded_s", "slot_sharded_speedup",
+    "sharded_welfare_gap_max", "sharded_within_n_eps", "sharded_n_shards",
 ]
 
 
@@ -61,6 +64,12 @@ def test_scenario_smoke(name, tiny_specs):
     assert summary["slots"] == 1
     assert summary["n_requests_mean"] > 0
     assert summary["build_new_s"] > 0 and summary["solve_new_s"] > 0
+    # The sharded column runs on every tier (reference or not) and its
+    # welfare certificate is asserted live inside bench_scenario; the
+    # summary restates the bound so JSON consumers can check it too.
+    assert summary["sharded_solve_s"] > 0
+    assert summary["sharded_within_n_eps"]
+    assert summary["sharded_n_shards"] >= 1
     # A single measured slot has nothing to warm-start from.
     assert summary["warm_solve_s"] is None
     if spec.get("reference", True):
@@ -146,6 +155,35 @@ def test_run_writes_report(tmp_path, monkeypatch):
     assert "static-small" in report["scenarios"]
 
 
+def test_sharded_slot_parity_static_large():
+    """Composed sharded slot ≈ flat slot at the 5k tier.
+
+    The acceptance smoke gate of the region-sharded PR: the sharded
+    slot pairs the delta build with the region-sharded solve, and the
+    delta-build savings must pay for the boundary-coordination audits.
+    The measured margin at 5k is a few percent on a quiet box, so the
+    gate allows 5% + 10ms of scheduler noise — wide enough not to
+    flake, tight enough to catch structural regressions (a sharded
+    path that falls back to a full flat solve every slot lands ~10%
+    over and fails).  The correctness side has no tolerance: the n·ε
+    welfare certificate is asserted on every measured slot inside
+    ``bench_scenario`` and restated here.
+    """
+    spec = dict(bench.SCENARIOS["static-large"], reference=False)
+    summary = bench.bench_scenario(
+        "static-large", spec, seed=0, slots=2, verbose=False, repeats=3
+    )
+    assert summary["sharded_within_n_eps"]
+    assert summary["sharded_welfare_gap_max"] <= summary["n_eps_bound"] + 1e-6
+    assert summary["slot_sharded_s"] > 0 and summary["slot_new_s"] > 0
+    assert (
+        summary["slot_sharded_s"] <= summary["slot_new_s"] * 1.05 + 0.010
+    ), (summary["slot_sharded_s"], summary["slot_new_s"])
+    # No slot may have needed the coordination-budget bailout at 5k.
+    for row in summary["slot_rows"]:
+        assert row["sharded_fallback"] == "", row["sharded_fallback"]
+
+
 def test_xl_tier_listed():
     """The 5k/10k tier names resolve to scenarios (make bench-xl)."""
     for name in bench.XL_SCENARIOS:
@@ -153,6 +191,17 @@ def test_xl_tier_listed():
     assert bench.SCENARIOS["static-xlarge"]["n_peers"] >= 10_000
     assert not bench.SCENARIOS["static-xlarge"].get("reference", True)
     assert "static-large" in bench.DEFAULT_SCENARIOS
+
+
+def test_xxl_tier_listed():
+    """The 50k scaling-curve tier resolves (make bench-xxl)."""
+    for name in bench.XXL_SCENARIOS:
+        assert name in bench.SCENARIOS
+    assert bench.SCENARIOS["static-xxl"]["n_peers"] >= 50_000
+    assert not bench.SCENARIOS["static-xxl"].get("reference", True)
+    # The curve spans the 5k → 10k → 50k anchors.
+    sizes = [bench.SCENARIOS[n]["n_peers"] for n in bench.XXL_SCENARIOS]
+    assert sizes == sorted(sizes) and len(sizes) >= 3
 
 
 def test_legacy_dense_matches_library_dense():

@@ -33,6 +33,14 @@ from .problem import (
     random_problem,
 )
 from .result import ScheduleResult, SolverStats
+from .sharding import (
+    ShardPlan,
+    ShardedAuctionSolver,
+    ShardedSolveReport,
+    boundary_uploaders,
+    plan_shards,
+    rows_view,
+)
 from .strategic import ManipulationRow, manipulation_study, true_utility_of_peer
 from .vcg import VCGOutcome, vcg_payments
 from .scheduler import (
@@ -41,6 +49,7 @@ from .scheduler import (
     ChunkScheduler,
     HungarianScheduler,
     LPScheduler,
+    ShardedAuctionScheduler,
     available_schedulers,
     make_scheduler,
 )
@@ -72,18 +81,25 @@ __all__ = [
     "ScalingPhase",
     "ScheduleResult",
     "SchedulingProblem",
+    "ShardPlan",
+    "ShardedAuctionScheduler",
+    "ShardedAuctionSolver",
+    "ShardedSolveReport",
     "SimpleLocalityScheduler",
     "SolverStats",
     "UtilityGreedyScheduler",
     "VCGOutcome",
     "available_schedulers",
+    "boundary_uploaders",
     "check_complementary_slackness",
     "dual_objective",
     "duality_gap",
     "expand_to_assignment",
     "manipulation_study",
     "make_scheduler",
+    "plan_shards",
     "random_problem",
+    "rows_view",
     "solve_hungarian",
     "solve_lp_relaxation",
     "solve_min_cost_flow",

@@ -188,7 +188,7 @@ class CSRView:
         """
         try:
             from scipy import sparse
-        except ImportError:  # pragma: no cover - scipy is a core dependency
+        except ImportError:  # covered: test_csr_reverse_index masks scipy
             rev_indptr = np.zeros(n_uploaders + 1, dtype=np.int64)
             np.cumsum(
                 np.bincount(self.uploader_index, minlength=n_uploaders),

@@ -1,0 +1,488 @@
+"""Region-sharded execution of the slot auction.
+
+The paper prices inter-ISP traffic explicitly, which makes the ISP
+region the natural decomposition boundary for the slot problem: intra-
+ISP competition is resolved inside a per-region sub-auction, and the
+dual prices ``λ_u`` on *boundary* uploaders (uploaders candidate to
+requests of more than one region) are exactly the coordination
+interface between the sub-problems — the partitioned-LP scheme of the
+distributed transportation simplex, with auction prices in the role of
+the simplex multipliers.
+
+The solve runs in three phases:
+
+1. **Partition** (:func:`plan_shards`): request rows are grouped by the
+   requesting peer's ISP region (``region % n_shards``); each shard's
+   rows are sliced out of the slot CSR into a compact per-shard view
+   (:func:`rows_view`).  Every edge of a row belongs to the row's shard,
+   so intra-ISP edges stay inside their shard and inter-ISP edges become
+   *boundary columns*: the shard views share the parent's global
+   uploader axis (ids, capacities), which keeps the per-shard solves
+   index-compatible and makes price merging a plain elementwise max.
+2. **Speculative shard solves**: the event-driven
+   :meth:`AuctionSolver._solve_jacobi` frontier runs per shard against
+   the full capacities — optimistically, as if each shard had every
+   boundary uploader to itself.  Private uploaders (all edges in one
+   shard, the common case under ISP-local candidate selection) are
+   exactly solved; boundary uploaders may end oversubscribed or priced
+   inconsistently across shards.
+3. **Boundary-price coordination** (the loop in
+   :meth:`ShardedAuctionSolver.solve`): shard prices merge as
+   ``λ̂ = max`` over shards, then rounds of
+
+   * releasing every row assigned to an oversubscribed uploader,
+   * restoring the cold-auction invariant *positive price ⇒ saturated*
+     (shard-local price inflation on an uploader that did not fill
+     globally is reset to 0 — the same CS-1 repair the ε-scaling driver
+     applies to stale warm starts),
+   * flagging rows that violate ε-complementary-slackness under ``λ̂``
+     (assigned rows whose surplus trails the best by more than ε;
+     unassigned rows with positive surplus somewhere), plus the settled
+     members of saturated uploaders those rows want (they must be
+     biddable against, or the contest can never resolve),
+   * re-solving only this contested set — a *flat* frontier solve over
+     the remaining capacities, warm-started from ``λ̂``
+
+   until no violation remains.  Prices only rise inside re-solves, so
+   the loop settles; a pathological instance that exceeds the round
+   budget falls back to one cold flat solve of the full problem.
+
+On exit the merged assignment is feasible, satisfies ε-CS under ``λ̂``
+for every row, and every positively-priced uploader is saturated —
+the three conditions of the auction's own optimality certificate — so
+the welfare gap to the optimum (and hence to the flat reference solve)
+is bounded by ``n·ε`` exactly like the flat solver's.  ``n_shards=1``
+(or a degenerate partition) short-circuits to the flat solver and is
+byte-identical to it by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .auction import DEFAULT_EPSILON, AuctionSolver, _segment_max
+from .problem import CSRView, SchedulingProblem
+from .result import ScheduleResult, SolverStats
+
+__all__ = [
+    "ShardPlan",
+    "ShardedAuctionSolver",
+    "ShardedSolveReport",
+    "boundary_uploaders",
+    "plan_shards",
+    "rows_view",
+]
+
+#: Float slack for the ε-CS violation checks: bids are built by float
+#: adds, so equality cases sit within a few ulps of the bound.
+_CS_ATOL = 1e-12
+
+#: Coordination rounds with no drop in the violation count before the
+#: loop is declared cycling (slack-reset / re-inflate livelock) and
+#: bails to the flat fallback.  Converging workloads settle in 2-4
+#: rounds with a strictly shrinking contested set, so 5 flat rounds is
+#: a cycle, not a slow convergence — and the fallback is exact anyway.
+_STALL_LIMIT = 5
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Row partition of one slot problem into region shards.
+
+    ``order`` holds the request rows grouped by shard (ascending row
+    order within each shard — the partition is a stable counting sort),
+    with shard ``s`` occupying ``order[indptr[s]:indptr[s+1]]``.
+    """
+
+    n_shards: int
+    shard_of_row: np.ndarray
+    order: np.ndarray
+    indptr: np.ndarray
+
+    def rows(self, shard: int) -> np.ndarray:
+        """Global request rows of ``shard`` (ascending; do not mutate)."""
+        return self.order[self.indptr[shard] : self.indptr[shard + 1]]
+
+    def shard_sizes(self) -> np.ndarray:
+        """Row count per shard, ``(n_shards,)``."""
+        return np.diff(self.indptr)
+
+    def n_nonempty(self) -> int:
+        """Shards that actually hold rows."""
+        return int((np.diff(self.indptr) > 0).sum())
+
+
+def plan_shards(regions: np.ndarray, n_shards: int) -> ShardPlan:
+    """Partition rows by requester region into ``n_shards`` groups.
+
+    ``regions`` is the per-row ISP region id; rows map to shard
+    ``region % n_shards`` so any shard count folds the region axis
+    deterministically (``n_shards ≥ n_regions`` gives one shard per
+    region).  Correctness never depends on the partition — any grouping
+    coordinates to the same certificate — only locality does.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    shard_of_row = np.asarray(regions, dtype=np.int64) % n_shards
+    order = np.argsort(shard_of_row, kind="stable")
+    indptr = np.zeros(n_shards + 1, dtype=np.int64)
+    np.cumsum(np.bincount(shard_of_row, minlength=n_shards), out=indptr[1:])
+    return ShardPlan(
+        n_shards=n_shards, shard_of_row=shard_of_row, order=order, indptr=indptr
+    )
+
+
+def rows_view(
+    csr: CSRView, rows: np.ndarray, capacity: Optional[np.ndarray] = None
+) -> CSRView:
+    """Sub-CSR over ``rows`` in the parent's *global* uploader space.
+
+    The returned view keeps the parent's ``uploaders``/``capacity``
+    columns (optionally overridden with remaining capacities), so
+    per-shard price vectors are index-aligned with the parent's and
+    merging needs no id remapping.  One flat gather — O(edges kept).
+    """
+    counts = np.diff(csr.indptr)
+    lens = counts[rows]
+    eidx = AuctionSolver._concat_ranges(csr.indptr[rows], lens)
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    return CSRView(
+        values=csr.values[eidx],
+        uploader_index=csr.uploader_index[eidx],
+        indptr=indptr,
+        uploaders=csr.uploaders,
+        capacity=csr.capacity if capacity is None else capacity,
+    )
+
+
+def boundary_uploaders(csr: CSRView, plan: ShardPlan) -> np.ndarray:
+    """Bool mask over uploader indices: candidate to rows of ≥ 2 shards.
+
+    Private uploaders (every incident edge inside one shard) are exactly
+    solved by their shard's sub-auction; boundary uploaders are the
+    coordination interface.  Uses the reverse uploader→rows index, so
+    the pass is O(E) after the (cached) transpose.
+    """
+    rev_indptr, rev_rows = csr.uploader_rows()
+    if not len(rev_rows):
+        return np.zeros(len(csr.uploaders), dtype=bool)
+    shard_of_edge = plan.shard_of_row[rev_rows]
+    lo = _segment_max(-shard_of_edge.astype(float), rev_indptr)
+    hi = _segment_max(shard_of_edge.astype(float), rev_indptr)
+    # Empty segments give -inf on both sides → not boundary.
+    return np.isfinite(hi) & (hi != -lo)
+
+
+class _CSRProblem:
+    """Adapter presenting a bare :class:`CSRView` to ``_solve_jacobi``.
+
+    The jacobi frontier reads the problem exclusively through
+    ``problem.csr()``, so shard sub-solves need no
+    :class:`SchedulingProblem` round-trip (dict re-keying, cache
+    rebuilds) — just the sliced view.
+    """
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: CSRView) -> None:
+        self._view = view
+
+    def csr(self) -> CSRView:
+        return self._view
+
+
+@dataclass
+class ShardedSolveReport:
+    """Diagnostics of one sharded solve (``solver.last_report``)."""
+
+    n_shards: int = 1
+    shard_sizes: Tuple[int, ...] = ()
+    n_boundary_uploaders: int = 0
+    coordination_rounds: int = 0
+    contested_rows: int = 0
+    released_overloaded: int = 0
+    repriced_slack: int = 0
+    #: "" (coordinated), "short-circuit" (≤ 1 effective shard),
+    #: "coordination-stall" (violation count stopped improving — flat
+    #: cold fallback) or "coordination-budget" (flat cold fallback).
+    fallback: str = ""
+
+
+class ShardedAuctionSolver:
+    """Region-sharded driver around :class:`AuctionSolver`.
+
+    Parameters
+    ----------
+    epsilon:
+        Bidding increment, as in :class:`AuctionSolver`; the merged
+        result satisfies the same ``n·ε`` welfare bound.
+    n_shards:
+        Target shard count; rows map to ``region % n_shards``.
+    mode:
+        Mode for the flat paths (the ``n_shards=1`` short-circuit and
+        the non-convergence fallback).  Shard and repair solves always
+        run the jacobi frontier.
+    max_rounds:
+        Per-(sub)solve round budget, as in :class:`AuctionSolver`.
+    max_coordination_rounds:
+        Boundary-coordination rounds before the cold flat fallback.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        n_shards: int = 2,
+        mode: str = "auto",
+        max_rounds: int = 100_000,
+        max_coordination_rounds: int = 40,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        self.epsilon = float(epsilon)
+        self.n_shards = int(n_shards)
+        self.mode = mode
+        self.max_rounds = int(max_rounds)
+        self.max_coordination_rounds = int(max_coordination_rounds)
+        self.last_report = ShardedSolveReport()
+        # Partition cache: the region column is stable across re-bid
+        # rounds (and across delta-patched slots with no membership
+        # churn), so the counting sort is revalidated by one compare.
+        self._plan_key: Optional[np.ndarray] = None
+        self._plan: Optional[ShardPlan] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: SchedulingProblem,
+        regions: np.ndarray,
+        initial_prices=None,
+    ) -> ScheduleResult:
+        """Solve one slot sharded by ``regions`` (per-row region ids).
+
+        ``initial_prices`` warm-starts ``λ̂`` exactly like the flat
+        solver's (dict or ``(ids, values)`` pair).  With one effective
+        shard the call degenerates to — and is byte-identical with —
+        :meth:`AuctionSolver.solve`.
+        """
+        regions = np.asarray(regions, dtype=np.int64)
+        if len(regions) != problem.n_requests:
+            raise ValueError(
+                f"regions column has {len(regions)} rows for "
+                f"{problem.n_requests} requests"
+            )
+        if self.n_shards == 1 or problem.n_requests == 0:
+            return self._flat(problem, initial_prices, "short-circuit")
+        plan = self._planned(regions)
+        if plan.n_nonempty() <= 1:
+            return self._flat(problem, initial_prices, "short-circuit")
+        return self._solve_sharded(problem, plan, initial_prices)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _flat(
+        self, problem: SchedulingProblem, initial_prices, why: str
+    ) -> ScheduleResult:
+        self.last_report = ShardedSolveReport(n_shards=1, fallback=why)
+        solver = AuctionSolver(
+            epsilon=self.epsilon, mode=self.mode, max_rounds=self.max_rounds
+        )
+        return solver.solve(problem, initial_prices=initial_prices)
+
+    def _planned(self, regions: np.ndarray) -> ShardPlan:
+        if self._plan_key is not None and np.array_equal(self._plan_key, regions):
+            return self._plan
+        plan = plan_shards(regions, self.n_shards)
+        self._plan_key = regions.copy()
+        self._plan = plan
+        return plan
+
+    def _sub_solver(self) -> AuctionSolver:
+        return AuctionSolver(
+            epsilon=self.epsilon, mode="jacobi", max_rounds=self.max_rounds
+        )
+
+    @staticmethod
+    def _id_to_index(uploaders: np.ndarray):
+        """Vectorized uploader peer id → uploader index mapper."""
+        sorter = np.argsort(uploaders, kind="stable")
+        sorted_ids = uploaders[sorter]
+
+        def to_index(ids: np.ndarray) -> np.ndarray:
+            return sorter[np.searchsorted(sorted_ids, ids)]
+
+        return to_index
+
+    # ------------------------------------------------------------------
+    # The sharded path
+    # ------------------------------------------------------------------
+    def _solve_sharded(
+        self, problem: SchedulingProblem, plan: ShardPlan, initial_prices
+    ) -> ScheduleResult:
+        csr = problem.csr()
+        n = csr.n_requests
+        n_uploaders = len(csr.uploaders)
+        capacity = csr.capacity
+        uidx = csr.uploader_index
+        counts = np.diff(csr.indptr)
+        values = csr.values
+        if csr.n_edges and (capacity == 0).any():
+            values = values.copy()
+            values[capacity[uidx] == 0] = -np.inf
+        to_index = self._id_to_index(csr.uploaders)
+        lam0 = AuctionSolver._initial_lam(csr.uploaders, initial_prices)
+
+        report = ShardedSolveReport(
+            n_shards=plan.n_shards,
+            shard_sizes=tuple(int(c) for c in plan.shard_sizes()),
+        )
+        self.last_report = report
+
+        # Phase 1 — speculative per-shard frontier solves against the
+        # full capacities (boundary uploaders may end oversubscribed).
+        # The boundary count (diagnostics) piggybacks on the shard views
+        # already in hand — one bincount per shard instead of the full
+        # reverse-index transpose :func:`boundary_uploaders` would pay.
+        assigned_idx = np.full(n, -1, dtype=np.int64)
+        lam_hat = lam0.copy()
+        stats = SolverStats()
+
+        def coordination_fallback(why: str) -> ScheduleResult:
+            # The certificate cannot be established by coordination —
+            # one cold flat solve, which is the pinned reference anyway.
+            flat = self._flat(problem, None, why)
+            self.last_report = report
+            report.fallback = why
+            flat.stats = stats.merge(flat.stats)
+            return flat
+
+        shard_rounds = 0
+        shards_touching = np.zeros(n_uploaders, dtype=np.int64)
+        for shard in range(plan.n_shards):
+            rows = plan.rows(shard)
+            if not len(rows):
+                continue
+            view = rows_view(csr, rows)
+            shards_touching += (
+                np.bincount(view.uploader_index, minlength=n_uploaders) > 0
+            )
+            res = self._sub_solver()._solve_jacobi(
+                _CSRProblem(view), initial_prices=(csr.uploaders, lam0)
+            )
+            a = res.assignment_array()
+            served = a >= 0
+            if served.any():
+                assigned_idx[rows[served]] = to_index(a[served])
+            np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
+            s = res.stats
+            # Shards are independent: rounds count as the longest shard
+            # (parallel-depth semantics); work counters add up.
+            shard_rounds = max(shard_rounds, s.rounds)
+            stats.bids_submitted += s.bids_submitted
+            stats.bids_rejected += s.bids_rejected
+            stats.evictions += s.evictions
+            stats.price_updates += s.price_updates
+            stats.converged = stats.converged and s.converged
+        stats.rounds = shard_rounds
+        report.n_boundary_uploaders = int((shards_touching >= 2).sum())
+
+        # Phase 2 — boundary-price coordination.  The slack-reset /
+        # re-inflate pair can cycle on adversarial tie structure, so
+        # progress is tracked: if the violation count stops improving
+        # for _STALL_LIMIT consecutive rounds the loop is not going to
+        # converge and bails to the flat fallback immediately instead
+        # of burning the whole round budget on the cycle.
+        best_viol: Optional[int] = None
+        stall = 0
+        for _ in range(self.max_coordination_rounds):
+            report.coordination_rounds += 1
+            served = assigned_idx >= 0
+            load = np.bincount(assigned_idx[served], minlength=n_uploaders)
+            # (a) Oversubscribed (necessarily boundary) uploaders:
+            # release every holder; the re-solve re-auctions them under
+            # one consistent price.
+            over = load > capacity
+            if over.any():
+                drop = np.nonzero(served)[0]
+                drop = drop[over[assigned_idx[drop]]]
+                assigned_idx[drop] = -1
+                report.released_overloaded += len(drop)
+                served = assigned_idx >= 0
+                load = np.bincount(assigned_idx[served], minlength=n_uploaders)
+            # (b) CS-1 repair: a positive price on an uploader that did
+            # not fill globally is shard-local inflation — reset to the
+            # cold-auction level so retired rows that would win at the
+            # true price get flagged below and re-bid.
+            slack = (lam_hat > 0.0) & (load < capacity)
+            if slack.any():
+                report.repriced_slack += int(slack.sum())
+                lam_hat[slack] = 0.0
+            # (c) ε-CS audit under the merged prices.
+            phi = values - lam_hat[uidx]
+            phi1 = _segment_max(phi, csr.indptr)
+            phi_assigned = _segment_max(
+                np.where(uidx == np.repeat(assigned_idx, counts), phi, -np.inf),
+                csr.indptr,
+            )
+            viol = np.where(
+                served,
+                phi_assigned < np.maximum(phi1, 0.0) - self.epsilon - _CS_ATOL,
+                phi1 > _CS_ATOL,
+            )
+            if not viol.any():
+                break
+            # Saturated uploaders wanted by a violating row must be
+            # biddable against — release their members into the contest
+            # (otherwise the re-solve sees zero remaining capacity there
+            # and the tension can never resolve).
+            hot = np.zeros(n_uploaders, dtype=bool)
+            want = viol[csr.edge_rows()] & (phi > 0.0)
+            hot[uidx[want]] = True
+            hot &= load >= capacity
+            if hot.any():
+                viol |= served & hot[np.where(served, assigned_idx, 0)]
+            contested = np.nonzero(viol)[0]
+            report.contested_rows += len(contested)
+            if best_viol is None or len(contested) < best_viol:
+                best_viol = len(contested)
+                stall = 0
+            else:
+                stall += 1
+                if stall >= _STALL_LIMIT:
+                    return coordination_fallback("coordination-stall")
+            assigned_idx[contested] = -1
+            served = assigned_idx >= 0
+            load = np.bincount(assigned_idx[served], minlength=n_uploaders)
+            # (d) Flat re-solve of only the contested rows over the
+            # remaining capacities, warm-started from λ̂ (prices only
+            # rise from here, which is what settles the loop).
+            view = rows_view(csr, contested, capacity=capacity - load)
+            res = self._sub_solver()._solve_jacobi(
+                _CSRProblem(view), initial_prices=(csr.uploaders, lam_hat)
+            )
+            a = res.assignment_array()
+            won = a >= 0
+            if won.any():
+                assigned_idx[contested[won]] = to_index(a[won])
+            np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
+            s = res.stats
+            stats.rounds += s.rounds
+            stats.bids_submitted += s.bids_submitted
+            stats.bids_rejected += s.bids_rejected
+            stats.evictions += s.evictions
+            stats.price_updates += s.price_updates
+            stats.converged = stats.converged and s.converged
+        else:
+            # Coordination budget exhausted (adversarial tie structure).
+            return coordination_fallback("coordination-budget")
+
+        etas = AuctionSolver._etas_array(problem, lam_hat)
+        return ScheduleResult.from_arrays(
+            assigned_idx, csr.uploaders, lam_hat, etas=etas, stats=stats
+        )

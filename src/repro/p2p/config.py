@@ -118,6 +118,20 @@ class SystemConfig:
     # in the same mode, but does not require it.
     incremental_build: bool = False
 
+    # Region-sharded solve path (core/sharding.py): partition each
+    # slot's problem by the requesting peer's ISP region, run the
+    # jacobi frontier per shard, and reconcile boundary uploader prices
+    # with a coordination round (flat re-solve of only the contested
+    # rows).  Same n·ε welfare certificate as the flat solve; off by
+    # default so the cold flat solve stays the pinned reference.
+    # shard_count = 0 shards one-per-ISP-region; an explicit count folds
+    # regions as ``region % shard_count`` (1 is byte-identical to the
+    # flat solver).  Composes with incremental_build: the sharded
+    # scheduler re-slices its per-region views from the delta-patched
+    # flat problem and revalidates the cached row partition per slot.
+    sharded_solve: bool = False
+    shard_count: int = 0
+
     # Retry pipeline for lossy link conditions (net/linkmodel.py): a
     # failed or truncated transfer waits backoff_base · 2^(attempt−1)
     # slots (capped at retry_backoff_cap_slots) between attempts, and is
@@ -177,6 +191,16 @@ class SystemConfig:
             raise ValueError(
                 f"warm_price_decay must be in [0, 1], got "
                 f"{self.warm_price_decay!r}"
+            )
+        if self.shard_count < 0:
+            raise ValueError(
+                f"shard_count must be >= 0 (0 = per-ISP), got "
+                f"{self.shard_count!r}"
+            )
+        if self.sharded_solve and self.scheduler != "auction":
+            raise ValueError(
+                "sharded_solve decomposes the auction solve; scheduler "
+                f"{self.scheduler!r} does not support it"
             )
         if self.retry_backoff_base_slots < 1 or self.retry_backoff_cap_slots < 1:
             raise ValueError("retry backoff slots must be >= 1")

@@ -126,6 +126,32 @@ class SlotDelta:
         self.retry_added.extend(int(p) for p in added_pids)
         self.retry_removed.extend(int(p) for p in removed_pids)
 
+    def touched_regions(self, isp_table: np.ndarray) -> Optional[Set[int]]:
+        """ISP regions whose rows this delta invalidated.
+
+        Keyed on the store's :meth:`PeerStateStore.isp_table` column
+        (−1 for peers already removed, e.g. departures recorded after
+        the row left the table).  Coarse flags (``playback_moved``,
+        ``costs_invalidated``, …) touch every region, signalled by
+        returning ``None`` — per-region consumers must treat that as
+        "all".  The sharded solve path uses this to bound which region
+        shards of a delta-patched problem can differ from the previous
+        slot's.
+        """
+        if (
+            self.playback_moved
+            or self.costs_invalidated
+            or self.membership_changed
+            or self.capacity_changed
+        ):
+            return None
+        pids = set(self.reasons())
+        if not pids:
+            return set()
+        col = np.fromiter(pids, dtype=np.int64, count=len(pids))
+        inside = col[col < len(isp_table)]
+        return set(int(r) for r in np.unique(isp_table[inside]))
+
     def reasons(self) -> Dict[int, int]:
         """Peer id → reason bitmask, materialized from the raw marks."""
         out: Dict[int, int] = {}
@@ -762,6 +788,15 @@ class PeerStateStore:
     def isp_table(self) -> np.ndarray:
         """Peer-id-indexed ISP lookup table (−1 = offline; do not mutate)."""
         return self._isp_table
+
+    def regions_of(self, peer_ids: np.ndarray) -> np.ndarray:
+        """ISP region per peer id (vectorized ``isp_table`` gather).
+
+        The region column the sharded solve path keys its row partition
+        on — request peers are always online, so entries are the actual
+        ISP ids (offline ids would read −1).
+        """
+        return self._isp_table[np.asarray(peer_ids, dtype=np.int64)]
 
     def departure_scan(self, t: float, remove_finished: bool) -> List[int]:
         """Non-seed peers due to leave at slot boundary ``t``, dict order.

@@ -33,7 +33,12 @@ import numpy as np
 
 from ..core.problem import SchedulingProblem
 from ..core.result import ScheduleResult, decay_prices
-from ..core.scheduler import AuctionScheduler, ChunkScheduler, make_scheduler
+from ..core.scheduler import (
+    AuctionScheduler,
+    ChunkScheduler,
+    ShardedAuctionScheduler,
+    make_scheduler,
+)
 from ..metrics.collectors import MetricsCollector, SlotMetrics
 from ..metrics.traffic_matrix import TrafficMatrix
 from ..net.costs import CostModel
@@ -181,6 +186,20 @@ class P2PSystem:
 
     def _default_scheduler(self) -> ChunkScheduler:
         if self.config.scheduler == "auction":
+            if self.config.sharded_solve:
+                # Region-sharded solve path: rows partition by the
+                # store's ISP column (one shard per region by default),
+                # the jacobi frontier runs per shard, and boundary
+                # uploader prices coordinate (core/sharding.py).  The
+                # scheduler persists so the row partition cache
+                # composes with the delta-patched problems of
+                # incremental_build.
+                # Late-bound: the store is created after the scheduler.
+                return ShardedAuctionScheduler(
+                    epsilon=self.config.epsilon,
+                    n_shards=self.config.shard_count or self.config.n_isps,
+                    region_fn=lambda peers: self.store.regions_of(peers),
+                )
             return AuctionScheduler(epsilon=self.config.epsilon)
         return make_scheduler(
             self.config.scheduler, rng=self.rngs.stream("scheduler")

@@ -1,0 +1,309 @@
+"""Unit tests for the region-sharded auction driver (core/sharding.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AuctionSolver,
+    ScheduleResult,
+    ShardedAuctionScheduler,
+    ShardedAuctionSolver,
+    boundary_uploaders,
+    make_scheduler,
+    plan_shards,
+    random_problem,
+    rows_view,
+)
+from repro.p2p.config import SystemConfig
+
+
+def _assert_byte_identical(a: ScheduleResult, b: ScheduleResult) -> None:
+    assert np.array_equal(a.assignment_array(), b.assignment_array())
+    assert np.array_equal(a.price_arrays()[0], b.price_arrays()[0])
+    assert np.array_equal(a.price_arrays()[1], b.price_arrays()[1])
+    assert np.array_equal(a.eta_arrays()[1], b.eta_arrays()[1])
+    assert a.stats == b.stats
+
+
+class TestShardPlan:
+    def test_partition_by_region_mod(self):
+        regions = np.array([0, 3, 1, 2, 5, 1])
+        plan = plan_shards(regions, 3)
+        assert np.array_equal(plan.shard_of_row, regions % 3)
+        assert plan.n_shards == 3
+        assert np.array_equal(plan.shard_sizes(), [2, 2, 2])
+        assert plan.n_nonempty() == 3
+        # rows() are ascending and cover every row exactly once.
+        seen = []
+        for shard in range(plan.n_shards):
+            rows = plan.rows(shard)
+            assert np.all(np.diff(rows) > 0)
+            assert np.all(plan.shard_of_row[rows] == shard)
+            seen.extend(rows.tolist())
+        assert sorted(seen) == list(range(len(regions)))
+
+    def test_single_shard_collapses(self):
+        plan = plan_shards(np.array([4, 7, 0]), 1)
+        assert plan.n_nonempty() == 1
+        assert np.array_equal(plan.rows(0), [0, 1, 2])
+
+    def test_empty_regions(self):
+        plan = plan_shards(np.empty(0, dtype=np.int64), 2)
+        assert plan.n_nonempty() == 0
+        assert plan.shard_sizes().sum() == 0
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_shards(np.array([0, 1]), 0)
+
+
+class TestRowsView:
+    def test_slices_rows_in_global_uploader_space(self, small_problem):
+        csr = small_problem.csr()
+        rows = np.array([0, 2])
+        view = rows_view(csr, rows)
+        assert view.n_requests == 2
+        # Shared uploader axis: same ids/capacity arrays, no remapping.
+        assert view.uploaders is csr.uploaders
+        assert view.capacity is csr.capacity
+        for local, original in enumerate(rows):
+            assert np.array_equal(
+                view.values[view.row(local)], csr.values[csr.row(original)]
+            )
+            assert np.array_equal(
+                view.uploader_index[view.row(local)],
+                csr.uploader_index[csr.row(original)],
+            )
+
+    def test_capacity_override(self, small_problem):
+        csr = small_problem.csr()
+        remaining = np.array([1, 0])
+        view = rows_view(csr, np.array([1]), capacity=remaining)
+        assert view.capacity is remaining
+
+    def test_empty_selection(self, small_problem):
+        csr = small_problem.csr()
+        view = rows_view(csr, np.empty(0, dtype=np.int64))
+        assert view.n_requests == 0 and view.n_edges == 0
+
+
+class TestBoundaryUploaders:
+    def test_shared_uploader_is_boundary(self, small_problem):
+        csr = small_problem.csr()
+        # Rows 0,1 in shard 0; rows 2,3 in shard 1: uploader 100 (rows
+        # 0,1,2) and 200 (rows 0,2,3) both straddle the cut.
+        plan = plan_shards(np.array([0, 0, 1, 1]), 2)
+        mask = boundary_uploaders(csr, plan)
+        assert mask.all()
+        # Rows 0,2 vs 1,3: uploader 100 still straddles; so does 200.
+        plan = plan_shards(np.array([0, 1, 0, 1]), 2)
+        assert boundary_uploaders(csr, plan).all()
+
+    def test_private_uploaders(self, small_problem):
+        csr = small_problem.csr()
+        plan = plan_shards(np.zeros(4, dtype=np.int64), 2)  # all in shard 0
+        assert not boundary_uploaders(csr, plan).any()
+
+    def test_empty_problem(self):
+        from repro.core import SchedulingProblem
+
+        problem = SchedulingProblem()
+        problem.set_capacity(100, 1)
+        csr = problem.csr()
+        plan = plan_shards(np.empty(0, dtype=np.int64), 2)
+        assert not boundary_uploaders(csr, plan).any()
+
+
+class TestShardedAuctionSolver:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedAuctionSolver(n_shards=0)
+
+    def test_region_length_mismatch(self, small_problem):
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=2)
+        with pytest.raises(ValueError, match="regions"):
+            solver.solve(small_problem, np.array([0, 1]))
+
+    def test_single_shard_short_circuits(self, small_problem):
+        flat = AuctionSolver(epsilon=0.01).solve(small_problem)
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=1)
+        res = solver.solve(small_problem, np.arange(4))
+        _assert_byte_identical(res, flat)
+        assert solver.last_report.fallback == "short-circuit"
+
+    def test_degenerate_partition_short_circuits(self, small_problem):
+        flat = AuctionSolver(epsilon=0.01).solve(small_problem)
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=4)
+        res = solver.solve(small_problem, np.full(4, 8))  # all → shard 0
+        _assert_byte_identical(res, flat)
+        assert solver.last_report.fallback == "short-circuit"
+
+    def test_small_problem_sharded_optimal(
+        self, small_problem, small_problem_optimum
+    ):
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=2)
+        res = solver.solve(small_problem, np.array([0, 0, 1, 1]))
+        res.check_feasible(small_problem)
+        assert res.welfare(small_problem) == pytest.approx(
+            small_problem_optimum, abs=4 * 0.01
+        )
+        report = solver.last_report
+        assert report.fallback == ""
+        assert report.n_shards == 2
+        assert report.shard_sizes == (2, 2)
+        assert report.n_boundary_uploaders == 2
+        assert report.coordination_rounds >= 1
+
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_random_problems_within_certificate(self, n_shards):
+        epsilon = 0.01
+        rng = np.random.default_rng(99)
+        for trial in range(8):
+            problem = random_problem(
+                rng,
+                n_requests=int(rng.integers(5, 60)),
+                n_uploaders=int(rng.integers(2, 12)),
+                max_candidates=4,
+            )
+            regions = rng.integers(0, 6, size=problem.n_requests)
+            flat = AuctionSolver(epsilon=epsilon).solve(problem)
+            solver = ShardedAuctionSolver(epsilon=epsilon, n_shards=n_shards)
+            res = solver.solve(problem, regions)
+            res.check_feasible(problem)
+            gap = abs(flat.welfare(problem) - res.welfare(problem))
+            assert gap <= problem.n_requests * epsilon + 1e-6, (
+                f"trial {trial}: gap {gap} ({solver.last_report})"
+            )
+
+    def test_warm_start_accepted(self, small_problem):
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=2)
+        warm = solver.solve(
+            small_problem,
+            np.array([0, 0, 1, 1]),
+            initial_prices={100: 0.5},
+        )
+        warm.check_feasible(small_problem)
+
+    def test_budget_exhaustion_falls_back_flat(self, small_problem):
+        flat = AuctionSolver(epsilon=0.01).solve(small_problem)
+        solver = ShardedAuctionSolver(
+            epsilon=0.01, n_shards=2, max_coordination_rounds=0
+        )
+        res = solver.solve(small_problem, np.array([0, 0, 1, 1]))
+        assert solver.last_report.fallback == "coordination-budget"
+        res.check_feasible(small_problem)
+        assert np.array_equal(res.assignment_array(), flat.assignment_array())
+        assert res.welfare(small_problem) == pytest.approx(
+            flat.welfare(small_problem)
+        )
+
+    def test_stall_detection_falls_back_flat(self, monkeypatch):
+        """A cycling coordination loop bails early, not at the budget.
+
+        With the stall window tightened to one round, the first
+        non-improving violation count trips the bail-out; the result is
+        the exact cold flat solve (the same fallback the budget path
+        takes), reported as ``coordination-stall``.
+        """
+        from repro.core import sharding
+
+        monkeypatch.setattr(sharding, "_STALL_LIMIT", 1)
+        rng = np.random.default_rng(27)
+        problem = random_problem(
+            rng,
+            n_requests=int(rng.integers(10, 50)),
+            n_uploaders=int(rng.integers(2, 8)),
+            max_candidates=4,
+        )
+        regions = rng.integers(0, 4, size=problem.n_requests)
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        res = solver.solve(problem, regions)
+        assert solver.last_report.fallback == "coordination-stall"
+        res.check_feasible(problem)
+        flat = AuctionSolver(epsilon=0.01).solve(problem)
+        assert np.array_equal(res.assignment_array(), flat.assignment_array())
+        # This problem genuinely cycles: under the default window it
+        # still bails — but after a handful of rounds, nowhere near the
+        # 40-round budget the pre-stall-detection loop would burn.
+        monkeypatch.setattr(sharding, "_STALL_LIMIT", 5)
+        fresh = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        fresh.solve(problem, regions)
+        assert fresh.last_report.fallback == "coordination-stall"
+        assert fresh.last_report.coordination_rounds < 40
+
+    def test_plan_cache_revalidates(self, small_problem):
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=2)
+        regions = np.array([0, 0, 1, 1])
+        solver.solve(small_problem, regions)
+        first = solver._plan
+        solver.solve(small_problem, regions.copy())  # equal → cache hit
+        assert solver._plan is first
+        solver.solve(small_problem, np.array([0, 1, 0, 1]))  # changed
+        assert solver._plan is not first
+
+    def test_zero_capacity_uploaders_never_assigned(self):
+        rng = np.random.default_rng(5)
+        problem = random_problem(rng, n_requests=20, n_uploaders=6)
+        zeroed = 10_000  # random_problem ids start at 10_000
+        problem.set_capacity(zeroed, 0)
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        res = solver.solve(problem, rng.integers(0, 3, size=20))
+        res.check_feasible(problem)
+        assert zeroed not in res.assignment_array()
+
+
+class TestShardedAuctionScheduler:
+    def test_registry(self):
+        scheduler = make_scheduler("auction-sharded", n_shards=2)
+        assert isinstance(scheduler, ShardedAuctionScheduler)
+        assert scheduler.name == "auction-sharded"
+        assert scheduler.supports_warm_start
+
+    def test_default_regions_are_request_peers(self, small_problem):
+        # Without a region_fn the requesting peer id buckets the rows.
+        flat = AuctionSolver(epsilon=0.01).solve(small_problem)
+        scheduler = ShardedAuctionScheduler(epsilon=0.01, n_shards=2)
+        res = scheduler.schedule(small_problem)
+        res.check_feasible(small_problem)
+        gap = abs(flat.welfare(small_problem) - res.welfare(small_problem))
+        assert gap <= 4 * 0.01 + 1e-6
+        assert scheduler.last_report.n_shards == 2
+
+    def test_region_fn_used(self, small_problem):
+        calls = []
+
+        def region_fn(peers):
+            calls.append(np.asarray(peers).copy())
+            return np.zeros(len(peers), dtype=np.int64)
+
+        scheduler = ShardedAuctionScheduler(
+            epsilon=0.01, n_shards=2, region_fn=region_fn
+        )
+        scheduler.schedule(small_problem)
+        assert len(calls) == 1
+        assert np.array_equal(calls[0], [1, 2, 3, 4])
+        # All rows in one region → the solver short-circuited flat.
+        assert scheduler.last_report.fallback == "short-circuit"
+
+
+class TestConfigValidation:
+    def test_defaults_off(self):
+        config = SystemConfig.tiny()
+        assert not config.sharded_solve and config.shard_count == 0
+        config.validate()
+
+    def test_sharded_requires_auction(self):
+        config = SystemConfig.tiny(
+            sharded_solve=True, scheduler="locality"
+        )
+        with pytest.raises(ValueError, match="sharded_solve"):
+            config.validate()
+
+    def test_negative_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shard_count"):
+            SystemConfig.tiny(shard_count=-1).validate()
+
+    def test_sharded_auction_config_valid(self):
+        SystemConfig.tiny(sharded_solve=True, shard_count=4).validate()

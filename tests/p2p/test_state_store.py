@@ -324,3 +324,51 @@ class TestReviewRegressions:
             if p.session is not None
         }
         assert positions == after  # nothing advanced, in either bucket
+
+
+class TestRegionColumn:
+    """The region accessors the sharded solve path partitions on."""
+
+    def test_regions_of_matches_peer_isps(self):
+        system = build_system(12)
+        ids = np.fromiter(system.peers, dtype=np.int64)
+        regions = system.store.regions_of(ids)
+        assert regions.dtype == np.int64
+        for pid, region in zip(ids.tolist(), regions.tolist()):
+            assert region == system.peers[pid].isp
+
+    def test_regions_align_with_built_problem(self):
+        system = build_system(12)
+        system.run_slot()
+        problem, _ = system.build_problem(system.now)
+        if problem.n_requests == 0:
+            pytest.skip("no requests this slot")
+        regions = system.store.regions_of(problem.request_peer_array())
+        assert len(regions) == problem.n_requests
+        assert set(regions.tolist()) <= set(range(system.config.n_isps))
+
+    def test_touched_regions_row_level(self):
+        from repro.p2p.state import SlotDelta
+
+        system = build_system(10)
+        table = system.store.isp_table()
+        delta = SlotDelta()
+        assert delta.touched_regions(table) == set()
+        some = list(system.peers)[:3]
+        delta.capacity_touched.extend(some)
+        expected = {int(table[pid]) for pid in some}
+        assert delta.touched_regions(table) == expected
+
+    def test_touched_regions_coarse_flags_mean_all(self):
+        from repro.p2p.state import SlotDelta
+
+        table = np.zeros(4, dtype=np.int64)
+        for flag in (
+            "playback_moved",
+            "costs_invalidated",
+            "membership_changed",
+            "capacity_changed",
+        ):
+            delta = SlotDelta()
+            setattr(delta, flag, True)
+            assert delta.touched_regions(table) is None, flag

@@ -1,0 +1,101 @@
+"""Property coverage for :func:`repro.core.result.decay_prices`.
+
+The cross-slot warm-start carry (``warm_start_across_slots`` +
+``warm_price_decay``) leans on a handful of contracts that were only
+implicitly exercised through system trajectories:
+
+* ``factor = 0`` always clears to a cold start (``None``);
+* ``factor = 1`` with no floor is the identity — the *same* arrays come
+  back, no copy;
+* decayed prices are never negative, the floor flushes to exactly 0,
+  and dtype/shape/inputs are preserved untouched;
+* ``None`` is returned exactly when every carried price died.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.result import decay_prices
+
+price_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, width=64),
+    min_size=0,
+    max_size=50,
+)
+factors = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+floors = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+def _arrays(values):
+    vals = np.asarray(values, dtype=float)
+    ids = np.arange(10_000, 10_000 + len(vals), dtype=np.int64)
+    return ids, vals
+
+
+@given(values=price_vectors)
+def test_factor_zero_is_cold_start(values):
+    ids, vals = _arrays(values)
+    assert decay_prices(ids, vals, 0.0) is None
+
+
+@given(values=price_vectors, floor=floors)
+def test_factor_zero_is_cold_start_any_floor(values, floor):
+    ids, vals = _arrays(values)
+    assert decay_prices(ids, vals, 0.0, floor=floor) is None
+
+
+@given(values=price_vectors)
+def test_factor_one_is_identity(values):
+    ids, vals = _arrays(values)
+    out = decay_prices(ids, vals, 1.0)
+    assert out is not None
+    out_ids, out_vals = out
+    assert out_ids is ids and out_vals is vals  # no copy, raw carry
+
+
+@given(values=price_vectors, factor=factors, floor=floors)
+def test_decay_contract(values, factor, floor):
+    ids, vals = _arrays(values)
+    ids_before = ids.copy()
+    vals_before = vals.copy()
+    out = decay_prices(ids, vals, factor, floor=floor)
+
+    # Inputs are never mutated.
+    assert np.array_equal(ids, ids_before)
+    assert np.array_equal(vals, vals_before)
+
+    expected = vals_before * factor
+    if floor > 0.0:
+        expected[expected < floor] = 0.0
+
+    raw_carry = factor == 1.0 and floor <= 0.0  # identity short-circuit
+    if out is None:
+        # None exactly when every carried price died (and the identity
+        # path, which skips the all-zero check, was not taken).
+        assert not expected.any() and not raw_carry
+        return
+    out_ids, out_vals = out
+    assert expected.any() or raw_carry
+    assert np.array_equal(out_ids, ids_before)
+    assert out_vals.shape == vals_before.shape
+    assert out_vals.dtype == vals_before.dtype
+    assert np.array_equal(out_vals, expected)
+    # Never negative, and flushed entries are exactly 0.
+    assert np.all(out_vals >= 0.0)
+    if floor > 0.0:
+        below = out_vals < floor
+        assert np.all(out_vals[below] == 0.0)
+
+
+@given(values=price_vectors, factor=st.floats(allow_nan=False))
+def test_out_of_range_factor_raises(values, factor):
+    ids, vals = _arrays(values)
+    if 0.0 <= factor <= 1.0:
+        decay_prices(ids, vals, factor)  # must not raise
+    else:
+        with pytest.raises(ValueError):
+            decay_prices(ids, vals, factor)

@@ -10,6 +10,8 @@ profile via ``make test-props``.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
@@ -118,6 +120,47 @@ def test_fuzzed_specs_replay_identically(spec, seed):
     assert timeline_a == timeline_b
     assert slots_a == slots_b
     assert report_a == report_b
+
+
+def test_shard_count_invariant_report():
+    """Shard counts {1, 2, 4} replay the flat scenario report verbatim.
+
+    On a capacity-ample workload prices never bind, so the region-
+    sharded solve must land on the very same schedule as the flat
+    reference whatever the partition — pinned via the rendered report
+    (which excludes timing) and the slot traces with ``auction_rounds``
+    normalized away (coordination legitimately re-counts rounds).
+    """
+    spec = ScenarioSpec(
+        name="shard-pin",
+        description="sharded-solve determinism pin",
+        scale="tiny",
+        schedulers=("auction",),
+        n_static_peers=10,
+        stagger=True,
+        duration_seconds=HORIZON,
+        churn=False,
+        events=(CostShock(time=12.0, factor=1.5),),
+    )
+    baseline = ScenarioRunner(spec, seed=7).run()
+    base_report = baseline.render_report()
+
+    def normalized(result):
+        return [
+            replace(slot, auction_rounds=0)
+            for slot in result.runs["auction"].collector.slots
+        ]
+
+    base_slots = normalized(baseline)
+    assert base_slots, "scenario produced no slots — pin is vacuous"
+    for count in (1, 2, 4):
+        sharded = replace(
+            spec,
+            config_overrides={"sharded_solve": True, "shard_count": count},
+        )
+        result = ScenarioRunner(sharded, seed=7).run()
+        assert normalized(result) == base_slots, f"shard_count={count}"
+        assert result.render_report() == base_report, f"shard_count={count}"
 
 
 @given(seed=st.integers(0, 2**16))

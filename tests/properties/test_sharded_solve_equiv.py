@@ -1,0 +1,160 @@
+"""Property: region-sharded solve ≡ flat solve within the certificate.
+
+Random multi-slot trajectories — churn, lossy links, sub-slot re-bid
+rounds and mid-run regime shocks (inter-ISP price shocks, capacity
+ramps), realized through the official system APIs by reusing the
+scenario strategy of :mod:`strategies` — pin the two halves of the
+sharded-solve contract:
+
+* ``n_shards = 1`` is **byte-identical** to the flat solver: a system
+  configured with ``sharded_solve=True, shard_count=1`` replays the
+  flat twin's trajectory slot for slot (metrics and final peer state),
+  and on the same problem the sharded solver returns the very same
+  assignment, λ, η and stats arrays;
+* for ``n_shards > 1`` the boundary-price coordination must land inside
+  the auction's own certificate on every slot problem of the
+  trajectory: the merged assignment is feasible (globally and
+  restricted to every shard), and the welfare gap vs the flat solve is
+  within the ``n·ε`` theorem bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    AuctionSolver,
+    ScheduleResult,
+    ShardedAuctionSolver,
+    plan_shards,
+)
+from repro.p2p.system import P2PSystem
+from strategies import Scenario, scenarios
+from support import assert_same_peer_state
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    base: Scenario
+    lossy: bool
+    shock: Optional[str]  # regime event fired before the middle slot
+    n_shards: int
+
+    @property
+    def slots(self) -> int:
+        return max(2, self.base.slots)
+
+    def system(self, sharded: bool, shard_count: Optional[int] = None) -> P2PSystem:
+        config = self.base.config()
+        if sharded:
+            config = replace(
+                config,
+                sharded_solve=True,
+                shard_count=shard_count or self.n_shards,
+            )
+        system = P2PSystem(config)
+        system.populate_static(self.base.n_peers, stagger=self.base.stagger)
+        if self.lossy:
+            system.apply_link_preset("loss30-delay50")
+        return system
+
+    def drive(self, system: P2PSystem, slot: int):
+        """One slot, with the regime shock fired before the middle one."""
+        if slot == 1:
+            if self.shock == "cost":
+                system.scale_inter_isp_costs(1.5)
+            elif self.shock == "capacity":
+                system.scale_upload_capacities(0.6)
+        return system.run_slot(
+            churn=self.base.churn, remove_finished=self.base.churn
+        )
+
+
+shard_scenarios = st.builds(
+    ShardScenario,
+    base=scenarios,
+    lossy=st.booleans(),
+    shock=st.sampled_from([None, "cost", "capacity"]),
+    n_shards=st.integers(2, 4),
+)
+
+
+def _assert_results_byte_identical(a: ScheduleResult, b: ScheduleResult) -> None:
+    assert np.array_equal(a.assignment_array(), b.assignment_array())
+    assert np.array_equal(a.price_arrays()[0], b.price_arrays()[0])
+    assert np.array_equal(a.price_arrays()[1], b.price_arrays()[1])
+    assert np.array_equal(a.eta_arrays()[1], b.eta_arrays()[1])
+    assert a.stats == b.stats
+
+
+@given(sc=shard_scenarios)
+def test_single_shard_byte_identical(sc):
+    """shard_count=1 replays the flat trajectory bit for bit."""
+    flat = sc.system(sharded=False)
+    one = sc.system(sharded=True, shard_count=1)
+    assert one.scheduler.name == "auction-sharded"
+    for s in range(sc.slots):
+        m_flat = sc.drive(flat, s)
+        m_one = sc.drive(one, s)
+        assert m_flat == m_one, f"slot {s} metrics diverged"
+    assert_same_peer_state(flat, one)
+    # Solver-level pin on the final slot problem: assignment, λ, η and
+    # stats all byte-identical, not just the aggregate metrics.
+    problem, _ = one.build_problem(one.now)
+    epsilon = one.config.epsilon
+    flat_res = AuctionSolver(epsilon=epsilon).solve(problem)
+    _assert_results_byte_identical(one.scheduler.schedule(problem), flat_res)
+    # A degenerate partition (every row in one region bucket) must
+    # short-circuit identically too, whatever the configured count.
+    many = ShardedAuctionSolver(epsilon=epsilon, n_shards=sc.n_shards)
+    _assert_results_byte_identical(
+        many.solve(problem, np.zeros(problem.n_requests, dtype=np.int64)),
+        flat_res,
+    )
+    assert many.last_report.fallback == "short-circuit"
+
+
+@given(sc=shard_scenarios)
+def test_multi_shard_certificate_along_trajectory(sc):
+    """Every slot problem: feasible per shard, welfare gap ≤ n·ε."""
+    system = sc.system(sharded=False)
+    epsilon = system.config.epsilon
+    solver = ShardedAuctionSolver(epsilon=epsilon, n_shards=sc.n_shards)
+    for s in range(sc.slots):
+        sc.drive(system, s)
+        problem, _ = system.build_problem(system.now)
+        if problem.n_requests == 0:
+            continue
+        regions = system.store.regions_of(problem.request_peer_array())
+        flat_res = AuctionSolver(epsilon=epsilon).solve(problem)
+        res = solver.solve(problem, regions)
+        res.check_feasible(problem)
+        gap = abs(flat_res.welfare(problem) - res.welfare(problem))
+        bound = problem.n_requests * epsilon + 1e-6
+        assert gap <= bound, (
+            f"slot {s}: welfare gap {gap} exceeds n·ε bound {bound} "
+            f"({solver.last_report})"
+        )
+        # Restricted to each shard the merged schedule must itself be a
+        # feasible sub-schedule (capacities, candidate membership).
+        plan = plan_shards(regions, sc.n_shards)
+        merged = res.assignment_array()
+        for shard in range(plan.n_shards):
+            rows = plan.rows(shard)
+            if not len(rows):
+                continue
+            keep = set(rows.tolist())
+            sub, index_map = problem.restricted(lambda r: r in keep)
+            original = np.fromiter(
+                (index_map[i] for i in range(sub.n_requests)),
+                dtype=np.int64,
+                count=sub.n_requests,
+            )
+            ScheduleResult.from_assignment_ids(
+                merged[original].copy()
+            ).check_feasible(sub)
