@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all bench-xl bench-xxl scenarios scenarios-smoke scenarios-lossy
+.PHONY: test test-props bench bench-quick bench-all bench-xl bench-xxl bench-par scenarios scenarios-smoke scenarios-lossy
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,15 @@ bench-xl:
 # n·ε welfare certificate is asserted live on each measured slot).
 bench-xxl:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge static-xxl --output BENCH_slot_pipeline_xxl.json
+
+# The multiprocess scaling curve: the same 5k → 10k → 50k anchors with
+# a 4-worker shard pool (override via WORKERS=n).  Per-slot byte
+# identity of the pooled result against the in-process sharded solve is
+# asserted live; par_speedup only reflects wall-clock on multi-core
+# hosts — see benchmarks/README.md for the single-core caveat.
+WORKERS ?= 4
+bench-par:
+	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge static-xxl --workers $(WORKERS) --output BENCH_slot_pipeline_par.json
 
 # Fast scenario-engine gate: every registered scenario runs a few tiny
 # slots end to end (tier-1 runs the same tests via `make test`).

@@ -43,6 +43,7 @@ from .sharding import (
 )
 from .strategic import ManipulationRow, manipulation_study, true_utility_of_peer
 from .vcg import VCGOutcome, vcg_payments
+from .workers import ShardWorkerPool, WorkerError, workers_available
 from .scheduler import (
     AuctionScheduler,
     DistributedAuctionScheduler,
@@ -82,11 +83,13 @@ __all__ = [
     "ScheduleResult",
     "SchedulingProblem",
     "ShardPlan",
+    "ShardWorkerPool",
     "ShardedAuctionScheduler",
     "ShardedAuctionSolver",
     "ShardedSolveReport",
     "SimpleLocalityScheduler",
     "SolverStats",
+    "WorkerError",
     "UtilityGreedyScheduler",
     "VCGOutcome",
     "available_schedulers",
@@ -106,4 +109,5 @@ __all__ = [
     "true_utility_of_peer",
     "vcg_payments",
     "verify_theorem1",
+    "workers_available",
 ]

@@ -105,14 +105,22 @@ class ShardedAuctionScheduler:
         epsilon: float = DEFAULT_EPSILON,
         n_shards: int = 2,
         region_fn=None,
+        n_workers: int = 0,
         **solver_kwargs,
     ) -> None:
         self.epsilon = epsilon
         self.n_shards = int(n_shards)
         self.region_fn = region_fn
         self.solver = ShardedAuctionSolver(
-            epsilon=epsilon, n_shards=self.n_shards, **solver_kwargs
+            epsilon=epsilon,
+            n_shards=self.n_shards,
+            n_workers=n_workers,
+            **solver_kwargs,
         )
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for in-process solves)."""
+        self.solver.close()
 
     @property
     def last_report(self):

@@ -59,13 +59,19 @@ byte-identical to it by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .auction import DEFAULT_EPSILON, AuctionSolver, _segment_max
+from .auction import (
+    DEFAULT_EPSILON,
+    AuctionNonConvergence,
+    AuctionSolver,
+    _segment_max,
+)
 from .problem import CSRView, SchedulingProblem
 from .result import ScheduleResult, SolverStats
+from .workers import ShardWorkerPool, WorkerError
 
 __all__ = [
     "ShardPlan",
@@ -80,12 +86,33 @@ __all__ = [
 #: adds, so equality cases sit within a few ulps of the bound.
 _CS_ATOL = 1e-12
 
-#: Coordination rounds with no drop in the violation count before the
-#: loop is declared cycling (slack-reset / re-inflate livelock) and
-#: bails to the flat fallback.  Converging workloads settle in 2-4
-#: rounds with a strictly shrinking contested set, so 5 flat rounds is
-#: a cycle, not a slow convergence — and the fallback is exact anyway.
-_STALL_LIMIT = 5
+#: Override for the coordination-stall limit (rounds with no drop in
+#: the violation count before the loop is declared cycling and bails to
+#: the fallback).  ``None`` — the default — adapts the limit to the
+#: partition: converging workloads shrink the contested set every
+#: round, and the headroom a genuine convergence can need grows with
+#: the number of shards whose prices must reconcile, so the limit is
+#: ``max(2, nonempty_shards.bit_length())`` (2 shards → 2 rounds,
+#: 5 → 3, 64 → 7) instead of a flat 5 — the 10k-tier stall slot bails
+#: two rounds sooner.  Tests pin a small integer here to force the
+#: stall path deterministically.
+_STALL_LIMIT: Optional[int] = None
+
+
+def _stall_limit(n_nonempty: int) -> int:
+    """Stall-round budget for a partition with ``n_nonempty`` shards."""
+    if _STALL_LIMIT is not None:
+        return _STALL_LIMIT
+    return max(2, int(n_nonempty).bit_length())
+
+
+#: Blocks whose published copy is compared before rewriting: the CSR
+#: structure and the shard plan are stable across re-bid rounds and
+#: across delta-patched slots without membership churn.  ``values`` and
+#: ``lam0`` are deliberately absent — valuations are recomputed
+#: wholesale every slot (deadline drift), so their blocks always
+#: rewrite.
+_STABLE_BLOCKS = ("uidx", "indptr", "uploaders", "capacity", "porder", "pindptr")
 
 
 @dataclass(frozen=True)
@@ -208,8 +235,22 @@ class ShardedSolveReport:
     repriced_slack: int = 0
     #: "" (coordinated), "short-circuit" (≤ 1 effective shard),
     #: "coordination-stall" (violation count stopped improving — flat
-    #: cold fallback) or "coordination-budget" (flat cold fallback).
+    #: fallback) or "coordination-budget" (flat fallback).
     fallback: str = ""
+    #: The flat fallback resolved from the merged λ̂ warm start and its
+    #: certificate checked out (False: the exact cold solve ran).
+    fallback_warm: bool = False
+    #: Worker processes that ran the phase-1 shard solves (0 = the
+    #: in-process sequential path).
+    procs: int = 0
+    #: Shards solved by the pool in phase 1.
+    par_shards: int = 0
+    #: Reason code of the worker-pool degradation this solve, "" if the
+    #: pool ran clean (mirrors ``solver.worker_fallbacks``).
+    worker_fallback: str = ""
+    #: Shared-memory blocks actually rewritten by this solve's publish
+    #: (−1: nothing published — in-process path).
+    blocks_republished: int = -1
 
 
 class ShardedAuctionSolver:
@@ -229,7 +270,16 @@ class ShardedAuctionSolver:
     max_rounds:
         Per-(sub)solve round budget, as in :class:`AuctionSolver`.
     max_coordination_rounds:
-        Boundary-coordination rounds before the cold flat fallback.
+        Boundary-coordination rounds before the flat fallback.
+    n_workers:
+        Worker processes for the phase-1 shard solves and the phase-2
+        contested re-solves (:class:`~repro.core.workers.ShardWorkerPool`
+        over shared-memory blocks).  0 — the default — solves in
+        process.  Results are byte-identical either way; any pool
+        failure degrades to the in-process path and counts into
+        ``worker_fallbacks``.
+    worker_timeout:
+        Seconds to wait on a worker reply before declaring it hung.
     """
 
     def __init__(
@@ -239,18 +289,34 @@ class ShardedAuctionSolver:
         mode: str = "auto",
         max_rounds: int = 100_000,
         max_coordination_rounds: int = 40,
+        n_workers: int = 0,
+        worker_timeout: float = 120.0,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be >= 0, got {n_workers!r}")
         self.epsilon = float(epsilon)
         self.n_shards = int(n_shards)
         self.mode = mode
         self.max_rounds = int(max_rounds)
         self.max_coordination_rounds = int(max_coordination_rounds)
+        self.n_workers = int(n_workers)
+        self.worker_timeout = float(worker_timeout)
         self.last_report = ShardedSolveReport()
+        #: Cumulative reason-coded count of worker-pool degradations
+        #: (``worker-crash``, ``worker-timeout``, ``payload-too-large``,
+        #: ``shm-unavailable``, …).  Every entry was a solve that fell
+        #: back to the in-process path with identical results.
+        self.worker_fallbacks: Dict[str, int] = {}
+        self._pool: Optional[ShardWorkerPool] = None
+        self._pool_failed = False
         # Partition cache: the region column is stable across re-bid
         # rounds (and across delta-patched slots with no membership
-        # churn), so the counting sort is revalidated by one compare.
+        # churn), so the counting sort is revalidated by one compare —
+        # or by identity alone when the caller hands back the same
+        # (read-only) array, as the store's memoized ``regions_of``
+        # does.
         self._plan_key: Optional[np.ndarray] = None
         self._plan: Optional[ShardPlan] = None
 
@@ -296,12 +362,57 @@ class ShardedAuctionSolver:
         return solver.solve(problem, initial_prices=initial_prices)
 
     def _planned(self, regions: np.ndarray) -> ShardPlan:
+        if self._plan is not None and regions is self._plan_key:
+            # O(1) identity hit: the store's memoized ``regions_of``
+            # returns the same read-only array while its (peers,
+            # region-version) key is unchanged.
+            return self._plan
         if self._plan_key is not None and np.array_equal(self._plan_key, regions):
+            self._adopt_plan_key(regions)
             return self._plan
         plan = plan_shards(regions, self.n_shards)
-        self._plan_key = regions.copy()
+        self._adopt_plan_key(regions)
         self._plan = plan
         return plan
+
+    def _adopt_plan_key(self, regions: np.ndarray) -> None:
+        # A read-only column is kept by reference (the next call
+        # revalidates by identity, no compare); a writable one is
+        # defensively copied as before — the caller may mutate it.
+        self._plan_key = regions if not regions.flags.writeable else regions.copy()
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for in-process solves)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover — belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _worker_pool(self) -> Optional[ShardWorkerPool]:
+        if self.n_workers <= 0 or self._pool_failed:
+            return None
+        if self._pool is None:
+            self._pool = ShardWorkerPool(
+                self.n_workers, timeout_s=self.worker_timeout
+            )
+        return self._pool
+
+    def _count_worker_fallback(
+        self, report: ShardedSolveReport, exc: WorkerError
+    ) -> None:
+        report.worker_fallback = exc.reason
+        self.worker_fallbacks[exc.reason] = (
+            self.worker_fallbacks.get(exc.reason, 0) + 1
+        )
+        if exc.reason == "shm-unavailable":
+            # Permanent on this platform — stop re-probing every slot.
+            self._pool_failed = True
+            self.close()
 
     def _sub_solver(self) -> AuctionSolver:
         return AuctionSolver(
@@ -353,53 +464,161 @@ class ShardedAuctionSolver:
         lam_hat = lam0.copy()
         stats = SolverStats()
 
+        def merge_payload_stats(s: tuple, parallel_depth: bool) -> None:
+            # Shards are independent: rounds count as the longest shard
+            # (parallel-depth semantics); work counters add up.  The
+            # merge is commutative, so worker completion order cannot
+            # change the result.
+            nonlocal shard_rounds
+            if parallel_depth:
+                shard_rounds = max(shard_rounds, s[0])
+            else:
+                stats.rounds += s[0]
+            stats.bids_submitted += s[1]
+            stats.bids_rejected += s[2]
+            stats.evictions += s[3]
+            stats.price_updates += s[4]
+            stats.converged = stats.converged and s[5]
+
+        def apply_payload(payload: dict, rows: np.ndarray) -> None:
+            a = payload["assignment"]
+            served = a >= 0
+            if served.any():
+                assigned_idx[rows[served]] = to_index(a[served])
+            idx = payload["lam_idx"]
+            if len(idx):
+                # Sparse merge ≡ the sequential dense max-merge: the
+                # worker's λ equals the one it was sent off ``idx``.
+                lam_hat[idx] = np.maximum(lam_hat[idx], payload["lam_vals"])
+
         def coordination_fallback(why: str) -> ScheduleResult:
             # The certificate cannot be established by coordination —
-            # one cold flat solve, which is the pinned reference anyway.
+            # fall back to one flat solve.  Try it warm-started from
+            # the merged λ̂ first: that usually resolves in a handful
+            # of rounds where the cold solve repeats the whole price
+            # discovery (the 224 ms-class stall-slot outliers).  A warm
+            # start can void the cold-auction certificate — the solver
+            # never lowers prices, so a stale positive λ can end on an
+            # unsaturated uploader (CS-1) — hence the certificate is
+            # verified explicitly, with up to two CS-1 repair retries
+            # (zero the slack prices, re-solve warm: the same repair
+            # the coordination loop applies each round).  If it still
+            # fails, the exact cold solve runs — the pinned reference.
+            report.fallback = why
+            attempt_stats = stats
+            lam_try = lam_hat
+            for _ in range(3):
+                try:
+                    warm = AuctionSolver(
+                        epsilon=self.epsilon,
+                        mode=self.mode,
+                        max_rounds=self.max_rounds,
+                    ).solve(problem, initial_prices=(csr.uploaders, lam_try))
+                except AuctionNonConvergence:
+                    break
+                attempt_stats = attempt_stats.merge(warm.stats)
+                if self._certified(csr, values, counts, warm, to_index):
+                    report.fallback_warm = True
+                    self.last_report = report
+                    warm.stats = attempt_stats
+                    return warm
+                a = warm.assignment_array()
+                won = a >= 0
+                w_idx = np.full(n, -1, dtype=np.int64)
+                if won.any():
+                    w_idx[won] = to_index(a[won])
+                load_w = np.bincount(w_idx[won], minlength=n_uploaders)
+                lam_try = warm.price_arrays()[1].copy()
+                lam_try[(lam_try > 0.0) & (load_w < capacity)] = 0.0
             flat = self._flat(problem, None, why)
             self.last_report = report
-            report.fallback = why
-            flat.stats = stats.merge(flat.stats)
+            flat.stats = attempt_stats.merge(flat.stats)
             return flat
 
         shard_rounds = 0
         shards_touching = np.zeros(n_uploaders, dtype=np.int64)
-        for shard in range(plan.n_shards):
-            rows = plan.rows(shard)
-            if not len(rows):
-                continue
-            view = rows_view(csr, rows)
-            shards_touching += (
-                np.bincount(view.uploader_index, minlength=n_uploaders) > 0
-            )
-            res = self._sub_solver()._solve_jacobi(
-                _CSRProblem(view), initial_prices=(csr.uploaders, lam0)
-            )
-            a = res.assignment_array()
-            served = a >= 0
-            if served.any():
-                assigned_idx[rows[served]] = to_index(a[served])
-            np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
-            s = res.stats
-            # Shards are independent: rounds count as the longest shard
-            # (parallel-depth semantics); work counters add up.
-            shard_rounds = max(shard_rounds, s.rounds)
-            stats.bids_submitted += s.bids_submitted
-            stats.bids_rejected += s.bids_rejected
-            stats.evictions += s.evictions
-            stats.price_updates += s.price_updates
-            stats.converged = stats.converged and s.converged
+        payloads: Optional[Dict[int, dict]] = None
+        pool = self._worker_pool()
+        if pool is not None:
+            try:
+                report.blocks_republished = pool.publish(
+                    {
+                        "values": values,
+                        "uidx": uidx,
+                        "indptr": csr.indptr,
+                        "uploaders": csr.uploaders,
+                        "capacity": capacity,
+                        "lam0": lam0,
+                        "porder": plan.order,
+                        "pindptr": plan.indptr,
+                    },
+                    stable=_STABLE_BLOCKS,
+                )
+                sizes = plan.shard_sizes()
+                shard_ids = [
+                    int(s)
+                    for s in np.argsort(-sizes, kind="stable")
+                    if sizes[s] > 0
+                ]
+                payloads = pool.map_shards(
+                    shard_ids, epsilon=self.epsilon, max_rounds=self.max_rounds
+                )
+            except WorkerError as exc:
+                self._count_worker_fallback(report, exc)
+                payloads = None
+        if payloads is not None:
+            report.procs = pool.n_workers
+            report.par_shards = len(payloads)
+            for shard in range(plan.n_shards):
+                payload = payloads.get(shard)
+                if payload is None:
+                    continue
+                shards_touching[payload["touched"]] += 1
+                apply_payload(payload, plan.rows(shard))
+                merge_payload_stats(payload["stats"], parallel_depth=True)
+        else:
+            for shard in range(plan.n_shards):
+                rows = plan.rows(shard)
+                if not len(rows):
+                    continue
+                view = rows_view(csr, rows)
+                shards_touching += (
+                    np.bincount(view.uploader_index, minlength=n_uploaders) > 0
+                )
+                res = self._sub_solver()._solve_jacobi(
+                    _CSRProblem(view), initial_prices=(csr.uploaders, lam0)
+                )
+                a = res.assignment_array()
+                served = a >= 0
+                if served.any():
+                    assigned_idx[rows[served]] = to_index(a[served])
+                np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
+                s = res.stats
+                merge_payload_stats(
+                    (
+                        s.rounds,
+                        s.bids_submitted,
+                        s.bids_rejected,
+                        s.evictions,
+                        s.price_updates,
+                        s.converged,
+                    ),
+                    parallel_depth=True,
+                )
         stats.rounds = shard_rounds
         report.n_boundary_uploaders = int((shards_touching >= 2).sum())
 
         # Phase 2 — boundary-price coordination.  The slack-reset /
         # re-inflate pair can cycle on adversarial tie structure, so
         # progress is tracked: if the violation count stops improving
-        # for _STALL_LIMIT consecutive rounds the loop is not going to
-        # converge and bails to the flat fallback immediately instead
-        # of burning the whole round budget on the cycle.
+        # for the partition's stall budget (adaptive in the nonempty
+        # shard count, see :func:`_stall_limit`) the loop is not going
+        # to converge and bails to the flat fallback immediately
+        # instead of burning the whole round budget on the cycle.
         best_viol: Optional[int] = None
         stall = 0
+        stall_budget = _stall_limit(plan.n_nonempty())
+        dispatch = payloads is not None
         for _ in range(self.max_coordination_rounds):
             report.coordination_rounds += 1
             served = assigned_idx >= 0
@@ -424,16 +643,8 @@ class ShardedAuctionSolver:
                 report.repriced_slack += int(slack.sum())
                 lam_hat[slack] = 0.0
             # (c) ε-CS audit under the merged prices.
-            phi = values - lam_hat[uidx]
-            phi1 = _segment_max(phi, csr.indptr)
-            phi_assigned = _segment_max(
-                np.where(uidx == np.repeat(assigned_idx, counts), phi, -np.inf),
-                csr.indptr,
-            )
-            viol = np.where(
-                served,
-                phi_assigned < np.maximum(phi1, 0.0) - self.epsilon - _CS_ATOL,
-                phi1 > _CS_ATOL,
+            viol, phi = self._cs_violations(
+                values, uidx, csr.indptr, counts, lam_hat, assigned_idx, served
             )
             if not viol.any():
                 break
@@ -454,30 +665,60 @@ class ShardedAuctionSolver:
                 stall = 0
             else:
                 stall += 1
-                if stall >= _STALL_LIMIT:
+                if stall >= stall_budget:
                     return coordination_fallback("coordination-stall")
             assigned_idx[contested] = -1
             served = assigned_idx >= 0
             load = np.bincount(assigned_idx[served], minlength=n_uploaders)
             # (d) Flat re-solve of only the contested rows over the
             # remaining capacities, warm-started from λ̂ (prices only
-            # rise from here, which is what settles the loop).
-            view = rows_view(csr, contested, capacity=capacity - load)
-            res = self._sub_solver()._solve_jacobi(
-                _CSRProblem(view), initial_prices=(csr.uploaders, lam_hat)
-            )
-            a = res.assignment_array()
-            won = a >= 0
-            if won.any():
-                assigned_idx[contested[won]] = to_index(a[won])
-            np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
-            s = res.stats
-            stats.rounds += s.rounds
-            stats.bids_submitted += s.bids_submitted
-            stats.bids_rejected += s.bids_rejected
-            stats.evictions += s.evictions
-            stats.price_updates += s.price_updates
-            stats.converged = stats.converged and s.converged
+            # rise from here, which is what settles the loop).  With
+            # the pool live the re-solve runs on an idle worker: the
+            # parent ships only the contested row ids plus sparse λ̂ /
+            # remaining-capacity deltas against the published blocks.
+            payload = None
+            if dispatch:
+                remaining = capacity - load
+                lam_idx = np.flatnonzero(lam_hat != lam0)
+                cap_idx = np.flatnonzero(remaining != capacity)
+                try:
+                    payload = pool.solve_rows(
+                        contested,
+                        lam_idx,
+                        lam_hat[lam_idx],
+                        cap_idx,
+                        remaining[cap_idx],
+                        epsilon=self.epsilon,
+                        max_rounds=self.max_rounds,
+                    )
+                except WorkerError as exc:
+                    self._count_worker_fallback(report, exc)
+                    dispatch = False
+            if payload is not None:
+                apply_payload(payload, contested)
+                merge_payload_stats(payload["stats"], parallel_depth=False)
+            else:
+                view = rows_view(csr, contested, capacity=capacity - load)
+                res = self._sub_solver()._solve_jacobi(
+                    _CSRProblem(view), initial_prices=(csr.uploaders, lam_hat)
+                )
+                a = res.assignment_array()
+                won = a >= 0
+                if won.any():
+                    assigned_idx[contested[won]] = to_index(a[won])
+                np.maximum(lam_hat, res.price_arrays()[1], out=lam_hat)
+                s = res.stats
+                merge_payload_stats(
+                    (
+                        s.rounds,
+                        s.bids_submitted,
+                        s.bids_rejected,
+                        s.evictions,
+                        s.price_updates,
+                        s.converged,
+                    ),
+                    parallel_depth=False,
+                )
         else:
             # Coordination budget exhausted (adversarial tie structure).
             return coordination_fallback("coordination-budget")
@@ -486,3 +727,68 @@ class ShardedAuctionSolver:
         return ScheduleResult.from_arrays(
             assigned_idx, csr.uploaders, lam_hat, etas=etas, stats=stats
         )
+
+    # ------------------------------------------------------------------
+    # Certificate pieces (shared by the coordination loop and the warm
+    # fallback)
+    # ------------------------------------------------------------------
+    def _cs_violations(
+        self,
+        values: np.ndarray,
+        uidx: np.ndarray,
+        indptr: np.ndarray,
+        counts: np.ndarray,
+        lam: np.ndarray,
+        assigned_idx: np.ndarray,
+        served: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """ε-CS violation mask per row under prices ``lam`` (+ edge φ).
+
+        Served rows violate when their assigned surplus trails the best
+        by more than ε; unserved rows when any positive surplus exists.
+        """
+        phi = values - lam[uidx]
+        phi1 = _segment_max(phi, indptr)
+        phi_assigned = _segment_max(
+            np.where(uidx == np.repeat(assigned_idx, counts), phi, -np.inf),
+            indptr,
+        )
+        viol = np.where(
+            served,
+            phi_assigned < np.maximum(phi1, 0.0) - self.epsilon - _CS_ATOL,
+            phi1 > _CS_ATOL,
+        )
+        return viol, phi
+
+    def _certified(
+        self,
+        csr: CSRView,
+        values: np.ndarray,
+        counts: np.ndarray,
+        result: ScheduleResult,
+        to_index,
+    ) -> bool:
+        """Whether ``result`` carries the full n·ε optimality certificate.
+
+        Feasible load, ε-CS for every row, and CS-1 (positive price ⇒
+        saturated) — the three conditions that bound the welfare gap by
+        ``n·ε``.  Used to validate the λ̂-warm-started fallback solve,
+        whose stale warm prices can void CS-1.
+        """
+        a = result.assignment_array()
+        served = a >= 0
+        assigned_idx = np.full(len(a), -1, dtype=np.int64)
+        if served.any():
+            assigned_idx[served] = to_index(a[served])
+        lam = result.price_arrays()[1]
+        load = np.bincount(
+            assigned_idx[served], minlength=len(csr.uploaders)
+        )
+        if (load > csr.capacity).any():
+            return False
+        if ((lam > 0.0) & (load < csr.capacity)).any():
+            return False
+        viol, _ = self._cs_violations(
+            values, csr.uploader_index, csr.indptr, counts, lam, assigned_idx, served
+        )
+        return not viol.any()

@@ -1,0 +1,593 @@
+"""Persistent multiprocess shard workers over shared-memory numpy blocks.
+
+The region-sharded solve (:mod:`repro.core.sharding`) decomposes each
+slot into per-shard frontier solves whose round counts already carry
+parallel-depth semantics — this module supplies the actual parallelism.
+A :class:`ShardWorkerPool` keeps N long-lived worker processes, each
+running the event-driven jacobi frontier on its shard's CSR row slice.
+
+Data flow is built around ``multiprocessing.shared_memory``:
+
+* The parent publishes the slot problem's flat arrays — masked
+  ``values``, ``uploader_index``, ``indptr``, the global ``uploaders``
+  and ``capacity`` columns, the warm-start ``lam0`` and the shard
+  plan's ``order``/``indptr`` — once per solve into named shared-memory
+  blocks.  Both sides wrap the blocks in zero-copy numpy views, so the
+  per-shard edge gathers happen in the worker against shared pages and
+  the only things crossing the pipe are shard ids, sparse λ deltas and
+  result columns (assignment, λ̂ delta, touched uploaders, stats).
+* Blocks carry 1.5× headroom and are recreated (fresh name, old block
+  unlinked) only on growth.  Structure arrays that compare equal to the
+  previous slot's published copy are skipped — with the PR 7 delta
+  pipeline only the invalidated blocks are republished per slot
+  (``values``/``lam0`` always rewrite: valuations are recomputed
+  wholesale each slot by design).
+
+The pool is crash-safe by construction: any worker death, timeout,
+desync or oversized payload raises :class:`WorkerError` with a reason
+code, the caller degrades to the in-process sequential path (which is
+byte-identical — the solver is deterministic on identical inputs), and
+the pool restarts itself lazily on the next publish.  Clean shutdown is
+guaranteed via ``atexit`` and :meth:`ShardWorkerPool.close` (idempotent;
+unlinks every block).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+__all__ = [
+    "ShardWorkerPool",
+    "WorkerError",
+    "workers_available",
+]
+
+#: Ceiling on the pickled payload of a single pipe message (the
+#: contested-rows dispatch: row ids plus sparse λ/capacity deltas).
+#: Anything larger falls back to the in-process re-solve — the pipe is
+#: the wrong transport at that size and the sequential path is exact.
+_MAX_PIPE_BYTES = 64 * 1024 * 1024
+
+#: Keys every publish must provide (the worker rebuilds its CSR view
+#: and shard plan from exactly these blocks).
+_REQUIRED_BLOCKS = (
+    "values",
+    "uidx",
+    "indptr",
+    "uploaders",
+    "capacity",
+    "lam0",
+    "porder",
+    "pindptr",
+)
+
+
+class WorkerError(RuntimeError):
+    """A pool operation failed; ``reason`` codes the fallback counter.
+
+    Reasons: ``worker-crash`` (death / broken pipe), ``worker-timeout``,
+    ``worker-error`` (exception inside the worker, e.g. a pickling
+    failure), ``worker-desync`` (stale reply), ``payload-too-large``
+    (pipe guard — the pool stays usable), ``shm-unavailable`` (shared
+    memory could not be allocated) and ``pool-closed``.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
+def workers_available() -> bool:
+    """Whether POSIX shared memory is usable on this platform.
+
+    Tests and the bench harness gate the parallel path on this — some
+    sandboxes mount no ``/dev/shm``.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _attach_untracked(name: str):
+    """Attach an existing block without resource-tracker registration.
+
+    The parent owns every block's lifecycle (create + unlink).  On
+    Python < 3.13 attaching also registers with the resource tracker —
+    under ``fork`` that tracker is shared with the parent (double
+    bookkeeping for one registration), under ``spawn`` the worker's own
+    tracker would unlink live segments at worker exit.  Suppressing the
+    register call during attach fixes both; the worker is
+    single-threaded so the patch window is race-free.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _solve_view(arrays, rows, lam, cap, epsilon, max_rounds):
+    """One jacobi frontier solve over ``rows`` of the published CSR.
+
+    ``lam``/``cap`` are the warm-start prices and (remaining)
+    capacities in the global uploader space.  Returns the compact
+    result payload: assignment (peer ids per local row), the sparse λ
+    delta vs ``lam``, the touched-uploader index set and the stats
+    tuple.  Exactly the arrays the parent's sequential path would
+    produce — the frontier is deterministic, so byte-identity holds by
+    construction.
+    """
+    from .auction import AuctionSolver
+    from .problem import CSRView
+    from .sharding import _CSRProblem, rows_view
+
+    csr = CSRView(
+        values=arrays["values"],
+        uploader_index=arrays["uidx"],
+        indptr=arrays["indptr"],
+        uploaders=arrays["uploaders"],
+        capacity=cap,
+    )
+    view = rows_view(csr, rows)
+    touched = np.flatnonzero(
+        np.bincount(view.uploader_index, minlength=len(csr.uploaders)) > 0
+    )
+    solver = AuctionSolver(epsilon=epsilon, mode="jacobi", max_rounds=max_rounds)
+    res = solver._solve_jacobi(
+        _CSRProblem(view), initial_prices=(arrays["uploaders"], lam)
+    )
+    lam_full = res.price_arrays()[1]
+    changed = np.flatnonzero(lam_full != lam)
+    s = res.stats
+    return {
+        "assignment": res.assignment_array(),
+        "lam_idx": changed,
+        "lam_vals": lam_full[changed],
+        "touched": touched,
+        "stats": (
+            s.rounds,
+            s.bids_submitted,
+            s.bids_rejected,
+            s.evictions,
+            s.price_updates,
+            bool(s.converged),
+        ),
+    }
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: attach published blocks, answer solve requests."""
+    blocks: Dict[str, object] = {}
+    arrays: Optional[Dict[str, np.ndarray]] = None
+    gen = -1
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        if op == "stop":
+            break
+        if op == "_crash":  # test instrumentation (crash-fallback tests)
+            os._exit(3)
+        if op == "_sleep":  # test instrumentation (timeout-fallback tests)
+            time.sleep(msg[1])
+            continue
+        if op == "publish":
+            gen, specs = msg[1], msg[2]
+            try:
+                arrays = None  # drop views before any stale block closes
+                keep = {spec[0] for spec in specs.values()}
+                for name in [n for n in blocks if n not in keep]:
+                    try:
+                        blocks.pop(name).close()
+                    except Exception:
+                        pass
+                fresh: Dict[str, np.ndarray] = {}
+                for key, (name, dtype, shape) in specs.items():
+                    if name not in blocks:
+                        blocks[name] = _attach_untracked(name)
+                    view = np.ndarray(
+                        shape, dtype=np.dtype(dtype), buffer=blocks[name].buf
+                    )
+                    view.flags.writeable = False
+                    fresh[key] = view
+                arrays = fresh
+            except Exception:
+                arrays = None  # surfaces as "err" on the next solve
+            continue
+        # Solve requests: ("shard", gen, req, shard, eps, max_rounds) or
+        # ("rows", gen, req, rows, lam_idx, lam_vals, cap_idx, cap_vals,
+        #  eps, max_rounds).
+        req = msg[2]
+        try:
+            if msg[1] != gen or arrays is None:
+                raise RuntimeError("no problem published for this generation")
+            if op == "shard":
+                shard, epsilon, max_rounds = msg[3:]
+                pindptr = arrays["pindptr"]
+                rows = arrays["porder"][pindptr[shard] : pindptr[shard + 1]]
+                payload = _solve_view(
+                    arrays,
+                    rows,
+                    arrays["lam0"],
+                    arrays["capacity"],
+                    epsilon,
+                    max_rounds,
+                )
+            elif op == "rows":
+                rows, lam_idx, lam_vals, cap_idx, cap_vals, epsilon, max_rounds = msg[
+                    3:
+                ]
+                lam = arrays["lam0"].copy()
+                lam[lam_idx] = lam_vals
+                cap = arrays["capacity"]
+                if len(cap_idx):
+                    cap = cap.copy()
+                    cap[cap_idx] = cap_vals
+                payload = _solve_view(arrays, rows, lam, cap, epsilon, max_rounds)
+            else:
+                raise RuntimeError(f"unknown op {op!r}")
+            conn.send((req, "ok", payload))
+        except Exception as exc:  # noqa: BLE001 — reported to the parent
+            try:
+                conn.send((req, "err", f"{type(exc).__name__}: {exc}"))
+            except Exception:
+                break
+    arrays = None
+    for shm in blocks.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    try:
+        conn.close()
+    except Exception:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Block:
+    __slots__ = ("shm", "capacity")
+
+    def __init__(self, shm, capacity: int) -> None:
+        self.shm = shm
+        self.capacity = capacity
+
+
+class ShardWorkerPool:
+    """N persistent shard-solver processes over shared-memory blocks.
+
+    Workers start lazily on the first :meth:`publish` and restart
+    themselves after any failure (the failed call raises
+    :class:`WorkerError`; the *next* publish heals the pool).  ``fork``
+    is preferred where available — workers inherit the loaded modules
+    and start in milliseconds; ``spawn`` platforms work too, just with
+    a slower first publish.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        timeout_s: float = 120.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers!r}")
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.n_workers = int(n_workers)
+        self.timeout_s = float(timeout_s)
+        self._ctx = mp.get_context(start_method)
+        self._procs: List[mp.process.BaseProcess] = []
+        self._conns: List = []
+        self._blocks: Dict[str, _Block] = {}
+        self._specs: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
+        self._gen = 0
+        self._req = 0
+        self._started = False
+        self._broken = False
+        self._closed = False
+        self._atexit_registered = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _start(self) -> None:
+        for i in range(self.n_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-shard-worker-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._started = True
+        self._broken = False
+        if not self._atexit_registered:
+            atexit.register(self.close)
+            self._atexit_registered = True
+
+    def _stop_workers(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._conns = []
+        self._started = False
+        self._broken = False
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise WorkerError("pool-closed", "worker pool is closed")
+        if self._broken:
+            self._stop_workers()
+        if not self._started:
+            self._start()
+
+    def close(self) -> None:
+        """Stop workers and unlink every shared-memory block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_workers()
+        for block in self._blocks.values():
+            try:
+                block.shm.close()
+                block.shm.unlink()
+            except Exception:
+                pass
+        self._blocks = {}
+        self._specs = {}
+        if self._atexit_registered:
+            self._atexit_registered = False
+            try:
+                atexit.unregister(self.close)
+            except Exception:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover — belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- publish -------------------------------------------------------
+    def publish(
+        self, arrays: Dict[str, np.ndarray], stable: Sequence[str] = ()
+    ) -> int:
+        """Publish the slot problem into shared memory; returns blocks written.
+
+        Keys in ``stable`` are compared against the previous publish and
+        skipped when byte-equal (same dtype/shape/content) — the delta
+        pipeline's invalidation-aware republish.  Growth recreates the
+        block under a fresh name with 1.5× headroom and unlinks the old
+        one; attached workers keep their mappings until the spec swap.
+        """
+        self._ensure_started()
+        missing = [key for key in _REQUIRED_BLOCKS if key not in arrays]
+        if missing:
+            raise WorkerError("worker-error", f"publish missing blocks: {missing}")
+        try:
+            written = 0
+            specs: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
+            for key, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                block = self._blocks.get(key)
+                old = self._specs.get(key)
+                if (
+                    key in stable
+                    and block is not None
+                    and old is not None
+                    and old[1] == arr.dtype.str
+                    and old[2] == arr.shape
+                ):
+                    held = np.ndarray(arr.shape, arr.dtype, buffer=block.shm.buf)
+                    if np.array_equal(held, arr):
+                        specs[key] = old
+                        continue
+                nbytes = max(int(arr.nbytes), 1)
+                if block is None or block.capacity < nbytes:
+                    if block is not None:
+                        block.shm.close()
+                        block.shm.unlink()
+                    from multiprocessing import shared_memory
+
+                    grown = max(nbytes + nbytes // 2, 64)
+                    block = _Block(
+                        shared_memory.SharedMemory(create=True, size=grown), grown
+                    )
+                    self._blocks[key] = block
+                np.ndarray(arr.shape, arr.dtype, buffer=block.shm.buf)[...] = arr
+                specs[key] = (block.shm.name, arr.dtype.str, arr.shape)
+                written += 1
+            self._specs = specs
+            self._gen += 1
+            for conn in self._conns:
+                conn.send(("publish", self._gen, specs))
+            return written
+        except WorkerError:
+            raise
+        except (BrokenPipeError, ConnectionError, EOFError) as exc:
+            self._broken = True
+            raise WorkerError("worker-crash", f"publish pipe failed: {exc}") from exc
+        except Exception as exc:
+            self._broken = True
+            raise WorkerError(
+                "shm-unavailable", f"shared-memory publish failed: {exc}"
+            ) from exc
+
+    # -- solves --------------------------------------------------------
+    def map_shards(
+        self, shards: Sequence[int], epsilon: float, max_rounds: int
+    ) -> Dict[int, dict]:
+        """Solve every shard in ``shards`` across the pool; dict by shard id.
+
+        Scheduling is greedy (next shard to the first idle worker), so
+        pass shards largest-first for best packing.  Completion order
+        cannot affect results — the parent's merge is commutative.
+        """
+        if self._closed or not self._started or self._broken:
+            raise WorkerError("pool-closed", "pool is not running")
+        pending = deque(int(s) for s in shards)
+        idle = deque(range(len(self._conns)))
+        inflight: Dict[int, Tuple[int, int]] = {}
+        results: Dict[int, dict] = {}
+        while pending or inflight:
+            while pending and idle:
+                worker = idle.popleft()
+                shard = pending.popleft()
+                self._req += 1
+                self._send(
+                    worker, ("shard", self._gen, self._req, shard, epsilon, max_rounds)
+                )
+                inflight[worker] = (self._req, shard)
+            ready = mp_connection.wait(
+                [self._conns[w] for w in inflight], timeout=self.timeout_s
+            )
+            if not ready:
+                self._broken = True
+                raise WorkerError(
+                    "worker-timeout",
+                    f"no reply within {self.timeout_s:.1f}s "
+                    f"({len(inflight)} shard solves outstanding)",
+                )
+            for conn in ready:
+                worker = self._conns.index(conn)
+                req, shard = inflight.pop(worker)
+                results[shard] = self._recv(worker, req)
+                idle.append(worker)
+        return results
+
+    def solve_rows(
+        self,
+        rows: np.ndarray,
+        lam_idx: np.ndarray,
+        lam_vals: np.ndarray,
+        cap_idx: np.ndarray,
+        cap_vals: np.ndarray,
+        epsilon: float,
+        max_rounds: int,
+    ) -> dict:
+        """Dispatch one contested-rows re-solve to an idle worker.
+
+        ``lam_idx/lam_vals`` patch the published ``lam0`` to the current
+        merged λ̂ (both directions — CS-1 repair lowers prices);
+        ``cap_idx/cap_vals`` patch ``capacity`` to the remaining
+        capacities.  Oversized payloads raise ``payload-too-large``
+        without breaking the pool.
+        """
+        if self._closed or not self._started or self._broken:
+            raise WorkerError("pool-closed", "pool is not running")
+        nbytes = sum(
+            int(np.asarray(a).nbytes)
+            for a in (rows, lam_idx, lam_vals, cap_idx, cap_vals)
+        )
+        if nbytes > _MAX_PIPE_BYTES:
+            raise WorkerError(
+                "payload-too-large",
+                f"contested-rows payload is {nbytes} bytes "
+                f"(limit {_MAX_PIPE_BYTES})",
+            )
+        worker = self._req % len(self._conns)
+        self._req += 1
+        self._send(
+            worker,
+            (
+                "rows",
+                self._gen,
+                self._req,
+                rows,
+                lam_idx,
+                lam_vals,
+                cap_idx,
+                cap_vals,
+                epsilon,
+                max_rounds,
+            ),
+        )
+        ready = mp_connection.wait([self._conns[worker]], timeout=self.timeout_s)
+        if not ready:
+            self._broken = True
+            raise WorkerError(
+                "worker-timeout", f"no reply within {self.timeout_s:.1f}s"
+            )
+        return self._recv(worker, self._req)
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, worker: int, msg: tuple) -> None:
+        try:
+            self._conns[worker].send(msg)
+        except Exception as exc:
+            self._broken = True
+            raise WorkerError("worker-crash", f"pipe send failed: {exc}") from exc
+
+    def _recv(self, worker: int, expect_req: int) -> dict:
+        try:
+            msg = self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            self._broken = True
+            raise WorkerError(
+                "worker-crash", f"worker {worker} died mid-solve"
+            ) from exc
+        req, status, payload = msg
+        if req != expect_req:
+            self._broken = True
+            raise WorkerError(
+                "worker-desync", f"expected reply {expect_req}, got {req}"
+            )
+        if status != "ok":
+            self._broken = True
+            raise WorkerError("worker-error", str(payload))
+        return payload
+
+    # -- test instrumentation ------------------------------------------
+    def inject_crash(self, worker: int = 0) -> None:
+        """Hard-kill a worker so the next solve exercises the crash path."""
+        self._conns[worker].send(("_crash",))
+        self._procs[worker].join(timeout=5.0)
+
+    def inject_delay(self, worker: int = 0, seconds: float = 1.0) -> None:
+        """Stall a worker's next reply so a short timeout trips."""
+        self._conns[worker].send(("_sleep", float(seconds)))

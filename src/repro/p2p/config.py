@@ -131,6 +131,14 @@ class SystemConfig:
     # flat problem and revalidates the cached row partition per slot.
     sharded_solve: bool = False
     shard_count: int = 0
+    # Worker processes for the sharded solve's phase-1 shard solves and
+    # phase-2 contested re-solves (core/workers.py: a persistent pool
+    # over shared-memory numpy blocks).  0 — the default — keeps the
+    # solve in-process; results are byte-identical either way, and any
+    # pool failure degrades to the in-process path with a reason-coded
+    # fallback counter.  The REPRO_WORKERS environment variable
+    # overrides this at system construction.
+    shard_workers: int = 0
 
     # Retry pipeline for lossy link conditions (net/linkmodel.py): a
     # failed or truncated transfer waits backoff_base · 2^(attempt−1)
@@ -201,6 +209,16 @@ class SystemConfig:
             raise ValueError(
                 "sharded_solve decomposes the auction solve; scheduler "
                 f"{self.scheduler!r} does not support it"
+            )
+        if self.shard_workers < 0:
+            raise ValueError(
+                f"shard_workers must be >= 0 (0 = in-process), got "
+                f"{self.shard_workers!r}"
+            )
+        if self.shard_workers > 0 and not self.sharded_solve:
+            raise ValueError(
+                "shard_workers parallelizes the sharded solve; set "
+                "sharded_solve=True to use worker processes"
             )
         if self.retry_backoff_base_slots < 1 or self.retry_backoff_cap_slots < 1:
             raise ValueError("retry backoff slots must be >= 1")

@@ -53,6 +53,8 @@ so a window starting at any playback position stays in bounds.
 
 from __future__ import annotations
 
+import weakref
+
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -470,6 +472,12 @@ class PeerStateStore:
         self._ids_monotone = True
         # Peer-id-indexed ISP lookup (−1 = offline).
         self._isp_table = np.full(64, -1, dtype=np.int64)
+        # Region-column generation: bumped by every _isp_table mutation
+        # (admit / remove / remove_batch) so regions_of can revalidate
+        # its memo — and downstream plan caches their keys — by
+        # (identity, version) instead of an elementwise compare.
+        self._region_version = 0
+        self._regions_memo: Optional[Tuple[object, int, np.ndarray]] = None
         # Per-peer candidate entries: pid -> (nb_rows, nb_ids, nb_costs),
         # mirrored by a pid-indexed presence column so the fast
         # assembler can find missing entries without a Python probe per
@@ -606,6 +614,7 @@ class PeerStateStore:
             table[: len(self._isp_table)] = self._isp_table
             self._isp_table = table
         self._isp_table[peer.peer_id] = peer.isp
+        self._region_version += 1
 
     def admit(self, peer: Peer) -> None:
         group = self._ensure_group(peer)
@@ -668,6 +677,7 @@ class PeerStateStore:
             arr[idx : self._n - 1] = arr[idx + 1 : self._n]
         self._n -= 1
         self._isp_table[peer.peer_id] = -1
+        self._region_version += 1
         if self._cand.pop(peer.peer_id, None) is not None:
             self._cand_have[peer.peer_id] = False
             self.candidate_epoch += 1
@@ -716,6 +726,7 @@ class PeerStateStore:
             arr[:kept] = arr[:n][keep_order]
         self._n = kept
         self._isp_table[ids] = -1
+        self._region_version += 1
         for peer in peers:
             self.seed_ids.discard(peer.peer_id)
             if self._cand.pop(peer.peer_id, None) is not None:
@@ -789,14 +800,41 @@ class PeerStateStore:
         """Peer-id-indexed ISP lookup table (−1 = offline; do not mutate)."""
         return self._isp_table
 
+    @property
+    def region_version(self) -> int:
+        """Generation counter of the ISP column (bumps on churn)."""
+        return self._region_version
+
     def regions_of(self, peer_ids: np.ndarray) -> np.ndarray:
         """ISP region per peer id (vectorized ``isp_table`` gather).
 
         The region column the sharded solve path keys its row partition
         on — request peers are always online, so entries are the actual
         ISP ids (offline ids would read −1).
+
+        Memoized by (``peer_ids`` identity, :attr:`region_version`):
+        repeated calls with the same peer array — every re-bid round,
+        and every stable-membership slot whose problem carries the
+        cached request column forward — return the *same* read-only
+        array, which lets the sharded solver revalidate its row
+        partition by identity instead of an elementwise compare.
         """
-        return self._isp_table[np.asarray(peer_ids, dtype=np.int64)]
+        memo = self._regions_memo
+        if memo is not None:
+            ref, version, cached = memo
+            if version == self._region_version and ref() is peer_ids:
+                return cached
+        regions = self._isp_table[np.asarray(peer_ids, dtype=np.int64)]
+        regions.flags.writeable = False
+        try:
+            self._regions_memo = (
+                weakref.ref(peer_ids),
+                self._region_version,
+                regions,
+            )
+        except TypeError:  # plain lists etc. are not weak-referenceable
+            self._regions_memo = None
+        return regions
 
     def departure_scan(self, t: float, remove_finished: bool) -> List[int]:
         """Non-seed peers due to leave at slot boundary ``t``, dict order.

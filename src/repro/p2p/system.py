@@ -27,6 +27,7 @@ at the boundary.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -195,15 +196,39 @@ class P2PSystem:
                 # composes with the delta-patched problems of
                 # incremental_build.
                 # Late-bound: the store is created after the scheduler.
+                # REPRO_WORKERS overrides the configured worker count
+                # (0 forces in-process; results are identical).
+                workers = self.config.shard_workers
+                env = os.environ.get("REPRO_WORKERS")
+                if env is not None and env.strip():
+                    try:
+                        workers = int(env)
+                    except ValueError:
+                        raise ValueError(
+                            f"REPRO_WORKERS must be an integer, got {env!r}"
+                        ) from None
                 return ShardedAuctionScheduler(
                     epsilon=self.config.epsilon,
                     n_shards=self.config.shard_count or self.config.n_isps,
                     region_fn=lambda peers: self.store.regions_of(peers),
+                    n_workers=max(0, workers),
                 )
             return AuctionScheduler(epsilon=self.config.epsilon)
         return make_scheduler(
             self.config.scheduler, rng=self.rngs.stream("scheduler")
         )
+
+    def close(self) -> None:
+        """Release external resources (the sharded scheduler's workers).
+
+        Idempotent; a no-op for every in-process scheduler.  Long-lived
+        drivers (benches, property trajectories) should call it so
+        worker processes and shared-memory blocks never outlive the
+        system they serve — ``atexit`` covers everyone else.
+        """
+        close = getattr(self.scheduler, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Population

@@ -187,25 +187,35 @@ class TestShardedAuctionSolver:
         warm.check_feasible(small_problem)
 
     def test_budget_exhaustion_falls_back_flat(self, small_problem):
+        """Zero coordination budget → flat fallback, warm from λ̂.
+
+        The merged boundary prices seed the fallback solve; on this
+        instance the warm result passes the feasibility/CS certificate
+        (``fallback_warm``), so no cold re-solve runs and the welfare
+        still matches the flat optimum within the n·ε guarantee.
+        """
         flat = AuctionSolver(epsilon=0.01).solve(small_problem)
         solver = ShardedAuctionSolver(
             epsilon=0.01, n_shards=2, max_coordination_rounds=0
         )
         res = solver.solve(small_problem, np.array([0, 0, 1, 1]))
-        assert solver.last_report.fallback == "coordination-budget"
+        report = solver.last_report
+        assert report.fallback == "coordination-budget"
+        assert report.fallback_warm
         res.check_feasible(small_problem)
-        assert np.array_equal(res.assignment_array(), flat.assignment_array())
         assert res.welfare(small_problem) == pytest.approx(
-            flat.welfare(small_problem)
+            flat.welfare(small_problem), abs=4 * 0.01
         )
 
     def test_stall_detection_falls_back_flat(self, monkeypatch):
         """A cycling coordination loop bails early, not at the budget.
 
         With the stall window tightened to one round, the first
-        non-improving violation count trips the bail-out; the result is
-        the exact cold flat solve (the same fallback the budget path
-        takes), reported as ``coordination-stall``.
+        non-improving violation count trips the bail-out, reported as
+        ``coordination-stall``.  On this adversarial instance the λ̂
+        warm start fails the certificate (stale boundary prices on
+        slack uploaders survive the repair attempts), so the cold flat
+        retry runs and the result is the exact cold flat solve.
         """
         from repro.core import sharding
 
@@ -220,10 +230,16 @@ class TestShardedAuctionSolver:
         regions = rng.integers(0, 4, size=problem.n_requests)
         solver = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
         res = solver.solve(problem, regions)
-        assert solver.last_report.fallback == "coordination-stall"
+        report = solver.last_report
+        assert report.fallback == "coordination-stall"
         res.check_feasible(problem)
         flat = AuctionSolver(epsilon=0.01).solve(problem)
-        assert np.array_equal(res.assignment_array(), flat.assignment_array())
+        gap = abs(flat.welfare(problem) - res.welfare(problem))
+        assert gap <= problem.n_requests * 0.01 + 1e-6
+        if not report.fallback_warm:
+            assert np.array_equal(
+                res.assignment_array(), flat.assignment_array()
+            )
         # This problem genuinely cycles: under the default window it
         # still bails — but after a handful of rounds, nowhere near the
         # 40-round budget the pre-stall-detection loop would burn.
@@ -242,6 +258,33 @@ class TestShardedAuctionSolver:
         assert solver._plan is first
         solver.solve(small_problem, np.array([0, 1, 0, 1]))  # changed
         assert solver._plan is not first
+
+    def test_plan_cache_identity_fast_path(self, small_problem):
+        # The store's memoized ``regions_of`` hands back the same
+        # read-only array while nothing churned; the solver keeps it by
+        # reference and revalidates by identity with no element compare.
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=2)
+        regions = np.array([0, 0, 1, 1])
+        regions.flags.writeable = False
+        solver.solve(small_problem, regions)
+        assert solver._plan_key is regions
+        first = solver._plan
+        solver.solve(small_problem, regions)  # same object → identity hit
+        assert solver._plan is first
+        # A writable column is still defensively copied.
+        mutable = np.array([0, 1, 0, 1])
+        solver.solve(small_problem, mutable)
+        assert solver._plan_key is not mutable
+
+    def test_adaptive_stall_budget(self, monkeypatch):
+        from repro.core import sharding
+
+        assert sharding._stall_limit(2) == 2
+        assert sharding._stall_limit(5) == 3
+        assert sharding._stall_limit(64) == 7
+        # A pinned module override wins regardless of partition size.
+        monkeypatch.setattr(sharding, "_STALL_LIMIT", 1)
+        assert sharding._stall_limit(64) == 1
 
     def test_zero_capacity_uploaders_never_assigned(self):
         rng = np.random.default_rng(5)
@@ -307,3 +350,16 @@ class TestConfigValidation:
 
     def test_sharded_auction_config_valid(self):
         SystemConfig.tiny(sharded_solve=True, shard_count=4).validate()
+
+    def test_negative_shard_workers_rejected(self):
+        with pytest.raises(ValueError, match="shard_workers"):
+            SystemConfig.tiny(shard_workers=-1).validate()
+
+    def test_shard_workers_require_sharded_solve(self):
+        with pytest.raises(ValueError, match="shard_workers"):
+            SystemConfig.tiny(shard_workers=2).validate()
+
+    def test_parallel_sharded_config_valid(self):
+        SystemConfig.tiny(
+            sharded_solve=True, shard_count=4, shard_workers=2
+        ).validate()

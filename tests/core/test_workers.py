@@ -1,0 +1,287 @@
+"""Unit tests for the multiprocess shard-worker pool (core/workers.py).
+
+Everything here pins the pool's contract: parallel solves are
+byte-identical to the in-process sequential sharded path, every failure
+mode (crash, timeout, oversized payload, missing shared memory)
+degrades to that path with a reason-coded counter, and shared-memory
+blocks never outlive the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScheduleResult,
+    ShardedAuctionSolver,
+    ShardWorkerPool,
+    WorkerError,
+    random_problem,
+    workers_available,
+)
+from repro.core import workers as workers_mod
+
+needs_shm = pytest.mark.skipif(
+    not workers_available(), reason="shared memory unavailable on this platform"
+)
+
+
+def _assert_byte_identical(a: ScheduleResult, b: ScheduleResult) -> None:
+    assert np.array_equal(a.assignment_array(), b.assignment_array())
+    assert np.array_equal(a.price_arrays()[0], b.price_arrays()[0])
+    assert np.array_equal(a.price_arrays()[1], b.price_arrays()[1])
+    assert np.array_equal(a.eta_arrays()[1], b.eta_arrays()[1])
+    assert a.stats == b.stats
+
+
+def _problem_and_regions(seed: int):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(20, 120))
+    problem = random_problem(
+        rng,
+        n_requests=n,
+        n_uploaders=int(rng.integers(3, 12)),
+        max_candidates=5,
+    )
+    return problem, rng.integers(0, 4, size=n)
+
+
+def _publish_arrays(n_rows: int = 8, n_uploaders: int = 3, scale: float = 1.0):
+    """A minimal consistent block set for pool-level publish tests."""
+    edges = n_rows * 2
+    return {
+        "values": np.full(edges, scale, dtype=np.float64),
+        "uidx": np.arange(edges, dtype=np.int64) % n_uploaders,
+        "indptr": np.arange(0, edges + 1, 2, dtype=np.int64),
+        "uploaders": np.arange(n_uploaders, dtype=np.int64) + 10_000,
+        "capacity": np.full(n_uploaders, 4, dtype=np.int64),
+        "lam0": np.zeros(n_uploaders, dtype=np.float64),
+        "porder": np.arange(n_rows, dtype=np.int64),
+        "pindptr": np.array([0, n_rows // 2, n_rows], dtype=np.int64),
+    }
+
+
+@needs_shm
+class TestPoolParity:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_parallel_byte_identical_to_sequential(self, seed):
+        problem, regions = _problem_and_regions(seed)
+        seq = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=2)
+        try:
+            _assert_byte_identical(
+                seq.solve(problem, regions), par.solve(problem, regions)
+            )
+            report = par.last_report
+            assert report.procs == 2
+            assert report.par_shards >= 2
+            assert report.worker_fallback == ""
+            assert par.worker_fallbacks == {}
+        finally:
+            par.close()
+
+    def test_warm_start_parity(self):
+        problem, regions = _problem_and_regions(7)
+        ids = problem.csr().uploaders
+        warm = (ids, np.linspace(0.0, 2.0, len(ids)))
+        seq = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=2)
+        try:
+            _assert_byte_identical(
+                seq.solve(problem, regions, initial_prices=warm),
+                par.solve(problem, regions, initial_prices=warm),
+            )
+        finally:
+            par.close()
+
+    def test_repeat_solve_republishes_only_invalidated_blocks(self):
+        problem, regions = _problem_and_regions(5)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=2)
+        try:
+            par.solve(problem, regions)
+            first = par.last_report.blocks_republished
+            assert first == 8  # cold pool: every block written
+            par.solve(problem, regions)
+            # Identical problem: only values/lam0 rewrite (valuations
+            # are recomputed wholesale each slot by design).
+            assert par.last_report.blocks_republished == 2
+        finally:
+            par.close()
+
+
+@needs_shm
+class TestPoolFaultTolerance:
+    def test_worker_crash_falls_back_and_heals(self):
+        problem, regions = _problem_and_regions(2)
+        seq = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=2)
+        try:
+            reference = seq.solve(problem, regions)
+            _assert_byte_identical(reference, par.solve(problem, regions))
+            par._pool.inject_crash(0)
+            crashed = par.solve(problem, regions)
+            _assert_byte_identical(reference, crashed)
+            assert par.last_report.worker_fallback == "worker-crash"
+            assert par.last_report.procs == 0
+            assert par.worker_fallbacks == {"worker-crash": 1}
+            # The pool restarts itself on the next publish.
+            healed = par.solve(problem, regions)
+            _assert_byte_identical(reference, healed)
+            assert par.last_report.worker_fallback == ""
+            assert par.last_report.procs == 2
+            assert par.worker_fallbacks == {"worker-crash": 1}
+        finally:
+            par.close()
+
+    def test_worker_timeout_falls_back_identical(self):
+        problem, regions = _problem_and_regions(4)
+        seq = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        par = ShardedAuctionSolver(
+            epsilon=0.01, n_shards=3, n_workers=2, worker_timeout=0.25
+        )
+        try:
+            reference = seq.solve(problem, regions)
+            _assert_byte_identical(reference, par.solve(problem, regions))
+            par._pool.inject_delay(0, seconds=1.5)
+            stalled = par.solve(problem, regions)
+            _assert_byte_identical(reference, stalled)
+            assert par.worker_fallbacks == {"worker-timeout": 1}
+        finally:
+            par.close()
+
+    def test_oversized_payload_rejected_without_breaking_pool(self):
+        pool = ShardWorkerPool(1)
+        try:
+            pool.publish(_publish_arrays(), stable=())
+            big = np.zeros(workers_mod._MAX_PIPE_BYTES // 8 + 1, dtype=np.int64)
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            with pytest.raises(WorkerError) as exc:
+                pool.solve_rows(
+                    big, empty_i, empty_f, empty_i, empty_i,
+                    epsilon=0.01, max_rounds=100,
+                )
+            assert exc.value.reason == "payload-too-large"
+            # The message never went out — the pool stays usable.
+            assert pool.map_shards([0, 1], epsilon=0.01, max_rounds=1000)
+        finally:
+            pool.close()
+
+    def test_oversized_payload_solver_fallback(self, monkeypatch):
+        # Force every phase-2 dispatch over the limit: the contested
+        # re-solves run in-process, phase 1 still runs on the pool, and
+        # the result is unchanged.
+        monkeypatch.setattr(workers_mod, "_MAX_PIPE_BYTES", 0)
+        rng = np.random.default_rng(27)
+        problem = random_problem(
+            rng,
+            n_requests=int(rng.integers(10, 50)),
+            n_uploaders=int(rng.integers(2, 8)),
+            max_candidates=4,
+        )
+        regions = rng.integers(0, 4, size=problem.n_requests)
+        seq = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=2)
+        try:
+            _assert_byte_identical(
+                seq.solve(problem, regions), par.solve(problem, regions)
+            )
+            assert par.worker_fallbacks.get("payload-too-large", 0) >= 1
+            assert par.last_report.procs == 2  # phase 1 stayed parallel
+        finally:
+            par.close()
+
+    def test_worker_error_reported(self):
+        pool = ShardWorkerPool(1)
+        try:
+            pool.publish(_publish_arrays(), stable=())
+            with pytest.raises(WorkerError) as exc:
+                # Shard 7 does not exist in the published plan.
+                pool.map_shards([7], epsilon=0.01, max_rounds=100)
+            assert exc.value.reason == "worker-error"
+        finally:
+            pool.close()
+
+
+@needs_shm
+class TestSharedMemoryLifecycle:
+    def test_growth_unlinks_old_block(self):
+        from multiprocessing import shared_memory
+
+        pool = ShardWorkerPool(1)
+        try:
+            pool.publish(_publish_arrays(n_rows=8), stable=())
+            old_name = pool._blocks["values"].shm.name
+            pool.publish(_publish_arrays(n_rows=4096), stable=())
+            new_name = pool._blocks["values"].shm.name
+            assert new_name != old_name
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=old_name)
+        finally:
+            pool.close()
+
+    def test_stable_blocks_skip_rewrite(self):
+        pool = ShardWorkerPool(1)
+        stable = ("uidx", "indptr", "uploaders", "capacity", "porder", "pindptr")
+        try:
+            assert pool.publish(_publish_arrays(), stable=stable) == 8
+            assert pool.publish(_publish_arrays(), stable=stable) == 2
+            # A capacity change invalidates exactly its block.
+            arrays = _publish_arrays()
+            arrays["capacity"] = arrays["capacity"] + 1
+            assert pool.publish(arrays, stable=stable) == 3
+        finally:
+            pool.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        from multiprocessing import shared_memory
+
+        pool = ShardWorkerPool(2)
+        pool.publish(_publish_arrays(), stable=())
+        names = [block.shm.name for block in pool._blocks.values()]
+        procs = list(pool._procs)
+        assert pool._atexit_registered
+        pool.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert all(not proc.is_alive() for proc in procs)
+        assert not pool._atexit_registered
+        pool.close()  # idempotent
+        with pytest.raises(WorkerError) as exc:
+            pool.publish(_publish_arrays(), stable=())
+        assert exc.value.reason == "pool-closed"
+
+    def test_no_blocks_leak_across_solves(self):
+        problem, regions = _problem_and_regions(9)
+        par = ShardedAuctionSolver(epsilon=0.01, n_shards=3, n_workers=1)
+        try:
+            for _ in range(3):
+                par.solve(problem, regions)
+            # One block per published key, regardless of solve count.
+            assert len(par._pool._blocks) == 8
+        finally:
+            par.close()
+        assert par._pool is None
+
+
+class TestGuards:
+    def test_workers_available_is_bool(self):
+        assert isinstance(workers_available(), bool)
+
+    def test_pool_requires_positive_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardWorkerPool(0)
+
+    def test_solver_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ShardedAuctionSolver(n_workers=-1)
+
+    def test_zero_workers_never_builds_a_pool(self):
+        problem, regions = _problem_and_regions(1)
+        solver = ShardedAuctionSolver(epsilon=0.01, n_shards=3)
+        solver.solve(problem, regions)
+        assert solver._pool is None
+        assert solver.last_report.procs == 0
+        assert solver.last_report.blocks_republished == -1

@@ -1,0 +1,118 @@
+"""Property: multiprocess shard workers ≡ in-process sequential sharding.
+
+Random multi-slot trajectories (churn, lossy links, regime shocks —
+the same scenario space as ``test_sharded_solve_equiv``) driven twice
+through the official system APIs: once with ``shard_workers=0`` (the
+in-process sequential sharded solve) and once with ``shard_workers=2``
+(the shared-memory worker pool).  The two runs must agree **byte for
+byte** along the whole trajectory — per-slot metrics, final peer
+state, and on the final slot problem the full result columns
+(assignment, λ, η, stats) — with zero reason-coded worker fallbacks,
+which pins that the pool really ran and really changed nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScheduleResult, workers_available
+from repro.p2p.system import P2PSystem
+from strategies import Scenario, scenarios
+from support import assert_same_peer_state
+
+pytestmark = pytest.mark.skipif(
+    not workers_available(), reason="shared memory unavailable on this platform"
+)
+
+
+@dataclass(frozen=True)
+class WorkerScenario:
+    base: Scenario
+    lossy: bool
+    shock: Optional[str]
+    n_shards: int
+
+    @property
+    def slots(self) -> int:
+        return max(2, self.base.slots)
+
+    def system(self, workers: int) -> P2PSystem:
+        config = replace(
+            self.base.config(),
+            sharded_solve=True,
+            shard_count=self.n_shards,
+            shard_workers=workers,
+        )
+        system = P2PSystem(config)
+        system.populate_static(self.base.n_peers, stagger=self.base.stagger)
+        if self.lossy:
+            system.apply_link_preset("loss30-delay50")
+        return system
+
+    def drive(self, system: P2PSystem, slot: int):
+        if slot == 1:
+            if self.shock == "cost":
+                system.scale_inter_isp_costs(1.5)
+            elif self.shock == "capacity":
+                system.scale_upload_capacities(0.6)
+        return system.run_slot(
+            churn=self.base.churn, remove_finished=self.base.churn
+        )
+
+
+worker_scenarios = st.builds(
+    WorkerScenario,
+    base=scenarios,
+    lossy=st.booleans(),
+    shock=st.sampled_from([None, "cost", "capacity"]),
+    n_shards=st.integers(2, 4),
+)
+
+
+def _assert_results_byte_identical(a: ScheduleResult, b: ScheduleResult) -> None:
+    assert np.array_equal(a.assignment_array(), b.assignment_array())
+    assert np.array_equal(a.price_arrays()[0], b.price_arrays()[0])
+    assert np.array_equal(a.price_arrays()[1], b.price_arrays()[1])
+    assert np.array_equal(a.eta_arrays()[1], b.eta_arrays()[1])
+    assert a.stats == b.stats
+
+
+# Each example forks a 2-process pool, so the budget is deliberately
+# smaller than the profile's — the pool itself is exercised harder (and
+# cheaper) by tests/core/test_workers.py; this pins the end-to-end
+# trajectory contract.
+@settings(max_examples=8)
+@given(sc=worker_scenarios)
+def test_worker_trajectory_byte_identical(sc):
+    sequential = sc.system(workers=0)
+    parallel = sc.system(workers=2)
+    try:
+        for s in range(sc.slots):
+            m_seq = sc.drive(sequential, s)
+            m_par = sc.drive(parallel, s)
+            assert m_seq == m_par, f"slot {s} metrics diverged"
+        assert_same_peer_state(sequential, parallel)
+        # No silent degradation: if the pool never ran, this test pins
+        # nothing.  Fallback counters must be empty and the last solve
+        # must have used the workers (unless the trajectory degenerated
+        # to a short-circuit partition, where no pool is consulted).
+        assert parallel.scheduler.solver.worker_fallbacks == {}
+        report = parallel.scheduler.last_report
+        if report.fallback != "short-circuit":
+            assert report.procs == 2
+        # Solver-level pin on the final slot problem: full columns.
+        problem, _ = parallel.build_problem(parallel.now)
+        _assert_results_byte_identical(
+            sequential.scheduler.schedule(problem),
+            parallel.scheduler.schedule(problem),
+        )
+        assert parallel.scheduler.solver.worker_fallbacks == {}
+    finally:
+        sequential.close()
+        parallel.close()
