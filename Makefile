@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-props bench bench-quick bench-all bench-xl bench-xxl bench-par scenarios scenarios-smoke scenarios-lossy
+.PHONY: test test-props bench bench-quick bench-all bench-xl bench-xxl bench-par scenarios scenarios-smoke scenarios-lossy trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,13 @@ bench-xxl:
 WORKERS ?= 4
 bench-par:
 	$(PYTHON) benchmarks/bench_slot_pipeline.py --scenarios static-large static-xlarge static-xxl --workers $(WORKERS) --output BENCH_slot_pipeline_par.json
+
+# Telemetry gate: a tiny scenario with tracing on — every span must
+# validate against the JSONL schema, traces must replay byte-identically,
+# and the instrumentation-off slot time is pinned within 3% of untraced
+# (tier-1 runs the same tests via `make test`).
+trace-smoke:
+	$(PYTHON) -m pytest tests/obs/test_trace_smoke.py -q
 
 # Fast scenario-engine gate: every registered scenario runs a few tiny
 # slots end to end (tier-1 runs the same tests via `make test`).

@@ -191,6 +191,60 @@ def _cmd_scenario_import_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .obs import JsonlTraceSink
+    from .p2p.config import SystemConfig
+    from .p2p.system import P2PSystem
+
+    config = SystemConfig.bench(
+        seed=args.seed,
+        bid_rounds_per_slot=1,
+        sharded_solve=args.sharded,
+        shard_workers=args.workers,
+    )
+    system = P2PSystem(config)
+    system.populate_static(args.peers)
+    sink = JsonlTraceSink(args.output)
+    tracer = system.attach_tracer(sink)
+    try:
+        for _ in range(args.slots):
+            system.run_slot()
+    finally:
+        tracer.close()
+        system.close()
+    print(f"wrote {sink.n_records} slot spans -> {args.output}")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import load_trace, summarize_trace
+
+    print(summarize_trace(load_trace(args.trace), label=str(args.trace)))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_traces, load_trace
+
+    label_a = args.label_a or pathlib.Path(args.trace_a).stem
+    label_b = args.label_b or pathlib.Path(args.trace_b).stem
+    print(
+        diff_traces(
+            load_trace(args.trace_a), load_trace(args.trace_b),
+            label_a, label_b,
+        )
+    )
+    return 0
+
+
+def _cmd_trace_rollup(args: argparse.Namespace) -> int:
+    from .obs import load_trace, rollup_traces
+
+    traces = {pathlib.Path(p).stem: load_trace(p) for p in args.traces}
+    print(rollup_traces(traces))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-p2p",
@@ -284,6 +338,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the imported scenario and print its report",
     )
     scn_import.set_defaults(func=_cmd_scenario_import_trace)
+
+    trace = sub.add_parser(
+        "trace", help="slot-phase telemetry: record and analyse JSONL traces"
+    )
+    trc_sub = trace.add_subparsers(dest="trace_action", required=True)
+    trc_record = trc_sub.add_parser(
+        "record", help="run a static workload with tracing on, write JSONL"
+    )
+    trc_record.add_argument(
+        "output", type=pathlib.Path, help="trace output path (.jsonl)"
+    )
+    trc_record.add_argument(
+        "--peers", type=int, default=5000, help="static swarm size"
+    )
+    trc_record.add_argument(
+        "--slots", type=int, default=2, help="slots to run"
+    )
+    trc_record.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes (0 = in-process shards)",
+    )
+    trc_record.add_argument(
+        "--sharded", action=argparse.BooleanOptionalAction, default=True,
+        help="use the region-sharded solver (default on)",
+    )
+    trc_record.set_defaults(func=_cmd_trace_record)
+    trc_summarize = trc_sub.add_parser(
+        "summarize", help="per-slot table + totals for one trace"
+    )
+    trc_summarize.add_argument("trace", type=pathlib.Path, help="trace file")
+    trc_summarize.set_defaults(func=_cmd_trace_summarize)
+    trc_diff = trc_sub.add_parser(
+        "diff", help="compare aggregate counters of two traces (timing excluded)"
+    )
+    trc_diff.add_argument("trace_a", type=pathlib.Path, help="baseline trace")
+    trc_diff.add_argument("trace_b", type=pathlib.Path, help="candidate trace")
+    trc_diff.add_argument("--label-a", default=None, help="name for column A")
+    trc_diff.add_argument("--label-b", default=None, help="name for column B")
+    trc_diff.set_defaults(func=_cmd_trace_diff)
+    trc_rollup = trc_sub.add_parser(
+        "rollup", help="one summary row per trace file"
+    )
+    trc_rollup.add_argument(
+        "traces", type=pathlib.Path, nargs="+", help="trace files"
+    )
+    trc_rollup.set_defaults(func=_cmd_trace_rollup)
     return parser
 
 

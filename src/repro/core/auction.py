@@ -230,6 +230,10 @@ class AuctionSolver:
         self.max_rounds = int(max_rounds)
         self.trace = trace
         self.on_price_update = on_price_update
+        # Telemetry: bid-phase row evaluations of the last solve() call.
+        # Lives on the solver (not SolverStats) so the stats dataclass
+        # stays bit-identical between the frontier and dense paths.
+        self.rows_evaluated = 0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -250,6 +254,7 @@ class AuctionSolver:
         driver detects that via the duality gap and falls back to a cold
         run.
         """
+        self.rows_evaluated = 0
         mode = self.mode
         if mode == "auto":
             mode = "jacobi" if problem.n_edges() > self.AUTO_JACOBI_EDGES else "gauss-seidel"
@@ -384,6 +389,7 @@ class AuctionSolver:
             r = active.popleft()
             if assigned_to[r] is not None or retired[r]:
                 continue
+            self.rows_evaluated += 1
             cands = usable[r]
             prices = np.fromiter(
                 (lam[int(u)] for u in cands), dtype=float, count=len(cands)
@@ -632,6 +638,7 @@ class AuctionSolver:
                 # reference would re-bid them all and submit nothing.
                 break
             dirty[rows] = False
+            self.rows_evaluated += len(rows)
             full_best2 = False
             if 2 * len(rows) >= n:
                 # Bulk round (the first, or a warm re-bid wave): the
@@ -1054,6 +1061,7 @@ class AuctionSolver:
             if not pending.any():
                 break
             rows = np.nonzero(pending)[0]
+            self.rows_evaluated += len(rows)
             phi = values[rows] - lam[safe_uidx[rows]]
             phi[pad[rows]] = -np.inf
             j_star = np.argmax(phi, axis=1)

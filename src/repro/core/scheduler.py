@@ -66,6 +66,8 @@ class AuctionScheduler:
         self.epsilon = epsilon
         self.mode = mode
         self.solver_kwargs = solver_kwargs
+        #: Bid-phase row evaluations of the most recent solve (telemetry).
+        self.last_rows_evaluated = 0
 
     def schedule(
         self, problem: SchedulingProblem, initial_prices=None
@@ -79,7 +81,9 @@ class AuctionScheduler:
         solver = AuctionSolver(
             epsilon=self.epsilon, mode=self.mode, **self.solver_kwargs
         )
-        return solver.solve(problem, initial_prices=initial_prices)
+        result = solver.solve(problem, initial_prices=initial_prices)
+        self.last_rows_evaluated = solver.rows_evaluated
+        return result
 
 
 class ShardedAuctionScheduler:
@@ -126,6 +130,16 @@ class ShardedAuctionScheduler:
     def last_report(self):
         """Diagnostics of the most recent solve."""
         return self.solver.last_report
+
+    @property
+    def worker_fallbacks(self):
+        """Cumulative reason-coded worker-pool degradations (telemetry)."""
+        return self.solver.worker_fallbacks
+
+    @property
+    def last_rows_evaluated(self) -> int:
+        """In-process bid-phase row evaluations of the most recent solve."""
+        return self.solver.rows_evaluated
 
     def schedule(
         self, problem: SchedulingProblem, initial_prices=None

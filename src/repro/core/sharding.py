@@ -309,6 +309,12 @@ class ShardedAuctionSolver:
         #: ``shm-unavailable``, …).  Every entry was a solve that fell
         #: back to the in-process path with identical results.
         self.worker_fallbacks: Dict[str, int] = {}
+        #: Bid-phase row evaluations of the last solve, summed over the
+        #: in-process sub-solves (worker-side evaluations are not
+        #: counted — workers return assignments, not per-round traces).
+        #: Telemetry only; kept off ``ShardedSolveReport`` so report
+        #: equality stays pinned by the determinism properties.
+        self.rows_evaluated = 0
         self._pool: Optional[ShardWorkerPool] = None
         self._pool_failed = False
         # Partition cache: the region column is stable across re-bid
@@ -336,6 +342,7 @@ class ShardedAuctionSolver:
         shard the call degenerates to — and is byte-identical with —
         :meth:`AuctionSolver.solve`.
         """
+        self.rows_evaluated = 0
         regions = np.asarray(regions, dtype=np.int64)
         if len(regions) != problem.n_requests:
             raise ValueError(
@@ -359,7 +366,9 @@ class ShardedAuctionSolver:
         solver = AuctionSolver(
             epsilon=self.epsilon, mode=self.mode, max_rounds=self.max_rounds
         )
-        return solver.solve(problem, initial_prices=initial_prices)
+        result = solver.solve(problem, initial_prices=initial_prices)
+        self.rows_evaluated += solver.rows_evaluated
+        return result
 
     def _planned(self, regions: np.ndarray) -> ShardPlan:
         if self._plan is not None and regions is self._plan_key:
@@ -508,14 +517,19 @@ class ShardedAuctionSolver:
             attempt_stats = stats
             lam_try = lam_hat
             for _ in range(3):
+                warm_solver = AuctionSolver(
+                    epsilon=self.epsilon,
+                    mode=self.mode,
+                    max_rounds=self.max_rounds,
+                )
                 try:
-                    warm = AuctionSolver(
-                        epsilon=self.epsilon,
-                        mode=self.mode,
-                        max_rounds=self.max_rounds,
-                    ).solve(problem, initial_prices=(csr.uploaders, lam_try))
+                    warm = warm_solver.solve(
+                        problem, initial_prices=(csr.uploaders, lam_try)
+                    )
                 except AuctionNonConvergence:
                     break
+                finally:
+                    self.rows_evaluated += warm_solver.rows_evaluated
                 attempt_stats = attempt_stats.merge(warm.stats)
                 if self._certified(csr, values, counts, warm, to_index):
                     report.fallback_warm = True
@@ -585,9 +599,11 @@ class ShardedAuctionSolver:
                 shards_touching += (
                     np.bincount(view.uploader_index, minlength=n_uploaders) > 0
                 )
-                res = self._sub_solver()._solve_jacobi(
+                sub = self._sub_solver()
+                res = sub._solve_jacobi(
                     _CSRProblem(view), initial_prices=(csr.uploaders, lam0)
                 )
+                self.rows_evaluated += sub.rows_evaluated
                 a = res.assignment_array()
                 served = a >= 0
                 if served.any():
@@ -699,9 +715,11 @@ class ShardedAuctionSolver:
                 merge_payload_stats(payload["stats"], parallel_depth=False)
             else:
                 view = rows_view(csr, contested, capacity=capacity - load)
-                res = self._sub_solver()._solve_jacobi(
+                sub = self._sub_solver()
+                res = sub._solve_jacobi(
                     _CSRProblem(view), initial_prices=(csr.uploaders, lam_hat)
                 )
+                self.rows_evaluated += sub.rows_evaluated
                 a = res.assignment_array()
                 won = a >= 0
                 if won.any():

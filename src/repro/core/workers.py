@@ -316,6 +316,10 @@ class ShardWorkerPool:
         self._broken = False
         self._closed = False
         self._atexit_registered = False
+        #: Telemetry: summed busy wall time per worker index for the
+        #: most recent :meth:`map_shards` call (dispatch → reply, as
+        #: observed by the parent).  Never enters solve results.
+        self.last_wall_s: Dict[int, float] = {}
 
     # -- lifecycle -----------------------------------------------------
     def _start(self) -> None:
@@ -474,6 +478,8 @@ class ShardWorkerPool:
         idle = deque(range(len(self._conns)))
         inflight: Dict[int, Tuple[int, int]] = {}
         results: Dict[int, dict] = {}
+        sent_at: Dict[int, float] = {}
+        self.last_wall_s = {}
         while pending or inflight:
             while pending and idle:
                 worker = idle.popleft()
@@ -483,6 +489,7 @@ class ShardWorkerPool:
                     worker, ("shard", self._gen, self._req, shard, epsilon, max_rounds)
                 )
                 inflight[worker] = (self._req, shard)
+                sent_at[worker] = time.perf_counter()
             ready = mp_connection.wait(
                 [self._conns[w] for w in inflight], timeout=self.timeout_s
             )
@@ -497,6 +504,9 @@ class ShardWorkerPool:
                 worker = self._conns.index(conn)
                 req, shard = inflight.pop(worker)
                 results[shard] = self._recv(worker, req)
+                self.last_wall_s[worker] = self.last_wall_s.get(worker, 0.0) + (
+                    time.perf_counter() - sent_at.pop(worker)
+                )
                 idle.append(worker)
         return results
 

@@ -105,6 +105,7 @@ def comparison_table(
 def qoe_block(
     collectors_by_scheduler: Dict[str, object],
     startup_by_scheduler: Optional[Dict[str, Sequence[float]]] = None,
+    startup_by_isp_by_scheduler: Optional[Dict[str, Dict[int, tuple]]] = None,
 ) -> str:
     """Per-link-regime QoE comparison across schedulers.
 
@@ -120,6 +121,14 @@ def qoe_block(
     ``startup_by_scheduler`` optionally maps scheduler →
     ``(mean_startup_seconds, n_peers)`` (join → first delivered chunk),
     rendered as a trailing summary line.
+
+    ``startup_by_isp_by_scheduler`` optionally maps scheduler →
+    ``{isp: (mean_startup_seconds, n_peers)}``, with each delay
+    attributed to the *requesting* peer's home ISP (startup delay is a
+    downloader experience — crediting the uploader's ISP, as a naive
+    transfer-side grouping would, misattributes lossy-regime stalls).
+    Rendered as per-scheduler lines *after* the global summary line,
+    which stays byte-identical with or without the breakdown.
     """
     headers = [
         "scheduler", "regime", "slots", "miss_rate", "failed",
@@ -162,4 +171,15 @@ def qoe_block(
         lines.append(
             "startup delay (join→first chunk): " + " ".join(parts)
         )
+    if startup_by_isp_by_scheduler:
+        for name, by_isp in startup_by_isp_by_scheduler.items():
+            if not by_isp:
+                continue
+            parts = [
+                f"isp{isp}={mean:.1f}s/{int(n)}p"
+                for isp, (mean, n) in sorted(by_isp.items())
+            ]
+            lines.append(
+                f"startup delay by home ISP [{name}]: " + " ".join(parts)
+            )
     return "\n".join(lines)

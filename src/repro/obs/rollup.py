@@ -1,0 +1,204 @@
+"""Per-ISP metrics rollup: traffic in/out, transit cost, QoE by home ISP.
+
+The reusable per-ISP accounting block the ROADMAP's ISP-economics item
+needs: a vectorized per-slot × per-ISP accumulator fed by the slot
+pipeline's existing epilogue arrays (no extra per-edge Python work —
+everything lands via ``np.bincount`` on ISP columns that the transfer
+and retry paths already compute).
+
+Attribution conventions:
+
+* ``chunks_out[i]`` — chunks uploaded by peers homed in ISP ``i``;
+  ``chunks_in[i]`` — chunks received there (retry deliveries included).
+* ``transit_out`` / ``transit_in`` — the inter-ISP subset of the above.
+* ``transit_cost`` — the summed network cost ``w`` of inter-ISP edges,
+  attributed to the *downstream* (receiving) home ISP: that is the
+  eyeball ISP whose transit bill the paper's locality objective cuts.
+* QoE (``due``/``missed``, retry attempts/successes, startup delay) is
+  attributed to the requesting peer's home ISP.
+
+The accumulator is enabled per run via ``SystemConfig.isp_rollup`` and
+rendered by :func:`isp_rollup_block`, which ``ScenarioRunner`` appends
+to scenario reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..metrics.report import render_table
+
+__all__ = ["IspRollup", "isp_rollup_block"]
+
+#: Integer-counter fields of one per-slot row, in column order.
+_INT_FIELDS = (
+    "chunks_in", "chunks_out", "transit_in", "transit_out",
+    "due", "missed", "retry_attempts", "retry_succeeded",
+)
+
+
+class IspRollup:
+    """Per-slot × per-ISP counter matrix, accumulated during a run.
+
+    One ``begin_slot()``/``end_slot()`` bracket per slot; in between the
+    system's transfer/retry/playback hooks deposit their ISP columns.
+    ``totals()`` aggregates over slots; ``matrix(field)`` exposes the
+    full per-slot history for cross-slot analysis.
+    """
+
+    def __init__(self, n_isps: int) -> None:
+        if n_isps < 1:
+            raise ValueError(f"n_isps must be >= 1, got {n_isps!r}")
+        self.n_isps = int(n_isps)
+        self.n_slots = 0
+        self._history: Dict[str, List[np.ndarray]] = {
+            field: [] for field in _INT_FIELDS + ("transit_cost",)
+        }
+        self._cur: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Slot bracket
+    # ------------------------------------------------------------------
+    def begin_slot(self) -> None:
+        """Open a fresh per-slot row (closing any left-open one)."""
+        if self._cur is not None:
+            self.end_slot()
+        self._cur = {
+            field: np.zeros(self.n_isps, dtype=np.int64)
+            for field in _INT_FIELDS
+        }
+        self._cur["transit_cost"] = np.zeros(self.n_isps, dtype=float)
+
+    def end_slot(self) -> None:
+        """Commit the open row into the history (no-op if none open)."""
+        if self._cur is None:
+            return
+        for field, row in self._cur.items():
+            self._history[field].append(row)
+        self._cur = None
+        self.n_slots += 1
+
+    def _row(self, field: str) -> np.ndarray:
+        if self._cur is None:
+            self.begin_slot()
+        return self._cur[field]
+
+    # ------------------------------------------------------------------
+    # Hot-path deposits (all bincount-based; called only when enabled)
+    # ------------------------------------------------------------------
+    def record_transfers(
+        self,
+        up_isps: np.ndarray,
+        down_isps: np.ndarray,
+        costs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Account one delivered batch (first-pass or retry) by ISP.
+
+        ``costs`` are the per-edge network costs ``w`` aligned with the
+        batch; omitted (retry paths without a problem in hand may skip
+        them) the transit chunk counts still accumulate.
+        """
+        n = self.n_isps
+        self._row("chunks_out")[:] += np.bincount(up_isps, minlength=n)[:n]
+        self._row("chunks_in")[:] += np.bincount(down_isps, minlength=n)[:n]
+        inter = up_isps != down_isps
+        if inter.any():
+            up_t = up_isps[inter]
+            down_t = down_isps[inter]
+            self._row("transit_out")[:] += np.bincount(up_t, minlength=n)[:n]
+            self._row("transit_in")[:] += np.bincount(down_t, minlength=n)[:n]
+            if costs is not None:
+                self._row("transit_cost")[:] += np.bincount(
+                    down_t, weights=costs[inter], minlength=n
+                )[:n]
+
+    def record_playback(
+        self, isps: np.ndarray, due: np.ndarray, missed: np.ndarray
+    ) -> None:
+        """Account per-watcher due/missed chunk counts by home ISP."""
+        n = self.n_isps
+        self._row("due")[:] += np.bincount(isps, weights=due, minlength=n)[
+            :n
+        ].astype(np.int64)
+        self._row("missed")[:] += np.bincount(
+            isps, weights=missed, minlength=n
+        )[:n].astype(np.int64)
+
+    def record_retries(
+        self, attempt_isps: np.ndarray, success_isps: np.ndarray
+    ) -> None:
+        """Account retry attempts/deliveries by the requester's home ISP."""
+        n = self.n_isps
+        self._row("retry_attempts")[:] += np.bincount(
+            attempt_isps, minlength=n
+        )[:n]
+        self._row("retry_succeeded")[:] += np.bincount(
+            success_isps, minlength=n
+        )[:n]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def matrix(self, field: str) -> np.ndarray:
+        """The ``(n_slots, n_isps)`` per-slot history of one counter."""
+        rows = self._history[field]
+        if not rows:
+            dtype = float if field == "transit_cost" else np.int64
+            return np.zeros((0, self.n_isps), dtype=dtype)
+        return np.vstack(rows)
+
+    def totals(self) -> Dict[str, np.ndarray]:
+        """Whole-run per-ISP aggregates (committed slots only)."""
+        out = {}
+        for field in _INT_FIELDS + ("transit_cost",):
+            mat = self.matrix(field)
+            out[field] = mat.sum(axis=0)
+        return out
+
+
+def isp_rollup_block(
+    rollups_by_scheduler: Dict[str, IspRollup],
+    startup_by_isp_by_scheduler: Optional[
+        Dict[str, Dict[int, Tuple[float, int]]]
+    ] = None,
+) -> str:
+    """The reusable per-ISP report block (one row per scheduler × ISP).
+
+    Columns: chunk traffic in/out, the inter-ISP (transit) subset,
+    transit cost billed to the receiving ISP, the home-ISP miss rate,
+    retries delivered over attempted, and — when the caller supplies
+    per-ISP startup stats — mean join→first-chunk delay with the peer
+    count it averages, in the QoE block's ``12.3s/5p`` format.
+    """
+    headers = [
+        "scheduler", "isp", "chunks_in", "chunks_out", "transit_in",
+        "transit_out", "transit_cost", "miss_rate", "retry_ok/att",
+        "startup",
+    ]
+    rows: List[List[object]] = []
+    for name, rollup in rollups_by_scheduler.items():
+        totals = rollup.totals()
+        startup = (startup_by_isp_by_scheduler or {}).get(name, {})
+        for isp in range(rollup.n_isps):
+            due = int(totals["due"][isp])
+            missed = int(totals["missed"][isp])
+            attempts = int(totals["retry_attempts"][isp])
+            succeeded = int(totals["retry_succeeded"][isp])
+            delay = startup.get(isp)
+            rows.append(
+                [
+                    name,
+                    isp,
+                    int(totals["chunks_in"][isp]),
+                    int(totals["chunks_out"][isp]),
+                    int(totals["transit_in"][isp]),
+                    int(totals["transit_out"][isp]),
+                    float(totals["transit_cost"][isp]),
+                    missed / due if due else 0.0,
+                    f"{succeeded}/{attempts}",
+                    "-" if delay is None else f"{delay[0]:.1f}s/{int(delay[1])}p",
+                ]
+            )
+    return "Per-ISP rollup\n" + render_table(headers, rows)

@@ -1,0 +1,114 @@
+"""Trace sinks: where slot-span records go.
+
+The sink contract is deliberately tiny — ``emit(record)`` takes one
+plain-dict span record per slot, ``close()`` releases whatever the sink
+holds, and ``enabled`` tells the instrumented hot path whether to
+collect at all.  The system checks ``enabled`` once per slot and skips
+every counter gather and ``perf_counter`` call when it is False, so a
+:class:`NullTraceSink` (or no tracer at all) costs one attribute read
+per slot — the tier-1 overhead gate in ``tests/obs`` pins this.
+
+Records are JSON-ready dicts; :class:`JsonlTraceSink` serializes them
+with ``sort_keys=True`` so two runs that produce equal records produce
+byte-equal files (see :func:`repro.obs.trace.canonical_line` for the
+timing-free comparison form).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, List, Optional, Protocol, Union, runtime_checkable
+
+__all__ = [
+    "JsonlTraceSink",
+    "MemoryTraceSink",
+    "NullTraceSink",
+    "TraceSink",
+]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive per-slot span records.
+
+    ``enabled`` is read once per slot by the instrumented pipeline;
+    a False value means ``emit`` is never called, so a disabled sink
+    costs one attribute check per slot.
+    """
+
+    enabled: bool
+
+    def emit(self, record: dict) -> None:
+        """Receive one span record (a JSON-ready plain dict)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class NullTraceSink:
+    """The disabled default: never called, never allocates."""
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:  # pragma: no cover — never called
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryTraceSink:
+    """Collects records in a list (tests, in-process analysis)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlTraceSink:
+    """Writes one deterministic JSON line per record to a file.
+
+    Lines are ``json.dumps(record, sort_keys=True)`` — key order never
+    depends on dict construction order, so equal records serialize to
+    equal bytes.  The file opens lazily on the first emit (attaching a
+    sink to a run that records nothing leaves no file behind) and
+    parent directories are created as needed.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._fh: Optional[IO[str]] = None
+        self.n_records = 0
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.n_records += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

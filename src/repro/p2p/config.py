@@ -140,6 +140,13 @@ class SystemConfig:
     # overrides this at system construction.
     shard_workers: int = 0
 
+    # Per-ISP metrics rollup (obs/rollup.py): accumulate per-slot ×
+    # per-ISP traffic/transit-cost/QoE counters during the run and
+    # render them as the scenario report's "Per-ISP rollup" block.  Off
+    # by default — the bincount deposits are cheap but not free, and
+    # archived reports without the block must regenerate byte-identical.
+    isp_rollup: bool = False
+
     # Retry pipeline for lossy link conditions (net/linkmodel.py): a
     # failed or truncated transfer waits backoff_base · 2^(attempt−1)
     # slots (capped at retry_backoff_cap_slots) between attempts, and is

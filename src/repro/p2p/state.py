@@ -172,6 +172,27 @@ class SlotDelta:
         mark(self.retry_removed, DELTA_RETRY)
         return out
 
+    def reason_histogram(self) -> Dict[str, int]:
+        """Peers-per-reason counts, named for the trace schema.
+
+        One peer marked for several reasons counts once under each —
+        the histogram answers "what invalidated rows this slot", not
+        "how many rows were invalidated".
+        """
+        names = (
+            ("delivery", DELTA_DELIVERY),
+            ("playback", DELTA_PLAYBACK),
+            ("admit", DELTA_ADMIT),
+            ("remove", DELTA_REMOVE),
+            ("candidates", DELTA_CANDIDATES),
+            ("capacity", DELTA_CAPACITY),
+            ("retry", DELTA_RETRY),
+        )
+        masks = self.reasons().values()
+        return {
+            name: sum(1 for m in masks if m & code) for name, code in names
+        }
+
 #: Sessions this many chunks behind their due position are advanced
 #: individually (their catch-up window would blow up the batch gather).
 _BATCH_ADVANCE_LIMIT = 1024
@@ -1729,8 +1750,14 @@ class PeerStateStore:
     # ------------------------------------------------------------------
     # Batched playback
     # ------------------------------------------------------------------
-    def advance_playback(self, to_time: float) -> Tuple[int, int]:
+    def advance_playback(self, to_time: float, rollup=None) -> Tuple[int, int]:
         """Advance every eligible session; returns ``(due, missed)``.
+
+        ``rollup`` (an :class:`~repro.obs.rollup.IspRollup`, when the
+        run has one attached) receives the same due/missed counts
+        broken down by the watcher's home ISP — computed from the
+        per-row arrays the batch pass already holds, so the disabled
+        path pays nothing.
 
         One vectorized pass per bucket (a single pass for uniform
         catalogs) replaces the per-session ``advance_to`` loop: targets
@@ -1777,12 +1804,14 @@ class PeerStateStore:
         due_total = 0
         missed_total = 0
         for prep in preps:
-            due, missed = self._advance_prepared(prep, to_time)
+            due, missed = self._advance_prepared(prep, to_time, rollup)
             due_total += due
             missed_total += missed
         return due_total, missed_total
 
-    def _advance_prepared(self, prep, to_time: float) -> Tuple[int, int]:
+    def _advance_prepared(
+        self, prep, to_time: float, rollup=None
+    ) -> Tuple[int, int]:
         bucket, rows, sessions, st, eligible, positions = prep
         n_chunks = bucket.n_chunks
         target = bucket.start_pos[rows] + (
@@ -1793,6 +1822,11 @@ class PeerStateStore:
         np.maximum(width, 0, out=width)
         due_total = int(width.sum())
         missed_total = 0
+        row_missed = None
+        if rollup is not None:
+            # Per-row due snapshot before the big-session zeroing below.
+            row_due = width.copy()
+            row_missed = np.zeros(len(rows), dtype=np.int64)
         if int(width.max()) > _BATCH_ADVANCE_LIMIT:
             # Far-behind sessions (fresh joiners catching up a whole
             # video) advance individually; the batch window stays small.
@@ -1801,6 +1835,8 @@ class PeerStateStore:
                 session = sessions[i]
                 stats = session.advance_to(to_time)
                 missed_total += stats.missed
+                if row_missed is not None:
+                    row_missed[i] += stats.missed
                 bucket.resync_row(int(rows[i]), session)
             width = np.where(big, 0, width)
         batch = width > 0
@@ -1832,6 +1868,8 @@ class PeerStateStore:
                 played = widths_b - mm.sum(axis=1)
             batch_missed = int(widths_b.sum() - played.sum())
             missed_total += batch_missed
+            if row_missed is not None:
+                row_missed[b_idx] += widths_b - played
             if batch_missed:
                 mr, mc = np.nonzero(mm)
                 missed_chunks = pos_b[mr] + mc
@@ -1856,6 +1894,10 @@ class PeerStateStore:
                     session.position = tgt
                     session.played += plays
                     session._last_advance = to_time
+                if row_missed is not None:
+                    self._deposit_playback_rollup(
+                        bucket, rows, row_due, row_missed, rollup
+                    )
                 return due_total, missed_total
             for i, tgt, plays in zip(
                 b_idx.tolist(), tgt_b.tolist(), played.tolist()
@@ -1868,7 +1910,22 @@ class PeerStateStore:
         for session, ok in zip(sessions, eligible.tolist()):
             if ok:
                 session._last_advance = to_time
+        if row_missed is not None:
+            self._deposit_playback_rollup(
+                bucket, rows, row_due, row_missed, rollup
+            )
         return due_total, missed_total
+
+    def _deposit_playback_rollup(
+        self, bucket, rows, row_due, row_missed, rollup
+    ) -> None:
+        """Deposit one bucket's per-row due/missed into the ISP rollup."""
+        ids = np.fromiter(
+            (bucket.peer_by_row[int(r)].peer_id for r in rows),
+            dtype=np.int64,
+            count=len(rows),
+        )
+        rollup.record_playback(self._isp_table[ids], row_due, row_missed)
 
     # ------------------------------------------------------------------
     # Introspection / invariants (used by the staleness tests)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import os
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,6 +48,8 @@ from ..net.isp import ISPTopology
 from ..net.linkmodel import LinkConditions, LinkParams
 from ..net.topology import OverlayGraph
 from ..net.trunc_normal import TruncatedNormal
+from ..obs.rollup import IspRollup
+from ..obs.trace import TRACE_SCHEMA_VERSION, SlotTracer
 from ..sim.rng import RngRegistry
 from ..vod.buffer import ChunkBuffer
 from ..vod.playback import PlaybackSession
@@ -181,6 +184,14 @@ class P2PSystem:
         self._next_arrival_time: Optional[float] = None
         self.departures = 0
         self.arrivals = 0
+        # Observability (repro.obs): the slot-span tracer is attached
+        # explicitly (attach_tracer); None — the default — costs one
+        # attribute check per slot.  The per-ISP rollup accumulates only
+        # when the config opts in.
+        self.tracer: Optional[SlotTracer] = None
+        self.isp_rollup: Optional[IspRollup] = (
+            IspRollup(config.n_isps) if config.isp_rollup else None
+        )
 
         for seed_peer in create_seeds(config, self.catalog, self._ids):
             self._admit(seed_peer)
@@ -373,6 +384,19 @@ class P2PSystem:
         t = self.now
         slot = self.config.slot_seconds
         rounds = self.config.bid_rounds_per_slot
+        # Tracing is branch-cheap: one enabled check per slot; every
+        # perf_counter call and counter gather below sits behind it.
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        if tracing:
+            t_slot0 = perf_counter()
+            arrivals0 = self.arrivals
+            departures0 = self.departures
+            build_s = solve_s = apply_s = playback_s = 0.0
+            bids_sub = bids_rej = evictions = price_updates = rows_eval = 0
+            delta_reasons: Dict[str, int] = {}
+            worker_wall: Dict[str, float] = {}
+            build_kind = "none"
 
         if churn:
             self._process_departures(t, remove_finished)
@@ -380,17 +404,31 @@ class P2PSystem:
             self._collect_arrivals_during(t, t + slot)
         self._refill_neighbors()
 
+        if self.isp_rollup is not None:
+            self.isp_rollup.begin_slot()
         welfare = 0.0
         inter = intra = 0
         n_requests = n_served = sched_rounds = 0
         due = missed = 0
+        # Sharded-solve diagnostics, summed over bid rounds (zero/empty
+        # for flat schedulers — one getattr per round).
+        coord = boundary = contested = sharded_fb = 0
+        sharded_fb_reason = ""
+        worker_fb0 = sum(
+            getattr(self.scheduler, "worker_fallbacks", {}).values()
+        )
+        sharded_trace = None
         # Slot-boundary retry sweep: evict churned endpoints, surrender
         # expired edges, re-attempt due ones.  A no-op (and no RNG
         # draws) while the queue is empty — i.e. always, under ideal
         # link conditions.
         self._slot_transfers_failed = 0
         self._slot_link_delay_ms = 0.0
+        if tracing:
+            t_retry0 = perf_counter()
         retry = self._process_retries(t)
+        if tracing:
+            retry_s = perf_counter() - t_retry0
         inter += retry["inter"]
         intra += retry["intra"]
         # The peer population is stable within a slot (churn is handled
@@ -410,27 +448,97 @@ class P2PSystem:
                 if rounds == 1
                 else slot_caps * (r + 1) // rounds - slot_caps * r // rounds
             )
+            if tracing:
+                t0 = perf_counter()
             if incremental:
                 delta = self.store.consume_delta()
+                if tracing:
+                    for name, count in delta.reason_histogram().items():
+                        if count:
+                            delta_reasons[name] = (
+                                delta_reasons.get(name, 0) + count
+                            )
                 if self._prev_problem is None:
                     # First build of the run: cold, establishes the
                     # patch baseline.
                     problem, _ = self.build_problem(
                         now_r, capacity_array=shares
                     )
+                    if tracing and r == 0:
+                        build_kind = "cold"
                 else:
                     problem = self.patch_problem(
                         self._prev_problem, delta, now_r,
                         capacity_array=shares,
                     )
+                    if tracing and r == 0:
+                        build_kind = "patch"
                 self._prev_problem = problem
             else:
                 problem, _ = self.build_problem(now_r, capacity_array=shares)
+                if tracing and r == 0:
+                    build_kind = "cold"
+            if tracing:
+                t1 = perf_counter()
+                build_s += t1 - t0
             if warm:
                 result = self.scheduler.schedule(problem, initial_prices=prices)
                 prices = result.price_arrays()
             else:
                 result = self.scheduler.schedule(problem)
+            report = getattr(self.scheduler, "last_report", None)
+            if report is not None:
+                coord += report.coordination_rounds
+                boundary += report.n_boundary_uploaders
+                contested += report.contested_rows
+                if report.fallback:
+                    sharded_fb += 1
+                    sharded_fb_reason = report.fallback
+            if tracing:
+                t2 = perf_counter()
+                solve_s += t2 - t1
+                s = result.stats
+                bids_sub += s.bids_submitted
+                bids_rej += s.bids_rejected
+                evictions += s.evictions
+                price_updates += s.price_updates
+                rows_eval += getattr(self.scheduler, "last_rows_evaluated", 0)
+                if report is not None:
+                    if sharded_trace is None:
+                        sharded_trace = {
+                            "coordination_rounds": 0,
+                            "boundary_uploaders": 0,
+                            "contested_rows": 0,
+                            "fallbacks": 0,
+                            "fallback_reason": "",
+                            "procs": 0,
+                            "par_shards": 0,
+                            "worker_fallbacks": 0,
+                            "blocks_republished": -1,
+                        }
+                    sharded_trace["coordination_rounds"] += report.coordination_rounds
+                    sharded_trace["boundary_uploaders"] += report.n_boundary_uploaders
+                    sharded_trace["contested_rows"] += report.contested_rows
+                    if report.fallback:
+                        sharded_trace["fallbacks"] += 1
+                        sharded_trace["fallback_reason"] = report.fallback
+                    sharded_trace["procs"] = max(
+                        sharded_trace["procs"], report.procs
+                    )
+                    sharded_trace["par_shards"] += report.par_shards
+                    if report.blocks_republished >= 0:
+                        if sharded_trace["blocks_republished"] < 0:
+                            sharded_trace["blocks_republished"] = 0
+                        sharded_trace["blocks_republished"] += (
+                            report.blocks_republished
+                        )
+                pool = getattr(
+                    getattr(self.scheduler, "solver", None), "_pool", None
+                )
+                if pool is not None and pool.last_wall_s:
+                    for w, wall in pool.last_wall_s.items():
+                        key = str(w)
+                        worker_wall[key] = worker_wall.get(key, 0.0) + wall
             welfare += result.welfare(problem)
             round_inter, round_intra = self._apply_transfers(problem, result)
             inter += round_inter
@@ -438,10 +546,17 @@ class P2PSystem:
             n_requests += problem.n_requests
             n_served += result.n_served()
             sched_rounds += result.stats.rounds
+            if tracing:
+                t3 = perf_counter()
+                apply_s += t3 - t2
             round_due, round_missed = self._advance_playback(t + (r + 1) * slot / rounds)
             due += round_due
             missed += round_missed
+            if tracing:
+                playback_s += perf_counter() - t3
 
+        if self.isp_rollup is not None:
+            self.isp_rollup.end_slot()
         metrics = SlotMetrics(
             time=t,
             n_peers=len(self.peers),
@@ -461,8 +576,70 @@ class P2PSystem:
             retry_pending=len(self.retry_queue),
             link_delay_ms=self._slot_link_delay_ms + retry["delay_ms"],
             link_regime=self.links.regime,
+            coordination_rounds=coord,
+            boundary_uploaders=boundary,
+            contested_rows=contested,
+            sharded_fallbacks=sharded_fb,
+            sharded_fallback_reason=sharded_fb_reason,
+            worker_fallbacks=sum(
+                getattr(self.scheduler, "worker_fallbacks", {}).values()
+            )
+            - worker_fb0,
         )
         self.collector.record(metrics)
+        if tracing:
+            if sharded_trace is not None:
+                sharded_trace["worker_fallbacks"] = metrics.worker_fallbacks
+            timing = {
+                "build_s": build_s,
+                "solve_s": solve_s,
+                "apply_s": apply_s,
+                "playback_s": playback_s,
+                "retry_s": retry_s,
+                "slot_s": perf_counter() - t_slot0,
+            }
+            if worker_wall:
+                timing["workers"] = worker_wall
+            tracer.emit(
+                {
+                    "v": TRACE_SCHEMA_VERSION,
+                    "slot": self.slot_index,
+                    "time": t,
+                    "n_peers": len(self.peers),
+                    "arrivals": self.arrivals - arrivals0,
+                    "departures": self.departures - departures0,
+                    "n_requests": n_requests,
+                    "n_served": n_served,
+                    "welfare": welfare,
+                    "build": build_kind,
+                    "delta_reasons": delta_reasons,
+                    "solver": {
+                        "rounds": sched_rounds,
+                        "bids_submitted": bids_sub,
+                        "bids_rejected": bids_rej,
+                        "evictions": evictions,
+                        "price_updates": price_updates,
+                        "rows_evaluated": rows_eval,
+                    },
+                    "retry": {
+                        "attempts": retry["attempts"],
+                        "succeeded": retry["succeeded"],
+                        "surrendered": retry["surrendered"],
+                        "evicted": retry["evicted"],
+                        "pending": len(self.retry_queue),
+                    },
+                    "traffic": {"inter": inter, "intra": intra},
+                    "playback": {"due": due, "missed": missed},
+                    "link": {
+                        "regime": self.links.regime,
+                        "transfers_failed": self._slot_transfers_failed,
+                        "delay_ms": self._slot_link_delay_ms
+                        + retry["delay_ms"],
+                    },
+                    "sharded": sharded_trace,
+                    "timing": timing,
+                }
+            )
         if warm and self.config.warm_start_across_slots and prices is not None:
             # Decay the carried λ at the boundary: transient scarcity
             # prices fade (sub-ε entries flush to an exact cold 0) while
@@ -732,6 +909,37 @@ class P2PSystem:
         if not delays:
             return 0.0, 0
         return sum(delays) / len(delays), len(delays)
+
+    def startup_delay_by_isp(self) -> Dict[int, Tuple[float, int]]:
+        """Per-home-ISP startup delay: ``{isp: (mean_seconds, n_peers)}``.
+
+        Same population as :meth:`startup_delay_stats` (online non-seed
+        peers with at least one delivery), broken down by the
+        *requesting* peer's home ISP — the attribution the per-ISP QoE
+        rollup reports.  ISPs with no counted peers are omitted.
+        """
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for p in self.peers.values():
+            if p.is_seed or p.first_delivery_time is None:
+                continue
+            isp = int(p.isp)
+            sums[isp] = sums.get(isp, 0.0) + (p.first_delivery_time - p.joined_at)
+            counts[isp] = counts.get(isp, 0) + 1
+        return {isp: (sums[isp] / counts[isp], counts[isp]) for isp in sums}
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, sink) -> SlotTracer:
+        """Attach a :class:`~repro.obs.trace.SlotTracer` over ``sink``.
+
+        From the next slot on, ``run_slot`` emits one span record per
+        slot through the sink (when it is enabled).  Returns the tracer
+        so callers can read ``emitted`` / in-memory records.
+        """
+        self.tracer = SlotTracer(sink)
+        return self.tracer
 
     # ------------------------------------------------------------------
     # Problem construction / transfer application
@@ -1061,6 +1269,10 @@ class P2PSystem:
             inter = int((up_isps != down_isps).sum())
             intra = len(down) - inter
             self.traffic_matrix.record_batch(up_isps, down_isps)
+            if self.isp_rollup is not None:
+                # Retry deliveries count as traffic (no per-edge cost in
+                # hand here — transit chunk counts still accumulate).
+                self.isp_rollup.record_transfers(up_isps, down_isps)
             starts = np.concatenate(([0], np.nonzero(np.diff(down))[0] + 1))
             stops = np.concatenate((starts[1:], [len(down)]))
             run_peers = [peers[int(down[s])] for s in starts.tolist()]
@@ -1081,6 +1293,10 @@ class P2PSystem:
             upload_counts = np.bincount(up)
             for u in np.nonzero(upload_counts)[0].tolist():
                 peers[u].record_upload(int(upload_counts[u]))
+        if self.isp_rollup is not None and viable.any():
+            self.isp_rollup.record_retries(
+                isp_of[batch.down[viable]], isp_of[batch.down[sel]]
+            )
         return {
             "attempts": int(viable.sum()),
             "succeeded": int(len(sel)),
@@ -1169,6 +1385,12 @@ class P2PSystem:
         inter = int((up_isps != down_isps).sum())
         intra = len(indices) - inter
         self.traffic_matrix.record_batch(up_isps, down_isps)
+        if self.isp_rollup is not None:
+            self.isp_rollup.record_transfers(
+                up_isps,
+                down_isps,
+                problem.edge_cost_pairs(indices, uploaders),
+            )
         # Requests arrive grouped by downloader (one builder block per
         # peer), so run boundaries are one diff — no sort.  A problem
         # that interleaves owners just yields more (still correct) runs.
@@ -1237,7 +1459,7 @@ class P2PSystem:
         Equivalent to :meth:`_advance_playback_reference`, which the
         property suite pins it against.
         """
-        return self.store.advance_playback(to_time)
+        return self.store.advance_playback(to_time, self.isp_rollup)
 
     def _advance_playback_reference(self, to_time: float) -> Tuple[int, int]:
         """Per-session/per-chunk loop implementation (semantics pin)."""

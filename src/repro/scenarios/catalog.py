@@ -172,6 +172,9 @@ def isp_price_shock(scale: str = "bench") -> ScenarioSpec:
         name="isp-price-shock",
         description="global inter-ISP transit price ×3 at mid-run",
         scale=scale,
+        # The per-ISP rollup is the point of this scenario: the shock's
+        # transit-cost redistribution shows up per eyeball ISP.
+        config_overrides={"isp_rollup": True},
         n_static_peers=_pop(scale, 30, 300, 500),
         stagger=False,
         duration_seconds=60.0 if _tiny(scale) else 120.0,
@@ -377,7 +380,9 @@ def flaky_isp(scale: str = "bench") -> ScenarioSpec:
         description="ISP 0's links flap through loss10 incident windows "
         "under churn",
         scale=scale,
-        config_overrides={"arrival_rate_per_s": 1.0},
+        # isp_rollup: the flaky ISP's QoE damage (misses, retries,
+        # startup stalls) should localize to ISP 0's home peers.
+        config_overrides={"arrival_rate_per_s": 1.0, "isp_rollup": True},
         schedulers=LOSSY_SCHEDULERS,
         n_static_peers=_pop(scale, 20, 200, 400),
         stagger=False,

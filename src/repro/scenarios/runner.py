@@ -31,6 +31,7 @@ from ..metrics.report import (
     series_block,
 )
 from ..net.linkmodel import LinkParams
+from ..obs.rollup import isp_rollup_block
 from ..p2p.system import P2PSystem
 from ..sim.engine import Simulator
 from .events import RemappedPopularity, TimedEvent
@@ -53,6 +54,13 @@ class ScenarioRun:
     #: and how many peers that covers (QoE block; (0.0, 0) pre-delivery).
     startup_delay_s: float = 0.0
     startup_delay_peers: int = 0
+    #: Per-ISP accumulator (obs/rollup.py), present only when the
+    #: scenario's config opts in via ``isp_rollup``; None otherwise so
+    #: pre-existing reports render unchanged.
+    rollup: Optional[object] = None
+    #: Startup delay broken down by the requester's home ISP
+    #: (``{isp: (mean_s, n_peers)}``); empty unless the rollup is on.
+    startup_by_isp: Dict[int, Tuple[float, int]] = field(default_factory=dict)
 
 
 @dataclass
@@ -130,6 +138,11 @@ class ScenarioResult:
             for s in run.collector.slots
         )
         if lossy:
+            startup_by_isp = {
+                name: run.startup_by_isp
+                for name, run in self.runs.items()
+                if run.startup_by_isp
+            }
             lines.append(
                 qoe_block(
                     {
@@ -140,6 +153,25 @@ class ScenarioResult:
                         name: (run.startup_delay_s, run.startup_delay_peers)
                         for name, run in self.runs.items()
                     },
+                    startup_by_isp or None,
+                )
+            )
+            lines.append("")
+        rollups = {
+            name: run.rollup
+            for name, run in self.runs.items()
+            if run.rollup is not None
+        }
+        if rollups:
+            lines.append(
+                isp_rollup_block(
+                    rollups,
+                    {
+                        name: run.startup_by_isp
+                        for name, run in self.runs.items()
+                        if run.startup_by_isp
+                    }
+                    or None,
                 )
             )
             lines.append("")
@@ -194,6 +226,12 @@ class ScenarioRunner:
                 departures=system.departures,
                 startup_delay_s=startup_s,
                 startup_delay_peers=startup_n,
+                rollup=system.isp_rollup,
+                startup_by_isp=(
+                    system.startup_delay_by_isp()
+                    if system.isp_rollup is not None
+                    else {}
+                ),
             )
         return result
 

@@ -1,0 +1,152 @@
+"""IspRollup deposit arithmetic and the rendered report block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import IspRollup, isp_rollup_block
+
+
+class TestBracket:
+    def test_rejects_bad_n_isps(self):
+        with pytest.raises(ValueError, match="n_isps"):
+            IspRollup(0)
+
+    def test_totals_empty_before_any_slot(self):
+        rollup = IspRollup(3)
+        totals = rollup.totals()
+        assert rollup.n_slots == 0
+        for field, vec in totals.items():
+            assert vec.shape == (3,)
+            assert not vec.any(), field
+
+    def test_begin_closes_left_open_slot(self):
+        rollup = IspRollup(2)
+        rollup.begin_slot()
+        rollup.record_transfers(np.array([0]), np.array([1]))
+        rollup.begin_slot()  # implicit end_slot of the first
+        rollup.end_slot()
+        assert rollup.n_slots == 2
+        assert rollup.matrix("chunks_out").shape == (2, 2)
+        assert rollup.matrix("chunks_out")[0, 0] == 1
+        assert rollup.matrix("chunks_out")[1].sum() == 0
+
+    def test_deposit_without_bracket_opens_one(self):
+        rollup = IspRollup(2)
+        rollup.record_transfers(np.array([0]), np.array([0]))
+        rollup.end_slot()
+        assert rollup.n_slots == 1
+
+
+class TestTransfers:
+    def test_chunks_and_transit_attribution(self):
+        rollup = IspRollup(3)
+        rollup.begin_slot()
+        # Edges: 0→0 (intra), 0→1, 2→1 (inter), with costs.
+        up = np.array([0, 0, 2])
+        down = np.array([0, 1, 1])
+        costs = np.array([0.0, 2.5, 1.5])
+        rollup.record_transfers(up, down, costs)
+        rollup.end_slot()
+        totals = rollup.totals()
+        assert totals["chunks_out"].tolist() == [2, 0, 1]
+        assert totals["chunks_in"].tolist() == [1, 2, 0]
+        assert totals["transit_out"].tolist() == [1, 0, 1]
+        assert totals["transit_in"].tolist() == [0, 2, 0]
+        # Transit cost bills the downstream (receiving) home ISP.
+        assert totals["transit_cost"].tolist() == [0.0, 4.0, 0.0]
+
+    def test_costs_optional(self):
+        rollup = IspRollup(2)
+        rollup.begin_slot()
+        rollup.record_transfers(np.array([0]), np.array([1]))
+        rollup.end_slot()
+        totals = rollup.totals()
+        assert totals["transit_in"].tolist() == [0, 1]
+        assert totals["transit_cost"].tolist() == [0.0, 0.0]
+
+    def test_all_intra_leaves_transit_zero(self):
+        rollup = IspRollup(2)
+        rollup.begin_slot()
+        rollup.record_transfers(
+            np.array([1, 1]), np.array([1, 1]), np.array([1.0, 1.0])
+        )
+        rollup.end_slot()
+        totals = rollup.totals()
+        assert totals["chunks_in"].tolist() == [0, 2]
+        assert not totals["transit_in"].any()
+        assert not totals["transit_cost"].any()
+
+
+class TestQoeDeposits:
+    def test_playback_by_home_isp(self):
+        rollup = IspRollup(2)
+        rollup.begin_slot()
+        rollup.record_playback(
+            isps=np.array([0, 1, 1]),
+            due=np.array([10, 4, 6]),
+            missed=np.array([1, 0, 3]),
+        )
+        rollup.end_slot()
+        totals = rollup.totals()
+        assert totals["due"].tolist() == [10, 10]
+        assert totals["missed"].tolist() == [1, 3]
+
+    def test_retries_keyed_to_requester(self):
+        rollup = IspRollup(3)
+        rollup.begin_slot()
+        rollup.record_retries(
+            attempt_isps=np.array([0, 0, 2]), success_isps=np.array([0])
+        )
+        rollup.end_slot()
+        totals = rollup.totals()
+        assert totals["retry_attempts"].tolist() == [2, 0, 1]
+        assert totals["retry_succeeded"].tolist() == [1, 0, 0]
+
+    def test_matrix_accumulates_per_slot_history(self):
+        rollup = IspRollup(2)
+        for missed in (1, 2):
+            rollup.begin_slot()
+            rollup.record_playback(
+                np.array([0]), np.array([5]), np.array([missed])
+            )
+            rollup.end_slot()
+        mat = rollup.matrix("missed")
+        assert mat.shape == (2, 2)
+        assert mat[:, 0].tolist() == [1, 2]
+        assert rollup.totals()["missed"].tolist() == [3, 0]
+
+
+class TestReportBlock:
+    def _rollup(self) -> IspRollup:
+        rollup = IspRollup(2)
+        rollup.begin_slot()
+        rollup.record_transfers(
+            np.array([0, 1]), np.array([1, 1]), np.array([3.0, 0.0])
+        )
+        rollup.record_playback(np.array([0, 1]), np.array([4, 4]), np.array([1, 0]))
+        rollup.record_retries(np.array([0]), np.array([0]))
+        rollup.end_slot()
+        return rollup
+
+    def test_one_row_per_scheduler_isp(self):
+        block = isp_rollup_block({"auction": self._rollup()})
+        lines = block.splitlines()
+        assert lines[0] == "Per-ISP rollup"
+        # title + header + rule + 2 ISP rows
+        assert len(lines) == 5
+        assert "transit_cost" in lines[1]
+        assert "auction" in lines[3] and "auction" in lines[4]
+
+    def test_startup_column_renders_or_dashes(self):
+        block = isp_rollup_block(
+            {"auction": self._rollup()},
+            {"auction": {0: (12.34, 5)}},
+        )
+        assert "12.3s/5p" in block
+        assert "-" in block.splitlines()[-1]  # isp 1 has no startup stats
+
+    def test_deterministic_rendering(self):
+        kwargs = ({"auction": self._rollup()}, {"auction": {1: (2.0, 3)}})
+        assert isp_rollup_block(*kwargs) == isp_rollup_block(*kwargs)

@@ -1,0 +1,63 @@
+"""Sink contract: enabled flags, deterministic bytes, lazy file opens."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import JsonlTraceSink, MemoryTraceSink, NullTraceSink, TraceSink
+
+
+class TestProtocol:
+    def test_all_sinks_satisfy_protocol(self):
+        for sink in (NullTraceSink(), MemoryTraceSink(), JsonlTraceSink("/tmp/x")):
+            assert isinstance(sink, TraceSink)
+
+    def test_null_sink_disabled(self):
+        sink = NullTraceSink()
+        assert sink.enabled is False
+        sink.close()  # idempotent no-op
+
+    def test_memory_sink_collects(self):
+        sink = MemoryTraceSink()
+        assert sink.enabled is True
+        sink.emit({"a": 1})
+        sink.emit({"b": 2})
+        assert len(sink) == 2
+        assert sink.records == [{"a": 1}, {"b": 2}]
+
+
+class TestJsonlSink:
+    def test_lazy_open_leaves_no_file(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.emit({"slot": 0})
+        assert path.exists()
+        assert sink.n_records == 1
+
+    def test_sorted_keys_make_equal_records_byte_equal(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with JsonlTraceSink(a) as sa:
+            sa.emit({"z": 1, "a": 2})
+        with JsonlTraceSink(b) as sb:
+            sb.emit({"a": 2, "z": 1})  # same record, different insert order
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for slot in range(3):
+                sink.emit({"slot": slot})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["slot"] for line in lines] == [0, 1, 2]
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.emit({"slot": 0})
+        sink.close()
+        sink.close()

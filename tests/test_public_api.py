@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.experiments",
     "repro.scenarios",
+    "repro.obs",
 ]
 
 
